@@ -1,0 +1,7 @@
+"""Benchmark harness package.
+
+One ``bench_*`` module per paper figure/table, plus ablations and
+extensions (see DESIGN.md's experiment index).  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""

@@ -1,0 +1,74 @@
+"""Ablation — read granularity and flash page size.
+
+The vector-grained read strategy's benefit depends on the
+vector-to-page size ratio: ``CEV = (EVsize/Psize)*Ttrans + Tflush``.
+This ablation sweeps page size (4-32 KB, the range Section III-B cites)
+and vector size (64-256 B, the production range), reporting per-read
+latency saving and bulk-throughput gain of vector-grained over
+page-grained access.
+"""
+
+import pytest
+
+from repro.analysis.report import Table
+from repro.core.lookup_engine import (
+    effective_page_bandwidth,
+    effective_vector_bandwidth,
+)
+from repro.ssd.geometry import SSDGeometry
+from repro.ssd.timing import SSDTimingModel
+
+PAGE_SIZES = (4096, 8192, 16384, 32768)
+EV_SIZES = (64, 128, 256)
+
+
+def _measure():
+    out = {}
+    for page_size in PAGE_SIZES:
+        # Tpage grows with page size (transfer portion scales).
+        timing = SSDTimingModel(
+            page_read_us=20.0 * (0.7 + 0.3 * page_size / 4096),
+            page_size=page_size,
+        )
+        geometry = SSDGeometry(page_size=page_size)
+        for ev_size in EV_SIZES:
+            latency_saving = 1 - timing.vector_read_ns(ev_size) / timing.page_read_ns
+            throughput_gain = effective_vector_bandwidth(
+                geometry, timing, ev_size
+            ) / effective_page_bandwidth(geometry, timing)
+            out[(page_size, ev_size)] = (latency_saving, throughput_gain)
+    return out
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_read_granularity(benchmark):
+    results = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    table = Table(
+        "Ablation: vector-grained vs page-grained reads",
+        ["page size", "EV size", "latency saving", "bulk throughput gain"],
+    )
+    for page_size in PAGE_SIZES:
+        for ev_size in EV_SIZES:
+            saving, gain = results[(page_size, ev_size)]
+            table.add_row(
+                f"{page_size // 1024}K", f"{ev_size}B",
+                f"{saving:.0%}", f"{gain:.2f}x",
+            )
+    table.print()
+
+    # Vector reads always help, and help more on bigger pages (the
+    # transfer share grows with page size).
+    for page_size in PAGE_SIZES:
+        for ev_size in EV_SIZES:
+            saving, gain = results[(page_size, ev_size)]
+            assert saving > 0
+            assert gain > 1.0
+    for ev_size in EV_SIZES:
+        savings = [results[(p, ev_size)][0] for p in PAGE_SIZES]
+        assert savings == sorted(savings), "saving grows with page size"
+    # Smaller vectors save more of the transfer.
+    for page_size in PAGE_SIZES:
+        s64 = results[(page_size, 64)][0]
+        s256 = results[(page_size, 256)][0]
+        assert s64 >= s256

@@ -1,0 +1,84 @@
+"""Ablation — striping across channels and dies.
+
+Section IV-B2 stripes embedding reads "over all flash channels and
+dies".  This ablation sweeps the array shape and measures the
+embedding-stage throughput ceiling it imposes on RM-SSD (RMC1), on
+both the analytic bandwidth model and the discrete-event simulator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import Table
+from repro.core.lookup_engine import effective_vector_bandwidth
+from repro.sim import Simulator
+from repro.ssd.flash import FlashArray
+from repro.ssd.geometry import SSDGeometry
+from repro.ssd.timing import SSDTimingModel
+
+SHAPES = ((1, 1), (2, 2), (4, 2), (4, 4), (8, 4))
+VECTORS = 640  # one RMC1 inference
+EV_SIZE = 128
+
+
+def _geometry(channels, dies):
+    return SSDGeometry(
+        channels=channels,
+        dies_per_channel=dies,
+        planes_per_die=2,
+        blocks_per_plane=128,
+        pages_per_block=64,
+    )
+
+
+def _measure():
+    timing = SSDTimingModel()
+    out = {}
+    for channels, dies in SHAPES:
+        geometry = _geometry(channels, dies)
+        bev = effective_vector_bandwidth(geometry, timing, EV_SIZE)
+        analytic_ns = timing.cycles_to_ns(VECTORS / bev)
+
+        sim = Simulator()
+        flash = FlashArray(sim, geometry, timing)
+        rng = np.random.default_rng(1)
+        pages = rng.integers(0, geometry.total_pages, size=VECTORS)
+        slots = geometry.page_size // EV_SIZE
+        cols = rng.integers(0, slots, size=VECTORS) * EV_SIZE
+        des_ns = flash.run_reads(
+            [(int(p), int(c), EV_SIZE) for p, c in zip(pages, cols)], vector=True
+        )
+        out[(channels, dies)] = (analytic_ns, des_ns)
+    return out
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_striping(benchmark):
+    results = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    table = Table(
+        f"Ablation: array shape vs time to read {VECTORS} x {EV_SIZE}B vectors",
+        ["channels x dies", "analytic", "DES", "QPS ceiling (RMC1)"],
+    )
+    for shape in SHAPES:
+        analytic_ns, des_ns = results[shape]
+        table.add_row(
+            f"{shape[0]} x {shape[1]}",
+            f"{analytic_ns / 1e3:.0f} us",
+            f"{des_ns / 1e3:.0f} us",
+            f"{1e9 / des_ns:.0f}",
+        )
+    table.print()
+
+    # More parallelism -> faster, monotonically (per the analytic model).
+    analytic = [results[s][0] for s in SHAPES]
+    assert analytic == sorted(analytic, reverse=True)
+    # DES agrees with the analytic model within striping losses.
+    for shape in SHAPES:
+        analytic_ns, des_ns = results[shape]
+        assert des_ns >= 0.95 * analytic_ns, shape
+        assert des_ns <= 2.5 * analytic_ns, shape
+    # The default 4x2 shape lands near the paper's RMC1 ceiling
+    # (~1-1.8 KQPS in Fig. 12a).
+    _, des_default = results[(4, 2)]
+    assert 500 < 1e9 / des_default < 2500

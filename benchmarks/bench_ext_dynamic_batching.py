@@ -1,0 +1,81 @@
+"""Extension — deadline-aware dynamic batching on RM-SSD.
+
+Sweeps the batching deadline for RMC3 (whose kernel pipeline rewards
+batching most: stage times are flat up to II=8 samples) under a
+Poisson query stream.  Short deadlines serve mostly singleton batches
+and leave the pipeline underfilled; long deadlines fill batches but
+tax p99 with queueing delay.  The sweet spot — high throughput at
+bounded tail — is the operating point a DeepRecSys-style scheduler
+hunts for.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import Table
+from repro.core.device import RMSSD
+from repro.host.batching import DynamicBatcher
+from repro.models import build_model, get_config
+
+QUERIES = 300
+#: Offered load as a fraction of the device's batched saturation QPS.
+LOAD_FRACTION = 0.6
+#: Deadlines comparable to the inter-arrival time (~0.6 ms at 60% load).
+WAITS_US = (0.0, 500.0, 2000.0, 5000.0)
+
+
+def _measure():
+    config = get_config("rmc3")
+    model = build_model(config, rows_per_table=512, seed=0)
+    device = RMSSD(model, config.lookups_per_table, use_des=False)
+    nbatch = device.supported_nbatch
+    saturation_qps = nbatch * 1e9 / device.mlp_engine.interval_ns(nbatch)
+    qps = LOAD_FRACTION * saturation_qps
+    rng = np.random.default_rng(4)
+    arrivals = np.cumsum(rng.exponential(1e9 / qps, size=QUERIES)).tolist()
+
+    out = {}
+    for wait_us in WAITS_US:
+        batcher = DynamicBatcher.from_engine(
+            device.mlp_engine, max_batch=nbatch, max_wait_ns=wait_us * 1e3
+        )
+        result = batcher.run(arrivals)
+        out[wait_us] = result
+    return out, saturation_qps
+
+
+@pytest.mark.benchmark(group="extension")
+def test_ext_dynamic_batching(benchmark):
+    results, saturation = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    table = Table(
+        f"Extension (RMC3): batching deadline sweep at "
+        f"{LOAD_FRACTION:.0%} of saturation ({saturation:.0f} QPS)",
+        ["max wait (us)", "mean batch", "achieved QPS", "p50 ms", "p99 ms"],
+    )
+    for wait_us, result in results.items():
+        table.add_row(
+            wait_us,
+            f"{result.mean_batch_size:.1f}",
+            f"{result.qps:.0f}",
+            f"{result.latency_percentile_ns(50) / 1e6:.2f}",
+            f"{result.latency_percentile_ns(99) / 1e6:.2f}",
+        )
+    table.print()
+
+    waits = sorted(results)
+    # Longer deadlines form bigger batches.
+    batch_sizes = [results[w].mean_batch_size for w in waits]
+    assert batch_sizes == sorted(batch_sizes)
+    # Under load, batching beats singleton service on tail latency:
+    # singleton batches can't keep up with the arrival rate, so their
+    # queueing delay explodes.
+    assert (
+        results[waits[-1]].latency_percentile_ns(99)
+        < results[0.0].latency_percentile_ns(99)
+    )
+    # The classic U-shape: an over-patient deadline taxes the tail
+    # again relative to the sweet spot.
+    p99 = {w: results[w].latency_percentile_ns(99) for w in waits}
+    sweet = min(w for w in waits if w > 0)
+    assert p99[waits[-1]] > p99[sweet]

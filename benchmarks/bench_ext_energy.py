@@ -1,0 +1,82 @@
+"""Extension — energy per inference.
+
+Quantifies the power argument of Section III-B3: the naive SSD path
+spends most of its energy moving redundant pages over the flash bus
+and PCIe and burning host-CPU static power while it waits; RM-SSD
+senses the same flash cells but moves two orders of magnitude fewer
+bytes and computes on a 2 W FPGA.
+"""
+
+import pytest
+
+from benchmarks.conftest import ROWS_PER_TABLE, make_requests
+from repro.analysis.energy import EnergyModel, naive_ssd_energy, rmssd_energy
+from repro.analysis.report import Table
+from repro.baselines import NaiveSSDBackend, RMSSDBackend
+from repro.models import build_model, get_config
+
+MODELS = ("rmc1", "rmc2", "rmc3")
+
+
+def _measure(models):
+    out = {}
+    for key in MODELS:
+        config, model = models[key]
+        requests = make_requests(config, batch_size=1, count=6)
+        macs = sum(r * c for r, c in model.fc_shapes_bottom()) + sum(
+            r * c for r, c in model.fc_shapes_top()
+        )
+        vectors = config.lookups_per_inference
+
+        ssd_backend = NaiveSSDBackend(model, 0.25)
+        ssd_result = ssd_backend.run(requests, compute=False)
+        miss_pages = (
+            ssd_backend.costs.readahead_pages
+            * ssd_backend.page_cache.misses
+            // ssd_result.requests
+        )
+        hit_bytes = 4096 * ssd_backend.page_cache.hits // ssd_result.requests
+        ssd_elapsed = ssd_result.total_ns / ssd_result.inferences / 1e9
+        ssd_energy = naive_ssd_energy(
+            macs, miss_pages, hit_bytes, config.ev_size, vectors, ssd_elapsed
+        )
+
+        rm_backend = RMSSDBackend(model, config.lookups_per_table, use_des=False)
+        rm_result = rm_backend.run(requests, compute=False)
+        rm_elapsed = rm_result.total_ns / rm_result.inferences / 1e9
+        rm_energy = rmssd_energy(
+            macs, vectors, config.ev_size, 96, rm_elapsed
+        )
+        out[key] = (ssd_energy, rm_energy)
+    return out
+
+
+@pytest.mark.benchmark(group="extension")
+def test_ext_energy_per_inference(benchmark, models):
+    results = benchmark.pedantic(_measure, args=(models,), rounds=1, iterations=1)
+
+    table = Table(
+        "Extension: energy per inference (uJ)",
+        ["model", "SSD-S total", "RM-SSD total", "saving",
+         "SSD-S link uJ", "RM-SSD link uJ"],
+    )
+    for key in MODELS:
+        ssd, rm = results[key]
+        table.add_row(
+            key.upper(),
+            f"{ssd.total_uj:.0f}",
+            f"{rm.total_uj:.0f}",
+            f"{ssd.total_nj / rm.total_nj:.1f}x",
+            f"{ssd.host_link_nj / 1e3:.0f}",
+            f"{rm.host_link_nj / 1e3:.0f}",
+        )
+    table.print()
+
+    for key in MODELS:
+        ssd, rm = results[key]
+        # RM-SSD saves energy overall...
+        assert rm.total_nj < ssd.total_nj, key
+        # ...dominated by the host-link traffic it eliminates.
+        assert rm.host_link_nj < 0.01 * ssd.host_link_nj, key
+        # The FPGA compute itself is cheap relative to data movement.
+        assert rm.compute_nj < rm.flash_nj, key

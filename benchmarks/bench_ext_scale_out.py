@@ -1,0 +1,80 @@
+"""Extension — scaling one model across multiple RM-SSDs.
+
+Shards RMC2 (the heaviest embedding workload: 32 tables x 120 lookups)
+across 1-4 devices.  Table sharding divides the embedding time but
+runs into the aggregator-MLP and gather floors; replication scales
+throughput linearly at N x the flash capacity.  The shape mirrors the
+scale-out literature the paper cites: embedding-dominated models are
+the ones that shard well.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import Table
+from repro.core.cluster import MODE_REPLICA, MODE_TABLE_SHARD, RMSSDCluster
+from repro.models import build_model, get_config
+
+ROWS = 1024
+DEVICES = (1, 2, 4)
+LOOKUPS = 16  # scaled from 120 to keep the DES fast
+
+
+def _qps(cluster, config, batch=4, seed=0):
+    rng = np.random.default_rng(seed)
+    sparse = [
+        [list(rng.integers(0, ROWS, size=LOOKUPS)) for _ in range(config.num_tables)]
+        for _ in range(batch)
+    ]
+    dense = rng.standard_normal((batch, config.dense_dim)).astype(np.float32)
+    _, timing = cluster.infer_batch(dense, sparse)
+    base = batch / (timing.interval_ns / 1e9)
+    if cluster.mode == MODE_REPLICA:
+        base *= cluster.num_devices
+    return base, timing
+
+
+def _measure():
+    config = get_config("rmc2")
+    model = build_model(config, rows_per_table=ROWS, seed=0)
+    out = {}
+    for devices in DEVICES:
+        for mode in (MODE_TABLE_SHARD, MODE_REPLICA):
+            cluster = RMSSDCluster(
+                model, lookups_per_table=LOOKUPS, num_devices=devices, mode=mode
+            )
+            qps, timing = _qps(cluster, config)
+            out[(mode, devices)] = (qps, timing.emb_ns, cluster.total_capacity_bytes)
+    return out
+
+
+@pytest.mark.benchmark(group="extension")
+def test_ext_scale_out(benchmark):
+    results = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    table = Table(
+        "Extension: RMC2 sharded across RM-SSDs",
+        ["mode", "devices", "QPS", "emb ms", "flash capacity"],
+    )
+    for mode in (MODE_TABLE_SHARD, MODE_REPLICA):
+        for devices in DEVICES:
+            qps, emb_ns, capacity = results[(mode, devices)]
+            table.add_row(
+                mode, devices, f"{qps:.0f}", f"{emb_ns / 1e6:.2f}",
+                f"{capacity / 1e6:.0f} MB",
+            )
+    table.print()
+
+    # Table sharding: embedding time falls with devices.
+    emb = [results[(MODE_TABLE_SHARD, d)][1] for d in DEVICES]
+    assert emb[1] < emb[0]
+    assert emb[2] < emb[1]
+    # Throughput improves with sharding (embedding-dominated model).
+    qps_shard = [results[(MODE_TABLE_SHARD, d)][0] for d in DEVICES]
+    assert qps_shard[2] > 1.5 * qps_shard[0]
+    # Replication: linear throughput, linear capacity cost.
+    qps_rep = [results[(MODE_REPLICA, d)][0] for d in DEVICES]
+    assert qps_rep[2] == pytest.approx(4 * qps_rep[0], rel=0.05)
+    cap_shard = results[(MODE_TABLE_SHARD, 4)][2]
+    cap_rep = results[(MODE_REPLICA, 4)][2]
+    assert cap_rep == 4 * cap_shard

@@ -1,0 +1,100 @@
+"""Fig. 2 — performance of naive SSD deployment.
+
+Regenerates (a)-(c): execution time of 1K (batched) inferences for
+SSD-S / SSD-M / DRAM at batch sizes 1, 32, 64 on RMC1-3, and (d)-(f):
+the execution-time breakdown.  Shape checks: SSD-S > SSD-M >> DRAM at
+every point, SSD-S/DRAM gap largest for RMC2 and smallest for RMC3,
+and the SSD deployments' time dominated by the embedding path.
+"""
+
+import pytest
+
+from benchmarks.conftest import make_requests, per_1k_seconds
+from repro.analysis.report import Table
+from repro.baselines import DRAMBackend, NaiveSSDBackend
+
+#: Paper values: seconds per 1K inferences (Fig. 2a-c).
+PAPER = {
+    ("rmc1", 1): {"SSD-S": 29.2, "SSD-M": 22.1, "DRAM": 1.4},
+    ("rmc2", 1): {"SSD-S": 135.4, "SSD-M": 108.5, "DRAM": 3.8},
+    ("rmc3", 1): {"SSD-S": 9.9, "SSD-M": 7.7, "DRAM": 2.7},
+    ("rmc1", 32): {"SSD-S": 841.4, "SSD-M": 633.9, "DRAM": 1.8},
+    ("rmc1", 64): {"SSD-S": 1687.1, "SSD-M": 1281.7, "DRAM": 2.2},
+}
+
+BATCHES = (1, 32, 64)
+
+
+def _measure(models):
+    rows = {}
+    for key in ("rmc1", "rmc2", "rmc3"):
+        config, model = models[key]
+        for batch in BATCHES:
+            count = 6 if batch == 1 else 2
+            requests = make_requests(config, batch, count=count)
+            for backend in (
+                NaiveSSDBackend(model, 0.25),
+                NaiveSSDBackend(model, 0.5),
+                DRAMBackend(model),
+            ):
+                result = backend.run(requests, compute=False)
+                rows[(key, batch, backend.name)] = result
+    return rows
+
+
+@pytest.mark.benchmark(group="fig02")
+def test_fig02_naive_ssd_deployment(benchmark, models):
+    rows = benchmark.pedantic(_measure, args=(models,), rounds=1, iterations=1)
+
+    table = Table(
+        "Fig. 2(a-c): execution time of 1K inferences (s) [paper in brackets]",
+        ["model", "batch", "SSD-S", "SSD-M", "DRAM"],
+    )
+    for key in ("rmc1", "rmc2", "rmc3"):
+        for batch in BATCHES:
+            cells = []
+            for system in ("SSD-S", "SSD-M", "DRAM"):
+                seconds = per_1k_seconds(rows[(key, batch, system)])
+                paper = PAPER.get((key, batch), {}).get(system)
+                note = f" [{paper}]" if paper is not None else ""
+                cells.append(f"{seconds:.1f}{note}")
+            table.add_row(key.upper(), batch, *cells)
+    table.print()
+
+    breakdown = Table(
+        "Fig. 2(d-f): SSD-S time breakdown at batch 1 (%)",
+        ["model", "emb-ssd", "emb-fs", "emb-op", "bot-mlp", "top-mlp", "concat"],
+    )
+    for key in ("rmc1", "rmc2", "rmc3"):
+        fractions = rows[(key, 1, "SSD-S")].breakdown_fractions()
+        breakdown.add_row(
+            key.upper(),
+            *(
+                f"{fractions.get(c, 0.0):.0%}"
+                for c in ("emb-ssd", "emb-fs", "emb-op", "bot-mlp", "top-mlp", "concat")
+            ),
+        )
+    breakdown.print()
+
+    # Shape assertions.
+    for key in ("rmc1", "rmc2", "rmc3"):
+        for batch in BATCHES:
+            ssd_s = per_1k_seconds(rows[(key, batch, "SSD-S")])
+            ssd_m = per_1k_seconds(rows[(key, batch, "SSD-M")])
+            dram = per_1k_seconds(rows[(key, batch, "DRAM")])
+            assert ssd_s > ssd_m > dram, (key, batch)
+            assert ssd_s > 3 * dram, (key, batch)
+    # Degradation largest for RMC2, smallest for RMC3 (Section III-B1).
+    gap = {
+        key: per_1k_seconds(rows[(key, 1, "SSD-S")])
+        / per_1k_seconds(rows[(key, 1, "DRAM")])
+        for key in ("rmc1", "rmc2", "rmc3")
+    }
+    assert gap["rmc2"] > gap["rmc1"] > gap["rmc3"]
+    # The MLP share is largest for MLP-dominated RMC3.
+    mlp_share = {
+        key: rows[(key, 1, "SSD-S")].mlp_ns / rows[(key, 1, "SSD-S")].total_ns
+        for key in ("rmc1", "rmc2", "rmc3")
+    }
+    assert mlp_share["rmc3"] > mlp_share["rmc1"]
+    assert mlp_share["rmc3"] > mlp_share["rmc2"]

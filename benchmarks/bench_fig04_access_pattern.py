@@ -1,0 +1,72 @@
+"""Fig. 4 — embedding vector access pattern.
+
+Regenerates the occurrence histogram and its two headline statistics
+for the synthetic Criteo-like trace: the fraction of distinct indices
+accessed exactly once (paper: 84.74%) and the share of lookups going
+to the hottest indices (paper: top-10K indices take 59.2%).
+
+Scale note: the trace is generated over the scaled-down index space,
+so the hot-set share is measured at the equivalent scaled k.
+"""
+
+import pytest
+
+from repro.analysis.report import Table
+from repro.workloads import TraceGenerator, TraceStatistics
+
+PAPER_UNIQUE_FRACTION = 0.8474
+PAPER_TOP10K_SHARE = 0.592
+
+#: Generator sized for statistics (bigger space than the perf benches).
+ROWS = 400_000
+INFERENCES = 600
+
+
+def _measure():
+    gen = TraceGenerator(
+        num_tables=1,
+        rows_per_table=ROWS,
+        lookups_per_table=80,
+        hot_access_fraction=0.59,  # the paper's top-10K share
+        seed=7,
+    )
+    flat = gen.flat_indices(gen.generate(INFERENCES))
+    stats = TraceStatistics.from_indices(flat)
+    return gen, stats
+
+
+@pytest.mark.benchmark(group="fig04")
+def test_fig04_access_pattern(benchmark):
+    gen, stats = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    table = Table(
+        "Fig. 4: trace statistics [paper in brackets]",
+        ["metric", "measured", "paper"],
+    )
+    unique = stats.unique_access_fraction()
+    hot_share = stats.top_k_share(gen.hot_set_size)
+    table.add_row("total lookups", stats.total_lookups, "45,840,617")
+    table.add_row("distinct indices", stats.total_indices, "10,131,227")
+    table.add_row("accessed-once fraction", f"{unique:.2%}", f"{PAPER_UNIQUE_FRACTION:.2%}")
+    table.add_row(
+        f"top-{gen.hot_set_size} share", f"{hot_share:.2%}", f"{PAPER_TOP10K_SHARE:.2%}"
+    )
+    table.print()
+
+    occurrence = Table(
+        "Fig. 4 (right table): occurrence -> #indices (head)",
+        ["occurrence", "#indices"],
+    )
+    for occ, count in list(stats.occurrence_table(10).items())[:6]:
+        occurrence.add_row(occ, count)
+    occurrence.print()
+
+    # Shape checks: cold tail dominated by once-accessed indices; hot
+    # head owns the majority of lookups.
+    assert unique > 0.60
+    assert hot_share == pytest.approx(PAPER_TOP10K_SHARE, abs=0.08)
+    # Occurrence histogram is heavy-tailed: #indices falls steeply over
+    # the first occurrence counts (Fig. 4's right table).
+    head = stats.occurrence_table(3)
+    assert head.get(1, 0) > 10 * head.get(2, 1)
+    assert head.get(2, 0) >= head.get(3, 0)

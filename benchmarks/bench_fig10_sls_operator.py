@@ -1,0 +1,101 @@
+"""Fig. 10 — SLS operator performance across implementations.
+
+(a) Standalone SparseLengthSum time for SSD-S / EMB-MMIO / EMB-PageSum
+    / EMB-VectorSum / DRAM on RMC1 (80 lookups/table).
+(b) Sensitivity of EMB-VectorSum to the number of lookups per table:
+    execution time grows linearly.
+"""
+
+import pytest
+
+from benchmarks.conftest import ROWS_PER_TABLE, make_requests, per_1k_seconds
+from repro.analysis.report import Table
+from repro.baselines import (
+    DRAMBackend,
+    EMBMMIOBackend,
+    EMBPageSumBackend,
+    EMBVectorSumBackend,
+    NaiveSSDBackend,
+)
+from repro.workloads.inputs import RequestGenerator
+
+#: Paper values (Fig. 10a, RMC1, seconds of SLS per 1K inferences).
+PAPER_A = {
+    "SSD-S": 23.5,
+    "EMB-MMIO": 4.0,
+    "EMB-PageSum": 2.2,
+    "EMB-VectorSum": 1.4,
+    "DRAM": 1.0,
+}
+
+LOOKUP_SWEEP = (10, 20, 40, 80, 120)
+
+
+def _measure_a(models):
+    config, model = models["rmc1"]
+    requests = make_requests(config, batch_size=1, count=6)
+    times = {}
+    for backend in (
+        NaiveSSDBackend(model, 0.25),
+        EMBMMIOBackend(model),
+        EMBPageSumBackend(model),
+        EMBVectorSumBackend(model),
+        DRAMBackend(model),
+    ):
+        result = backend.run(requests, compute=False)
+        # Standalone SLS = the embedding components only.
+        times[backend.name] = result.embedding_ns / result.requests * 1000 / 1e9
+    return times
+
+
+def _measure_b(models):
+    config, model = models["rmc1"]
+    times = {}
+    for lookups in LOOKUP_SWEEP:
+        gen = RequestGenerator(config, ROWS_PER_TABLE, seed=2)
+        gen.trace.lookups_per_table = lookups
+        requests = gen.requests(4, batch_size=1)
+        backend = EMBVectorSumBackend(model)
+        result = backend.run(requests, compute=False)
+        times[lookups] = result.embedding_ns / result.requests * 1000 / 1e9
+    return times
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10a_sls_implementations(benchmark, models):
+    times = benchmark.pedantic(_measure_a, args=(models,), rounds=1, iterations=1)
+
+    table = Table(
+        "Fig. 10(a): standalone SLS, RMC1, s per 1K inferences "
+        "[paper in brackets]",
+        ["system", "measured", "paper"],
+    )
+    for name in ("SSD-S", "EMB-MMIO", "EMB-PageSum", "EMB-VectorSum", "DRAM"):
+        table.add_row(name, f"{times[name]:.2f}", PAPER_A[name])
+    table.print()
+
+    # The ladder ordering of Section VI-B.
+    assert times["SSD-S"] > times["EMB-MMIO"]
+    assert times["EMB-MMIO"] > times["EMB-PageSum"]
+    assert times["EMB-PageSum"] > times["EMB-VectorSum"]
+    # "EMB-VectorSum outperforms the baseline SSD-S by 16x" — an order
+    # of magnitude.
+    assert times["SSD-S"] / times["EMB-VectorSum"] > 8
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10b_lookup_sensitivity(benchmark, models):
+    times = benchmark.pedantic(_measure_b, args=(models,), rounds=1, iterations=1)
+
+    table = Table(
+        "Fig. 10(b): EMB-VectorSum vs lookups per table (s per 1K)",
+        ["lookups", "seconds"],
+    )
+    for lookups in LOOKUP_SWEEP:
+        table.add_row(lookups, f"{times[lookups]:.2f}")
+    table.print()
+
+    # Linear scaling: doubling lookups doubles time (within 15%).
+    assert times[20] == pytest.approx(2 * times[10], rel=0.15)
+    assert times[40] == pytest.approx(2 * times[20], rel=0.15)
+    assert times[80] == pytest.approx(2 * times[40], rel=0.15)

@@ -1,0 +1,87 @@
+"""Fig. 11 — end-to-end performance of SSD-based recommendation systems.
+
+SSD-S / EMB-MMIO / EMB-PageSum / EMB-VectorSum / DRAM on RMC1-3 with
+the emb/mlp/others breakdown.  Key shapes: EMB-VectorSum delivers an
+order-of-magnitude speedup over SSD-S everywhere, DRAM stays ahead on
+the embedding-dominated models, and EMB-VectorSum overtakes DRAM on
+MLP-dominated RMC3 where the host MLP becomes the shared bottleneck.
+"""
+
+import pytest
+
+from benchmarks.conftest import make_requests, per_1k_seconds
+from repro.analysis.report import Table
+from repro.baselines import (
+    DRAMBackend,
+    EMBMMIOBackend,
+    EMBPageSumBackend,
+    EMBVectorSumBackend,
+    NaiveSSDBackend,
+)
+
+#: Paper values (Fig. 11, seconds per 1K inferences).
+PAPER = {
+    "rmc1": {"SSD-S": 23.5, "EMB-MMIO": 4.0, "EMB-PageSum": 2.2,
+             "EMB-VectorSum": 1.9, "DRAM": 1.4},
+    "rmc2": {"SSD-S": 135.4, "EMB-MMIO": 81.4, "EMB-PageSum": 18.5,
+             "EMB-VectorSum": 7.9, "DRAM": 3.8},
+    "rmc3": {"SSD-S": 9.9, "EMB-MMIO": 5.9, "EMB-PageSum": 2.7,
+             "EMB-VectorSum": 1.6, "DRAM": 2.2},
+}
+
+SYSTEMS = ("SSD-S", "EMB-MMIO", "EMB-PageSum", "EMB-VectorSum", "DRAM")
+
+
+def _measure(models):
+    results = {}
+    for key in ("rmc1", "rmc2", "rmc3"):
+        config, model = models[key]
+        requests = make_requests(config, batch_size=1, count=6)
+        for backend in (
+            NaiveSSDBackend(model, 0.25),
+            EMBMMIOBackend(model),
+            EMBPageSumBackend(model),
+            EMBVectorSumBackend(model),
+            DRAMBackend(model),
+        ):
+            results[(key, backend.name)] = backend.run(requests, compute=False)
+    return results
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_end_to_end(benchmark, models):
+    results = benchmark.pedantic(_measure, args=(models,), rounds=1, iterations=1)
+
+    table = Table(
+        "Fig. 11: end-to-end s per 1K inferences, emb%/mlp% breakdown "
+        "[paper in brackets]",
+        ["model", *SYSTEMS],
+    )
+    for key in ("rmc1", "rmc2", "rmc3"):
+        cells = []
+        for system in SYSTEMS:
+            result = results[(key, system)]
+            seconds = per_1k_seconds(result)
+            emb = result.embedding_ns / result.total_ns
+            cells.append(f"{seconds:.1f} (e{emb:.0%}) [{PAPER[key][system]}]")
+        table.add_row(key.upper(), *cells)
+    table.print()
+
+    for key in ("rmc1", "rmc2", "rmc3"):
+        t = {s: per_1k_seconds(results[(key, s)]) for s in SYSTEMS}
+        # The in-storage ladder holds end to end.
+        assert t["SSD-S"] > t["EMB-MMIO"] > t["EMB-PageSum"] > t["EMB-VectorSum"]
+        # "Compared to SSD-S, EMB-VectorSum achieves up to 17x speedup".
+        assert t["SSD-S"] / t["EMB-VectorSum"] > 5
+    # "It even outperforms the ideal DRAM-only performance in RMC3".
+    assert per_1k_seconds(results[("rmc3", "EMB-VectorSum")]) < per_1k_seconds(
+        results[("rmc3", "DRAM")]
+    )
+    # ...but not on the embedding-dominated models.
+    assert per_1k_seconds(results[("rmc1", "DRAM")]) < per_1k_seconds(
+        results[("rmc1", "EMB-VectorSum")]
+    )
+    # In RMC3, the MLP dominates EMB-VectorSum's remaining time
+    # (Section VI-B: "the MLP layers have become the bottleneck").
+    vector_rmc3 = results[("rmc3", "EMB-VectorSum")]
+    assert vector_rmc3.mlp_ns > vector_rmc3.embedding_ns

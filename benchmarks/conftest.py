@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``bench_*`` module regenerates one figure or table of the paper.
+Models are cached per session (building RMC3's 12 MB of MLP weights and
+the scaled-down embedding tables dominates setup time otherwise).
+
+Scale note: embedding tables are materialized at ``ROWS_PER_TABLE``
+rows instead of the paper's 30 GB (DESIGN.md records the substitution);
+request counts are scaled down and reported per-1K-inference.
+"""
+
+import pytest
+
+from repro.models import build_model, get_config
+from repro.workloads.inputs import RequestGenerator
+
+#: Scaled-down table height used across the harness.
+ROWS_PER_TABLE = 8192
+#: Requests simulated per measurement (scaled from the paper's 1K).
+REQUESTS = 8
+
+
+@pytest.fixture(scope="session")
+def models():
+    """All evaluated models, built once."""
+    cache = {}
+    for key in ("rmc1", "rmc2", "rmc3", "ncf", "wnd"):
+        config = get_config(key)
+        cache[key] = (config, build_model(config, rows_per_table=ROWS_PER_TABLE, seed=0))
+    return cache
+
+
+@pytest.fixture(scope="session")
+def request_streams(models):
+    """Batch-1 request streams per model at the default 65% locality."""
+    streams = {}
+    for key, (config, _model) in models.items():
+        gen = RequestGenerator(config, ROWS_PER_TABLE, seed=1)
+        streams[key] = gen.requests(REQUESTS, batch_size=1)
+    return streams
+
+
+def make_requests(config, batch_size, count=REQUESTS, hot=0.65, seed=1):
+    gen = RequestGenerator(config, ROWS_PER_TABLE, hot_access_fraction=hot, seed=seed)
+    return gen.requests(count, batch_size=batch_size)
+
+
+def per_1k_seconds(result):
+    """Scale a RunResult to the paper's 1K-request metric."""
+    return result.total_ns / result.requests * 1000 / 1e9

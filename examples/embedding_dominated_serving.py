@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Serving an embedding-dominated model: the in-storage ladder.
+
+Walks RMC1 (8 tables x 80 lookups: the workload class where naive SSD
+deployment collapses) through every serving option the paper
+evaluates, from fileIO to the full RM-SSD, printing time, throughput,
+read amplification, and host traffic for each — the story of
+Figs. 2, 3, 10, 11 in one run.
+
+Run:  python examples/embedding_dominated_serving.py
+"""
+
+from repro.analysis.report import Table, format_si
+from repro.baselines import (
+    DRAMBackend,
+    EMBMMIOBackend,
+    EMBPageSumBackend,
+    EMBVectorSumBackend,
+    NaiveSSDBackend,
+    RMSSDBackend,
+    RecSSDBackend,
+)
+from repro.models import build_model, get_config
+from repro.workloads.inputs import RequestGenerator
+
+ROWS_PER_TABLE = 8192
+REQUESTS = 8
+
+
+def main() -> None:
+    config = get_config("rmc1")
+    model = build_model(config, rows_per_table=ROWS_PER_TABLE, seed=0)
+    generator = RequestGenerator(config, ROWS_PER_TABLE, seed=1)
+    requests = generator.requests(REQUESTS, batch_size=1)
+    print(
+        f"RMC1: {config.num_tables} tables x {config.lookups_per_table} "
+        f"lookups = {config.lookups_per_inference} embedding reads per inference"
+    )
+
+    backends = [
+        NaiveSSDBackend(model, 0.25),  # SSD-S
+        NaiveSSDBackend(model, 0.5),  # SSD-M
+        EMBMMIOBackend(model),
+        EMBPageSumBackend(model),
+        EMBVectorSumBackend(model),
+        RecSSDBackend(model),
+        RMSSDBackend(model, config.lookups_per_table),
+        DRAMBackend(model),
+    ]
+
+    table = Table(
+        "RMC1 serving options (batch 1)",
+        ["system", "ms/inference", "QPS", "emb share", "read amp", "host B/inf"],
+    )
+    results = {}
+    for backend in backends:
+        result = backend.run(requests, compute=False)
+        results[backend.name] = result
+        per_inference_ms = result.total_ns / result.inferences / 1e6
+        emb_share = (
+            result.embedding_ns / sum(result.breakdown.values())
+            if result.breakdown
+            else 0.0
+        )
+        table.add_row(
+            backend.name,
+            f"{per_inference_ms:.2f}",
+            f"{result.qps:.0f}",
+            f"{emb_share:.0%}",
+            f"{result.stats.read_amplification:.1f}",
+            format_si(result.stats.host_read_bytes / result.requests),
+        )
+    table.print()
+
+    ssd_s = results["SSD-S"]
+    rmssd = results["RM-SSD"]
+    print(
+        f"RM-SSD speedup over the naive SSD deployment: "
+        f"{rmssd.qps / ssd_s.qps:.0f}x"
+    )
+    print(
+        f"Host read traffic cut: {ssd_s.stats.host_read_bytes} B -> "
+        f"{rmssd.stats.host_read_bytes} B "
+        f"({rmssd.stats.reduction_factor_vs(ssd_s.stats):.0f}x reduction)"
+    )
+
+
+if __name__ == "__main__":
+    main()

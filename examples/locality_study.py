@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Locality study: why a host-side embedding cache is fragile.
+
+Reproduces the Fig. 14 experiment interactively: sweeps the trace
+locality parameter K (hit ratios 80% -> 30%), measures what an
+LRU cache actually achieves on each trace, and compares RecSSD (whose
+critical path includes that cache) against RM-SSD (whose does not).
+Also prints the Fig. 4-style trace statistics at each K.
+
+Run:  python examples/locality_study.py
+"""
+
+from repro.analysis.report import Table
+from repro.baselines import RMSSDBackend, RecSSDBackend
+from repro.models import build_model, get_config
+from repro.workloads import (
+    TraceStatistics,
+    hit_ratio_for_k,
+    measured_cache_hit_ratio,
+)
+from repro.workloads.inputs import RequestGenerator
+
+ROWS_PER_TABLE = 8192
+KS = (0.0, 0.3, 1.0, 2.0)
+
+
+def main() -> None:
+    config = get_config("rmc1")
+    model = build_model(config, rows_per_table=ROWS_PER_TABLE, seed=0)
+
+    table = Table(
+        "Fig. 14 study (RMC1): locality vs throughput",
+        ["K", "target hit", "LRU hit", "unique-once", "RecSSD QPS",
+         "RM-SSD QPS", "RM-SSD adv."],
+    )
+    for k in KS:
+        hit = hit_ratio_for_k(k)
+        generator = RequestGenerator(
+            config, ROWS_PER_TABLE, hot_access_fraction=hit, seed=3
+        )
+        requests = generator.requests(5, batch_size=4)
+
+        # Trace characterization (Fig. 4 statistics).
+        flat = generator.trace.flat_indices([r.sparse[0] for r in requests])
+        stats = TraceStatistics.from_indices(flat)
+        measured = measured_cache_hit_ratio(
+            flat, capacity_entries=8 * generator.trace.hot_set_size
+        )
+
+        recssd = RecSSDBackend(model).run(requests, compute=False)
+        rmssd = RMSSDBackend(
+            model, config.lookups_per_table, use_des=False
+        ).run(requests, compute=False)
+        table.add_row(
+            k,
+            f"{hit:.0%}",
+            f"{measured:.0%}",
+            f"{stats.unique_access_fraction():.0%}",
+            f"{recssd.qps:.0f}",
+            f"{rmssd.qps:.0f}",
+            f"{rmssd.qps / recssd.qps:.2f}x",
+        )
+    table.print()
+    print(
+        "RecSSD's throughput tracks the cache hit ratio; RM-SSD's data\n"
+        "path has no cache to miss, so its throughput is flat — and its\n"
+        "advantage widens exactly when caching stops helping."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Serving MLP-dominated models: batching and the Fig. 12c crossover.
+
+RMC3 (and NCF/WnD) spend most of their time in the MLP, not the
+embedding lookups.  This example shows how RM-SSD's Rule Three turns
+batching into throughput — the pipeline is MLP-bound at batch 1 and
+converts to embedding-bound at the crossover batch — and compares the
+optimized engine against the naive shared-GEMM design.
+
+Run:  python examples/mlp_dominated_serving.py
+"""
+
+from repro.analysis.report import Table
+from repro.baselines import RMSSDBackend
+from repro.models import build_model, get_config
+from repro.workloads.inputs import RequestGenerator
+
+ROWS_PER_TABLE = 4096
+BATCHES = (1, 2, 4, 8, 16, 32)
+
+
+def sweep(key: str) -> None:
+    config = get_config(key)
+    model = build_model(config, rows_per_table=ROWS_PER_TABLE, seed=0)
+    generator = RequestGenerator(config, ROWS_PER_TABLE, seed=1)
+
+    optimized = RMSSDBackend(model, config.lookups_per_table, use_des=False)
+    naive = RMSSDBackend(
+        model, config.lookups_per_table, mlp_design="naive", use_des=False
+    )
+    print(f"\n=== {config.name} ===")
+    print(f"kernel search: {optimized.device.search.summary()}")
+
+    table = Table(
+        f"{config.name}: QPS vs batch size",
+        ["batch", "RM-SSD", "RM-SSD-Naive", "bound by"],
+    )
+    for batch in BATCHES:
+        requests = generator.requests(3, batch_size=batch)
+        result = optimized.run(requests, compute=False)
+        result_naive = naive.run(requests, compute=False)
+        # What bounds the optimized pipeline at this batch?
+        stages = optimized.device.mlp_engine.stage_times_for(
+            min(batch, optimized.device.supported_nbatch)
+        )
+        if stages.interval == stages.temb:
+            bound = "embedding"
+        elif stages.interval == stages.tbot:
+            bound = "bottom MLP"
+        else:
+            bound = "top MLP"
+        table.add_row(
+            batch, f"{result.qps:.0f}", f"{result_naive.qps:.0f}", bound
+        )
+    table.print()
+
+
+def main() -> None:
+    for key in ("rmc3", "ncf", "wnd"):
+        sweep(key)
+    print(
+        "Note how RMC3 grows linearly until the embedding stage takes over\n"
+        "(the paper's batch-4 crossover), while the naive design stays\n"
+        "MLP-bound and caps early."
+    )
+
+
+if __name__ == "__main__":
+    main()

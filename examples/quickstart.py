@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Quickstart: serve DLRM inference from a simulated RM-SSD.
+
+Builds Facebook's DLRM-RMC1 configuration at a scaled-down embedding
+capacity, lays the tables out on the simulated flash array, runs
+batched inference through the in-storage pipeline, and checks the
+outputs bit-for-bit against the host reference.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.baselines import DRAMBackend
+from repro.core import RMRuntime, RMSSD
+from repro.models import build_model, get_config
+from repro.workloads.inputs import RequestGenerator
+
+ROWS_PER_TABLE = 4096  # scaled from the paper's 30 GB; see DESIGN.md
+
+
+def main() -> None:
+    # 1. Build the model (Table III's RMC1: 8 tables, dim 32, 80
+    #    lookups per table, small bottom/top MLPs).
+    config = get_config("rmc1")
+    model = build_model(config, rows_per_table=ROWS_PER_TABLE, seed=42)
+    print(f"model: {model}")
+    print(f"embedding capacity: {model.tables.total_bytes / 1e6:.1f} MB "
+          f"(paper: 30 GB)")
+
+    # 2. Assemble the device: flash array + FTL + embedding layout +
+    #    Embedding Lookup Engine + kernel-searched MLP engine.
+    device = RMSSD(model, lookups_per_table=config.lookups_per_table)
+    print(f"kernel search: {device.search.summary()}")
+    print(f"device batch (Rule Three): {device.supported_nbatch}")
+
+    # 3. Open the tables through the host runtime (the paper's
+    #    RM_create_table / RM_open_table path).
+    runtime = RMRuntime(device, user="quickstart")
+    for table_id in range(config.num_tables):
+        runtime.rm_create_table(table_id)
+    fds = [runtime.rm_open_table(t) for t in range(config.num_tables)]
+
+    # 4. Serve a batch of requests.
+    generator = RequestGenerator(config, ROWS_PER_TABLE, seed=7)
+    request = generator.request(batch_size=16)
+    outputs, result = runtime.rm_infer(fds, request.dense, request.sparse)
+
+    print(f"\nserved {result.inferences} inferences "
+          f"in {result.total_ns / 1e6:.2f} ms simulated time")
+    print(f"throughput: {result.qps:.0f} QPS")
+    print(f"mean batch latency: {result.mean_latency_ns / 1e6:.2f} ms")
+    print(f"CTR predictions (first 5): {outputs[:5].ravel()}")
+
+    # 5. Verify against the host reference implementation.
+    reference = DRAMBackend(model).compute_outputs(request)
+    np.testing.assert_allclose(outputs, reference, rtol=1e-5, atol=1e-6)
+    print("\nOK: in-storage outputs match the host reference.")
+
+
+if __name__ == "__main__":
+    main()

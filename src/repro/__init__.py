@@ -1,0 +1,25 @@
+"""repro — a full-system reproduction of RM-SSD (HPCA 2022).
+
+RM-SSD offloads an entire deep-learning recommendation system into an
+SSD with an FPGA-based in-storage computing engine.  This package
+rebuilds the whole stack in simulation:
+
+* :mod:`repro.sim` — discrete-event simulation kernel
+* :mod:`repro.ssd` — flash array, FTL, controllers, Table II timing
+* :mod:`repro.embedding` — tables, on-SSD layout, EV translation, SLS
+* :mod:`repro.models` — DLRM (RMC1/2/3), NCF, Wide&Deep in NumPy
+* :mod:`repro.fpga` — kernel model, decomposition/composition, kernel
+  search, resource model
+* :mod:`repro.core` — the assembled RM-SSD device and host interfaces
+* :mod:`repro.baselines` — every comparator system of the evaluation
+* :mod:`repro.workloads` — synthetic Criteo-like traces and statistics
+* :mod:`repro.host` — calibrated host cost model and pipelining
+* :mod:`repro.analysis` — metrics and report rendering
+
+Typical entry points: :func:`repro.models.build_model`,
+:class:`repro.core.RMSSD`, :class:`repro.core.RMRuntime`, and the
+backends in :mod:`repro.baselines`.
+"""
+
+__version__ = "1.0.0"
+__all__ = ["__version__"]

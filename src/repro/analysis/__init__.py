@@ -1,0 +1,13 @@
+"""Reporting helpers used by the benchmark harness."""
+
+from repro.analysis.metrics import geometric_mean, speedup, throughput_qps
+from repro.analysis.report import Table, format_seconds, format_si
+
+__all__ = [
+    "Table",
+    "format_seconds",
+    "format_si",
+    "geometric_mean",
+    "speedup",
+    "throughput_qps",
+]

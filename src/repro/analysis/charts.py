@@ -1,0 +1,101 @@
+"""ASCII chart rendering.
+
+The benchmark harness reproduces *figures*; tables carry the numbers,
+but a bar or line view makes the shape comparison with the paper's
+plots immediate in a terminal.  Pure-text, no plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+BAR_FILL = "#"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+    log: bool = False,
+) -> str:
+    """Horizontal bar chart; optionally log-scaled bar lengths."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values length mismatch")
+    if not labels:
+        raise ValueError("empty chart")
+    if any(v < 0 for v in values):
+        raise ValueError("bar values must be non-negative")
+    import math
+
+    def scale(v: float) -> float:
+        if not log:
+            return v
+        return math.log10(1.0 + v)
+
+    peak = max(scale(v) for v in values) or 1.0
+    label_width = max(len(l) for l in labels)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    for label, value in zip(labels, values):
+        bar = BAR_FILL * max(1 if value > 0 else 0, round(scale(value) / peak * width))
+        lines.append(f"{label.ljust(label_width)} |{bar} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    series: Dict[str, Sequence[float]],
+    x_labels: Sequence[str],
+    height: int = 12,
+    title: str = "",
+    log: bool = False,
+) -> str:
+    """Multi-series character plot (one glyph per series).
+
+    X positions are the given categories (evenly spaced); Y is scaled
+    to the global max (optionally log10).
+    """
+    if not series:
+        raise ValueError("no series")
+    lengths = {len(v) for v in series.values()}
+    if lengths != {len(x_labels)}:
+        raise ValueError("every series must match the x axis length")
+    import math
+
+    def scale(v: float) -> float:
+        if not log:
+            return v
+        return math.log10(1.0 + max(v, 0.0))
+
+    glyphs = "ox*+sd^v"
+    all_values = [scale(v) for vs in series.values() for v in vs]
+    peak = max(all_values) or 1.0
+    floor = min(all_values) if log else 0.0
+    span = (peak - floor) or 1.0
+
+    columns = len(x_labels)
+    col_width = max(6, max(len(x) for x in x_labels) + 2)
+    grid = [[" "] * (columns * col_width) for _ in range(height)]
+    for series_index, (name, values) in enumerate(series.items()):
+        glyph = glyphs[series_index % len(glyphs)]
+        for i, value in enumerate(values):
+            row = height - 1 - round((scale(value) - floor) / span * (height - 1))
+            col = i * col_width + col_width // 2
+            grid[row][col] = glyph
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * (columns * col_width))
+    axis = "".join(x.center(col_width) for x in x_labels)
+    lines.append(" " + axis)
+    legend = "   ".join(
+        f"{glyphs[i % len(glyphs)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(f"  [{legend}]" + ("  (log y)" if log else ""))
+    return "\n".join(lines)

@@ -1,0 +1,125 @@
+"""Energy model (extension).
+
+The paper motivates its resource frugality with power: "high power
+consumption often leads to high temperature, which could be detrimental
+to SSD lifetime" (Section III-B3) — but reports no energy numbers.
+This extension attaches a simple per-operation energy model so the
+power argument can be quantified: data movement dominates, so avoiding
+host transfers and whole-page reads saves most of the energy.
+
+Per-operation constants are drawn from commonly cited figures
+(Horowitz ISSCC'14-era CMOS numbers, NAND datasheets, PCIe PHY
+budgets); like the host cost model, they live in one documented place
+and feed relative comparisons, not absolute claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-operation energy costs, in nanojoules."""
+
+    #: NAND page read (sense + flush), per 4 KB page.
+    flash_page_read_nj: float = 6_000.0
+    #: Channel-bus transfer, per byte.
+    flash_bus_nj_per_byte: float = 0.3
+    #: PCIe host link, per byte (PHY + SerDes + DMA).
+    pcie_nj_per_byte: float = 5.0
+    #: Host DRAM access, per byte.
+    dram_nj_per_byte: float = 0.6
+    #: CPU fp32 op (FLOP, including pipeline overheads).
+    cpu_flop_nj: float = 0.5
+    #: FPGA fp32 MAC at 200 MHz (two ops).
+    fpga_mac_nj: float = 0.02
+    #: Static controller/FPGA power while active, watts.
+    fpga_static_w: float = 2.0
+    #: Static host CPU power attributable to the serving thread, watts.
+    cpu_static_w: float = 15.0
+
+    # ------------------------------------------------------------------
+    def flash_read_energy_nj(self, pages: int, bus_bytes: int) -> float:
+        """Flash sensing plus channel transfer energy."""
+        return pages * self.flash_page_read_nj + bus_bytes * self.flash_bus_nj_per_byte
+
+    def vector_read_energy_nj(self, vectors: int, ev_size: int) -> float:
+        """Vector-grained reads still sense a whole page per vector but
+        only move ``ev_size`` over the bus."""
+        return self.flash_read_energy_nj(vectors, vectors * ev_size)
+
+    def host_transfer_energy_nj(self, nbytes: int) -> float:
+        return nbytes * self.pcie_nj_per_byte
+
+    def cpu_compute_energy_nj(self, flops: float, elapsed_s: float = 0.0) -> float:
+        return flops * self.cpu_flop_nj + self.cpu_static_w * elapsed_s * 1e9
+
+    def fpga_compute_energy_nj(self, macs: float, elapsed_s: float = 0.0) -> float:
+        return macs * self.fpga_mac_nj + self.fpga_static_w * elapsed_s * 1e9
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy per inference, by component (nanojoules)."""
+
+    flash_nj: float
+    host_link_nj: float
+    compute_nj: float
+    static_nj: float
+
+    @property
+    def total_nj(self) -> float:
+        return self.flash_nj + self.host_link_nj + self.compute_nj + self.static_nj
+
+    @property
+    def total_uj(self) -> float:
+        return self.total_nj / 1e3
+
+    def as_dict(self) -> dict:
+        return {
+            "flash": self.flash_nj,
+            "host_link": self.host_link_nj,
+            "compute": self.compute_nj,
+            "static": self.static_nj,
+            "total": self.total_nj,
+        }
+
+
+def rmssd_energy(
+    model_macs: int,
+    vectors: int,
+    ev_size: int,
+    result_bytes: int,
+    elapsed_s: float,
+    energy: EnergyModel = EnergyModel(),
+) -> EnergyBreakdown:
+    """Per-inference energy of the RM-SSD path."""
+    return EnergyBreakdown(
+        flash_nj=energy.vector_read_energy_nj(vectors, ev_size),
+        host_link_nj=energy.host_transfer_energy_nj(result_bytes),
+        compute_nj=energy.fpga_compute_energy_nj(model_macs),
+        static_nj=energy.fpga_static_w * elapsed_s * 1e9,
+    )
+
+
+def naive_ssd_energy(
+    model_macs: int,
+    miss_pages: int,
+    hit_bytes: int,
+    ev_size: int,
+    vectors: int,
+    elapsed_s: float,
+    energy: EnergyModel = EnergyModel(),
+) -> EnergyBreakdown:
+    """Per-inference energy of the SSD-S fileIO path."""
+    page_bytes = miss_pages * 4096
+    return EnergyBreakdown(
+        flash_nj=energy.flash_read_energy_nj(miss_pages, page_bytes),
+        host_link_nj=energy.host_transfer_energy_nj(page_bytes)
+        + hit_bytes * energy.dram_nj_per_byte,
+        compute_nj=energy.cpu_compute_energy_nj(
+            2.0 * model_macs + vectors * ev_size / 4
+        ),
+        static_nj=energy.cpu_static_w * elapsed_s * 1e9,
+    )

@@ -1,0 +1,65 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Each ``bench_*`` module prints the rows/series of its paper figure or
+table through these helpers, so the harness output can be compared to
+the paper side by side (EXPERIMENTS.md records that comparison).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+
+def format_si(value: float, digits: int = 3) -> str:
+    """1234567 -> '1.23M'."""
+    for threshold, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "K")):
+        if abs(value) >= threshold:
+            return f"{value / threshold:.{digits - 1}f}{suffix}"
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.{digits}g}"
+
+
+def format_seconds(ns: float) -> str:
+    """Nanoseconds -> human-readable duration."""
+    if ns >= 1e9:
+        return f"{ns / 1e9:.2f}s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.2f}us"
+    return f"{ns:.0f}ns"
+
+
+class Table:
+    """A fixed-column text table."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: Any) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, "-" * len(self.title)]
+        header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print()
+        print(self.render())
+        print()

@@ -1,0 +1,39 @@
+"""Comparator systems (Section VI).
+
+Every backend runs the *same* numeric model on the *same* requests and
+returns a :class:`repro.baselines.base.RunResult`; they differ only in
+where the embedding lookups and the MLP execute and what that costs:
+
+========================= ===========================================
+Backend                   Paper system
+========================= ===========================================
+``DRAMBackend``           ideal DRAM-only DLRM (no memory limit)
+``NaiveSSDBackend``       SSD-S / SSD-M (fileIO + page cache)
+``EMBMMIOBackend``        EMB-MMIO (page fetch over MMIO, host sum)
+``EMBPageSumBackend``     EMB-PageSum (page reads + in-SSD sum)
+``EMBVectorSumBackend``   EMB-VectorSum (RM-SSD lookup engine only)
+``RecSSDBackend``         RecSSD (in-SSD page sum + host vector cache)
+``RMSSDBackend``          RM-SSD (full) and RM-SSD-Naive
+========================= ===========================================
+"""
+
+from repro.baselines.base import InferenceBackend, RunResult
+from repro.baselines.dram import DRAMBackend
+from repro.baselines.emb_mmio import EMBMMIOBackend
+from repro.baselines.emb_pagesum import EMBPageSumBackend
+from repro.baselines.emb_vectorsum import EMBVectorSumBackend
+from repro.baselines.recssd import RecSSDBackend
+from repro.baselines.rmssd import RMSSDBackend
+from repro.baselines.ssd_naive import NaiveSSDBackend
+
+__all__ = [
+    "DRAMBackend",
+    "EMBMMIOBackend",
+    "EMBPageSumBackend",
+    "EMBVectorSumBackend",
+    "InferenceBackend",
+    "NaiveSSDBackend",
+    "RMSSDBackend",
+    "RecSSDBackend",
+    "RunResult",
+]

@@ -1,0 +1,25 @@
+"""The ideal DRAM-only backend (Fig. 2's "DRAM").
+
+The whole model — embeddings included — lives in host memory without
+any capacity limit, served by the Python framework: per-operator
+dispatch overheads plus vectorized gather/GEMM work.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.baselines.base import EMB_OP, InferenceBackend
+from repro.workloads.inputs import InferenceRequest
+
+
+class DRAMBackend(InferenceBackend):
+    name = "DRAM"
+
+    def request_cost_ns(self, request: InferenceRequest) -> Dict[str, float]:
+        vectors = self._vectors_in(request)
+        breakdown = {
+            EMB_OP: self.costs.sls_op_ns(len(self.model.tables), vectors),
+        }
+        breakdown.update(self._mlp_breakdown_ns(request.batch_size))
+        return breakdown

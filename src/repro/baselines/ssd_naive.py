@@ -1,0 +1,79 @@
+"""SSD-S / SSD-M: the naive SSD deployment (Section III-B).
+
+Embedding tables live in files on a commercial NVMe SSD; the customized
+C++ SLS operator lseek/reads every vector through the file system, with
+the OS page cache capped at a fraction of the tables' size (1/4 for
+SSD-S, 1/2 for SSD-M).  Every cache miss drags in whole pages —
+readahead included — which produces Fig. 3's ~26x read amplification.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.baselines.base import (
+    BOT_MLP,
+    CONCAT,
+    EMB_FS,
+    EMB_OP,
+    EMB_SSD,
+    TOP_MLP,
+    InferenceBackend,
+)
+from repro.host.costs import DEFAULT_HOST_COSTS, HostCostModel
+from repro.ssd.pagecache import LRUPageCache
+from repro.workloads.inputs import InferenceRequest
+
+PAGE_SIZE = 4096
+
+
+class NaiveSSDBackend(InferenceBackend):
+    """fileIO-based embedding lookups with a capped page cache."""
+
+    def __init__(
+        self,
+        model,
+        dram_fraction: float = 0.25,
+        costs: HostCostModel = DEFAULT_HOST_COSTS,
+        name: str = None,
+    ) -> None:
+        super().__init__(model, costs)
+        if dram_fraction <= 0:
+            raise ValueError("dram_fraction must be positive")
+        self.dram_fraction = dram_fraction
+        self.name = name or ("SSD-S" if dram_fraction <= 0.26 else "SSD-M")
+        capacity_bytes = int(dram_fraction * model.tables.total_bytes)
+        self.page_cache = LRUPageCache.with_byte_capacity(capacity_bytes, PAGE_SIZE)
+        self._slots_per_page = PAGE_SIZE // model.tables.ev_size
+
+    def _page_key(self, table_id: int, index: int) -> tuple:
+        return (table_id, index // self._slots_per_page)
+
+    def request_cost_ns(self, request: InferenceRequest) -> Dict[str, float]:
+        ev_size = self.model.tables.ev_size
+        fs_ns = 0.0
+        ssd_ns = 0.0
+        op_ns = 0.0
+        pressure = self.costs.memory_pressure_factor(self.dram_fraction)
+        for sample in request.sparse:
+            for table_id, lookups in enumerate(sample):
+                for index in lookups:
+                    hit = self.page_cache.access(self._page_key(table_id, index))
+                    fs_ns += self.costs.syscall_ns
+                    if hit:
+                        self.stats.cache_hits += 1
+                        fs_ns += self.costs.pagecache_hit_ns * pressure
+                    else:
+                        self.stats.cache_misses += 1
+                        fs_ns += self.costs.pagecache_miss_stack_ns * pressure
+                        ssd_ns += (
+                            self.costs.readahead_pages * self.costs.device_page_read_ns
+                        )
+                        self.stats.record_host_transfer(
+                            read_bytes=self.costs.readahead_pages * PAGE_SIZE
+                        )
+                    op_ns += self.costs.sls_per_vector_ns
+        op_ns += len(self.model.tables) * self.costs.framework_op_ns
+        breakdown = {EMB_SSD: ssd_ns, EMB_FS: fs_ns, EMB_OP: op_ns}
+        breakdown.update(self._mlp_breakdown_ns(request.batch_size))
+        return breakdown

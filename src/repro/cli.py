@@ -1,0 +1,392 @@
+"""Command-line interface.
+
+Entry point ``rmssd-repro`` (or ``python -m repro``) exposes the main
+experiment flows without writing code:
+
+* ``models`` — list the evaluated model configurations (Table III).
+* ``search MODEL`` — run the kernel search and print the Table V-style
+  assignment, stage times, and resource bill.
+* ``run MODEL`` — serve a request stream on one backend and report
+  throughput/latency/traffic.
+* ``sweep MODEL`` — batch-size sweep across backends (Fig. 12-style).
+* ``trace-stats`` — generate a trace and print its Fig. 4 statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import Table, format_si
+from repro.models import MODEL_CONFIGS, build_model, get_config
+from repro.workloads.inputs import RequestGenerator
+
+BACKEND_CHOICES = (
+    "ssd-s",
+    "ssd-m",
+    "emb-mmio",
+    "emb-pagesum",
+    "emb-vectorsum",
+    "recssd",
+    "rm-ssd",
+    "rm-ssd-naive",
+    "dram",
+)
+
+
+def _build_backend(name: str, model, config):
+    from repro.baselines import (
+        DRAMBackend,
+        EMBMMIOBackend,
+        EMBPageSumBackend,
+        EMBVectorSumBackend,
+        NaiveSSDBackend,
+        RMSSDBackend,
+        RecSSDBackend,
+    )
+
+    if name == "ssd-s":
+        return NaiveSSDBackend(model, 0.25)
+    if name == "ssd-m":
+        return NaiveSSDBackend(model, 0.5)
+    if name == "emb-mmio":
+        return EMBMMIOBackend(model)
+    if name == "emb-pagesum":
+        return EMBPageSumBackend(model)
+    if name == "emb-vectorsum":
+        return EMBVectorSumBackend(model)
+    if name == "recssd":
+        return RecSSDBackend(model)
+    if name == "rm-ssd":
+        return RMSSDBackend(model, config.lookups_per_table, use_des=False)
+    if name == "rm-ssd-naive":
+        return RMSSDBackend(
+            model, config.lookups_per_table, mlp_design="naive", use_des=False
+        )
+    if name == "dram":
+        return DRAMBackend(model)
+    raise ValueError(f"unknown backend {name!r}")
+
+
+def cmd_models(_args) -> int:
+    table = Table(
+        "Evaluated models (Table III)",
+        ["key", "name", "bottom MLP", "top MLP", "dim", "tables", "lookups"],
+    )
+    for key, config in MODEL_CONFIGS.items():
+        table.add_row(
+            key,
+            config.name,
+            "-".join(map(str, config.bottom_widths)) or "(none)",
+            "-".join(map(str, config.top_widths)),
+            config.dim,
+            config.num_tables,
+            config.lookups_per_table,
+        )
+    table.print()
+    return 0
+
+
+def cmd_search(args) -> int:
+    from repro.core.lookup_engine import flash_read_cycles
+    from repro.fpga.decompose import decompose_model
+    from repro.fpga.search import kernel_search
+    from repro.fpga.specs import XC7A200T, XCVU9P
+    from repro.ssd.geometry import SSDGeometry
+    from repro.ssd.timing import SSDTimingModel
+
+    config = get_config(args.model)
+    model = build_model(config, rows_per_table=64)
+    decomposed = decompose_model(model, config.lookups_per_table)
+    flash = flash_read_cycles(
+        decomposed.vectors_per_inference,
+        SSDGeometry(),
+        SSDTimingModel(),
+        config.ev_size,
+    )
+    result = kernel_search(
+        decomposed, flash, bram_budget_tiles=args.bram_budget
+    )
+    print(result.summary())
+    table = Table(
+        f"{config.name}: kernel assignment",
+        ["layer", "shape", "placement", "kernel"],
+    )
+    for layer in result.model.all_layers():
+        table.add_row(
+            layer.name, f"{layer.rows}x{layer.cols}", layer.placement,
+            str(layer.kernel),
+        )
+    table.print()
+    times = result.times
+    print(f"stage times: Temb'={times.temb} Tbot'={times.tbot} "
+          f"Ttop'={times.ttop} cycles; "
+          f"throughput {times.throughput_qps(200e6):.0f} QPS")
+    usage = result.resources
+    print(f"resources: {usage.lut} LUT / {usage.ff} FF / "
+          f"{usage.bram:.0f} BRAM / {usage.dsp} DSP")
+    for part in (XCVU9P, XC7A200T):
+        print(f"  {part.name}: {'fits' if part.fits(usage) else 'DOES NOT FIT'}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    config = get_config(args.model)
+    model = build_model(config, rows_per_table=args.rows)
+    backend = _build_backend(args.backend, model, config)
+    generator = RequestGenerator(
+        config, args.rows, hot_access_fraction=args.locality, seed=args.seed
+    )
+    requests = generator.requests(args.requests, batch_size=args.batch)
+    result = backend.run(requests, compute=not args.no_compute)
+    print(f"system:         {result.system}")
+    print(f"inferences:     {result.inferences} "
+          f"({result.requests} requests x batch {args.batch})")
+    print(f"simulated time: {result.total_ns / 1e6:.3f} ms")
+    print(f"throughput:     {result.qps:.0f} QPS")
+    print(f"per-request:    {result.latency_per_request_ns / 1e6:.3f} ms")
+    if result.breakdown:
+        parts = ", ".join(
+            f"{k}={v:.0%}" for k, v in sorted(result.breakdown_fractions().items())
+            if v > 0.005
+        )
+        print(f"breakdown:      {parts}")
+    print(f"host traffic:   read {format_si(result.stats.host_read_bytes)}B / "
+          f"write {format_si(result.stats.host_write_bytes)}B")
+    if result.stats.read_amplification:
+        print(f"read amp:       {result.stats.read_amplification:.1f}x")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    config = get_config(args.model)
+    model = build_model(config, rows_per_table=args.rows)
+    batches = [int(b) for b in args.batches.split(",")]
+    backends = [
+        _build_backend(name, model, config) for name in args.backends.split(",")
+    ]
+    table = Table(
+        f"{config.name}: QPS vs batch",
+        ["system", *[str(b) for b in batches]],
+    )
+    generator = RequestGenerator(
+        config, args.rows, hot_access_fraction=args.locality, seed=args.seed
+    )
+    for backend in backends:
+        row = []
+        for batch in batches:
+            requests = generator.requests(args.requests, batch_size=batch)
+            result = backend.run(requests, compute=False)
+            row.append(f"{result.qps:.0f}")
+        table.add_row(backend.name, *row)
+    table.print()
+    return 0
+
+
+def cmd_selfcheck(_args) -> int:
+    from repro.analysis.selfcheck import run_selfcheck
+
+    results = run_selfcheck(verbose=True)
+    return 0 if all(r.passed for r in results) else 1
+
+
+def cmd_advise(args) -> int:
+    from repro.analysis.advisor import advise
+
+    advice = advise(get_config(args.model))
+    print(advice.render())
+    return 0
+
+
+def cmd_sla(args) -> int:
+    from repro.core.lookup_engine import flash_read_cycles
+    from repro.fpga.decompose import decompose_model
+    from repro.fpga.search import kernel_search
+    from repro.host.serving import ServingSimulator
+    from repro.ssd.geometry import SSDGeometry
+    from repro.ssd.timing import SSDTimingModel
+
+    config = get_config(args.model)
+    model = build_model(config, rows_per_table=args.rows)
+    dec = decompose_model(model, config.lookups_per_table)
+    flash = flash_read_cycles(
+        dec.vectors_per_inference, SSDGeometry(), SSDTimingModel(), config.ev_size
+    )
+    result = kernel_search(dec, flash)
+    serving = ServingSimulator(result.times, nbatch=result.nbatch, seed=args.seed)
+    print(f"saturation throughput: {serving.saturation_qps:.0f} QPS")
+    table = Table(
+        f"{config.name}: latency vs offered load",
+        ["offered QPS", "p50 ms", "p95 ms", "p99 ms"],
+    )
+    for point in serving.load_sweep(queries=args.queries):
+        table.add_row(
+            f"{point.offered_qps:.0f}",
+            f"{point.p50_ns / 1e6:.2f}",
+            f"{point.p95_ns / 1e6:.2f}",
+            f"{point.p99_ns / 1e6:.2f}",
+        )
+    table.print()
+    max_qps = serving.max_qps_under_sla(
+        sla_ns=args.sla_ms * 1e6, queries=args.queries
+    )
+    print(f"max load with p99 <= {args.sla_ms} ms: {max_qps:.0f} QPS "
+          f"({max_qps / serving.saturation_qps:.0%} of saturation)")
+    return 0
+
+
+def cmd_criteo_gen(args) -> int:
+    from repro.workloads.criteo import generate_criteo_file
+
+    path = generate_criteo_file(
+        args.path,
+        rows=args.rows,
+        vocab_size=args.vocab,
+        hot_access_fraction=args.locality,
+        seed=args.seed,
+    )
+    print(f"wrote {args.rows} Criteo-format samples to {path}")
+    return 0
+
+
+def cmd_criteo_run(args) -> int:
+    from repro.baselines import RMSSDBackend
+    from repro.workloads.criteo import CriteoDataset
+
+    config = get_config(args.model)
+    model = build_model(config, rows_per_table=args.rows)
+    dataset = CriteoDataset.load(args.path, limit=args.limit)
+    requests = dataset.to_requests(
+        batch_size=args.batch,
+        num_tables=config.num_tables,
+        rows_per_table=args.rows,
+        dense_dim=config.dense_dim,
+        lookups_per_table=config.lookups_per_table,
+    )
+    backend = RMSSDBackend(model, config.lookups_per_table, use_des=False)
+    result = backend.run(requests)
+    print(f"served {result.inferences} Criteo samples on {result.system}")
+    print(f"throughput: {result.qps:.0f} QPS")
+    print(f"CTR range: [{result.outputs.min():.3f}, {result.outputs.max():.3f}]")
+    return 0
+
+
+def cmd_trace_stats(args) -> int:
+    from repro.workloads import TraceGenerator, TraceStatistics
+
+    generator = TraceGenerator(
+        num_tables=args.tables,
+        rows_per_table=args.rows,
+        lookups_per_table=args.lookups,
+        hot_access_fraction=args.locality,
+        seed=args.seed,
+    )
+    flat = generator.flat_indices(generator.generate(args.requests))
+    stats = TraceStatistics.from_indices(flat)
+    print(stats.summary())
+    print(f"hot set size (per table): {generator.hot_set_size}")
+    print(f"top-hot-set share: {stats.top_k_share(generator.hot_set_size):.2%}")
+    table = Table("occurrence -> #indices", ["occurrence", "#indices"])
+    for occurrence, count in stats.occurrence_table(8).items():
+        table.add_row(occurrence, count)
+    table.print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rmssd-repro",
+        description="RM-SSD (HPCA 2022) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list model configurations").set_defaults(
+        func=cmd_models
+    )
+
+    p_search = sub.add_parser("search", help="run the kernel search")
+    p_search.add_argument("model", choices=sorted(MODEL_CONFIGS))
+    p_search.add_argument("--bram-budget", type=int, default=1024,
+                          help="Rule One BRAM budget in BRAM36 tiles")
+    p_search.set_defaults(func=cmd_search)
+
+    p_run = sub.add_parser("run", help="serve a request stream")
+    p_run.add_argument("model", choices=sorted(MODEL_CONFIGS))
+    p_run.add_argument("--backend", choices=BACKEND_CHOICES, default="rm-ssd")
+    p_run.add_argument("--batch", type=int, default=1)
+    p_run.add_argument("--requests", type=int, default=8)
+    p_run.add_argument("--rows", type=int, default=8192,
+                       help="rows per embedding table (scaled capacity)")
+    p_run.add_argument("--locality", type=float, default=0.65,
+                       help="hot-access fraction of the trace")
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--no-compute", action="store_true",
+                       help="skip numeric outputs (timing only)")
+    p_run.set_defaults(func=cmd_run)
+
+    p_sweep = sub.add_parser("sweep", help="batch-size sweep")
+    p_sweep.add_argument("model", choices=sorted(MODEL_CONFIGS))
+    p_sweep.add_argument("--backends", default="rm-ssd,recssd,dram")
+    p_sweep.add_argument("--batches", default="1,2,4,8,16")
+    p_sweep.add_argument("--requests", type=int, default=4)
+    p_sweep.add_argument("--rows", type=int, default=8192)
+    p_sweep.add_argument("--locality", type=float, default=0.65)
+    p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    sub.add_parser(
+        "selfcheck", help="verify the installation's core invariants"
+    ).set_defaults(func=cmd_selfcheck)
+
+    p_advise = sub.add_parser(
+        "advise", help="should this model be served in-storage?"
+    )
+    p_advise.add_argument("model", choices=sorted(MODEL_CONFIGS))
+    p_advise.set_defaults(func=cmd_advise)
+
+    p_sla = sub.add_parser("sla", help="open-loop SLA study on RM-SSD")
+    p_sla.add_argument("model", choices=sorted(MODEL_CONFIGS))
+    p_sla.add_argument("--sla-ms", type=float, default=10.0,
+                       help="p99 latency SLA in milliseconds")
+    p_sla.add_argument("--rows", type=int, default=512)
+    p_sla.add_argument("--queries", type=int, default=150)
+    p_sla.add_argument("--seed", type=int, default=0)
+    p_sla.set_defaults(func=cmd_sla)
+
+    p_cgen = sub.add_parser("criteo-gen", help="generate a Criteo-format TSV")
+    p_cgen.add_argument("path")
+    p_cgen.add_argument("--rows", type=int, default=1000)
+    p_cgen.add_argument("--vocab", type=int, default=100_000)
+    p_cgen.add_argument("--locality", type=float, default=0.65)
+    p_cgen.add_argument("--seed", type=int, default=0)
+    p_cgen.set_defaults(func=cmd_criteo_gen)
+
+    p_crun = sub.add_parser("criteo-run", help="serve a Criteo file on RM-SSD")
+    p_crun.add_argument("path")
+    p_crun.add_argument("model", choices=sorted(MODEL_CONFIGS))
+    p_crun.add_argument("--batch", type=int, default=8)
+    p_crun.add_argument("--rows", type=int, default=4096)
+    p_crun.add_argument("--limit", type=int, default=None)
+    p_crun.set_defaults(func=cmd_criteo_run)
+
+    p_trace = sub.add_parser("trace-stats", help="Fig. 4-style trace statistics")
+    p_trace.add_argument("--tables", type=int, default=1)
+    p_trace.add_argument("--rows", type=int, default=100_000)
+    p_trace.add_argument("--lookups", type=int, default=80)
+    p_trace.add_argument("--locality", type=float, default=0.65)
+    p_trace.add_argument("--requests", type=int, default=200)
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.set_defaults(func=cmd_trace_stats)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,233 @@
+"""Multi-device scale-out (extension).
+
+The paper cites capacity-driven scale-out (Lui et al.) and
+FPGA-cluster serving (FleetRec) as the context its single-device
+design lives in.  This extension shards one recommendation model
+across several RM-SSDs:
+
+* **table sharding** — each device stores a subset of the embedding
+  tables and runs its lookups locally; pooled vectors gather at an
+  aggregator device that runs the MLP engine.  Embedding time divides
+  across devices; the MLP stage and the gather hop set the floor.
+* **replication** — every device holds the full model; requests
+  load-balance round-robin, so throughput scales linearly at the cost
+  of N copies of the capacity.
+
+Numerics remain exact in both modes (same fp32 sums, same MLP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.device import RMSSD
+from repro.core.lookup_engine import EmbeddingLookupEngine
+from repro.core.mlp_engine import forward_from_pooled
+from repro.embedding.layout import EmbeddingLayout
+from repro.embedding.table import EmbeddingTableSet
+from repro.host.costs import DEFAULT_HOST_COSTS, HostCostModel
+from repro.sim import Simulator
+from repro.ssd.blockdev import BlockDevice
+from repro.ssd.controller import SSDController
+from repro.ssd.geometry import SSDGeometry
+from repro.ssd.timing import SSDTimingModel
+
+MODE_TABLE_SHARD = "tables"
+MODE_REPLICA = "replicas"
+
+
+@dataclass
+class ClusterTiming:
+    """Timing of one batch across the cluster."""
+
+    nbatch: int
+    per_device_emb_ns: List[float]
+    gather_ns: float
+    mlp_ns: float
+    io_ns: float
+
+    @property
+    def emb_ns(self) -> float:
+        return max(self.per_device_emb_ns) if self.per_device_emb_ns else 0.0
+
+    @property
+    def interval_ns(self) -> float:
+        return max(self.emb_ns + self.gather_ns, self.mlp_ns, self.io_ns, 1.0)
+
+    @property
+    def latency_ns(self) -> float:
+        return self.emb_ns + self.gather_ns + self.mlp_ns + self.io_ns
+
+
+class _TableShard:
+    """One device of a table-sharded cluster: a lookup engine over a
+    subset of the model's tables."""
+
+    def __init__(
+        self,
+        table_ids: Sequence[int],
+        tables: EmbeddingTableSet,
+        geometry: Optional[SSDGeometry],
+        ssd_timing: Optional[SSDTimingModel],
+        pooling: str,
+    ) -> None:
+        self.table_ids = list(table_ids)
+        subset = EmbeddingTableSet([tables[i] for i in self.table_ids])
+        self.controller = SSDController(Simulator(), geometry, ssd_timing)
+        device = BlockDevice(self.controller)
+        layout = EmbeddingLayout(device, subset)
+        layout.create_all()
+        self.engine = EmbeddingLookupEngine(self.controller, layout, pooling=pooling)
+
+    def lookup(self, sparse_batch):
+        """Pooled vectors for this shard's tables, plus elapsed ns."""
+        local = [
+            [sample[table_id] for table_id in self.table_ids]
+            for sample in sparse_batch
+        ]
+        return self.engine.lookup_batch(local)
+
+
+class RMSSDCluster:
+    """A recommendation model served by several RM-SSDs."""
+
+    def __init__(
+        self,
+        model,
+        lookups_per_table: int,
+        num_devices: int = 2,
+        mode: str = MODE_TABLE_SHARD,
+        geometry: Optional[SSDGeometry] = None,
+        ssd_timing: Optional[SSDTimingModel] = None,
+        costs: HostCostModel = DEFAULT_HOST_COSTS,
+    ) -> None:
+        if num_devices < 1:
+            raise ValueError("need at least one device")
+        if mode not in (MODE_TABLE_SHARD, MODE_REPLICA):
+            raise ValueError(f"unknown sharding mode {mode!r}")
+        if mode == MODE_TABLE_SHARD and num_devices > len(model.tables):
+            raise ValueError(
+                f"{num_devices} devices for {len(model.tables)} tables"
+            )
+        self.model = model
+        self.mode = mode
+        self.num_devices = num_devices
+        self.costs = costs
+        pooling = getattr(model, "pooling", "sum")
+
+        # The aggregator runs the MLP engine (and, for replication,
+        # everything): reuse the single-device assembly for its
+        # kernel-searched stage times.
+        self.aggregator = RMSSD(
+            model,
+            lookups_per_table,
+            geometry=geometry,
+            ssd_timing=ssd_timing,
+            use_des=True,
+        )
+        self.shards: List[_TableShard] = []
+        if mode == MODE_TABLE_SHARD and num_devices > 1:
+            assignment = [[] for _ in range(num_devices)]
+            for table_id in range(len(model.tables)):
+                assignment[table_id % num_devices].append(table_id)
+            self.shards = [
+                _TableShard(ids, model.tables, geometry, ssd_timing, pooling)
+                for ids in assignment
+            ]
+
+    # ------------------------------------------------------------------
+    @property
+    def total_capacity_bytes(self) -> int:
+        """Embedding bytes stored across the cluster."""
+        per_model = self.model.tables.total_bytes
+        return per_model * (self.num_devices if self.mode == MODE_REPLICA else 1)
+
+    def _gather_ns(self, nbatch: int) -> float:
+        pooled_bytes = nbatch * len(self.model.tables) * self.model.tables.dim * 4
+        return self.costs.pcie_transfer_ns(pooled_bytes) + 2000.0
+
+    # ------------------------------------------------------------------
+    def infer_batch(
+        self,
+        dense_batch: Optional[np.ndarray],
+        sparse_batch,
+    ) -> Tuple[np.ndarray, ClusterTiming]:
+        nbatch = len(sparse_batch)
+        if nbatch < 1:
+            raise ValueError("empty batch")
+
+        if self.mode == MODE_REPLICA or self.num_devices == 1:
+            outputs, timing = self.aggregator.infer_batch(dense_batch, sparse_batch)
+            # Replication: N devices serve independent request streams;
+            # per-batch timing is the single-device timing, and the
+            # cluster's throughput multiplies by N (see throughput_qps).
+            cluster_timing = ClusterTiming(
+                nbatch=nbatch,
+                per_device_emb_ns=[timing.emb_ns],
+                gather_ns=0.0,
+                mlp_ns=max(timing.bot_ns, timing.top_ns),
+                io_ns=timing.io_ns,
+            )
+            return outputs, cluster_timing
+
+        # Table sharding: per-shard lookups, gather, aggregate MLP.
+        per_device_ns: List[float] = []
+        pooled_parts = {}
+        for shard in self.shards:
+            result = shard.lookup(sparse_batch)
+            per_device_ns.append(result.elapsed_ns)
+            for position, table_id in enumerate(shard.table_ids):
+                dim = self.model.tables.dim
+                pooled_parts[table_id] = result.pooled[
+                    :, position * dim : (position + 1) * dim
+                ]
+        pooled = np.concatenate(
+            [pooled_parts[t] for t in range(len(self.model.tables))], axis=1
+        )
+        outputs = np.stack(
+            [
+                forward_from_pooled(
+                    self.model,
+                    None if dense_batch is None else dense_batch[i],
+                    pooled[i],
+                )
+                for i in range(nbatch)
+            ]
+        )
+        stages = self.aggregator.mlp_engine.stage_times_for(nbatch)
+        settings = self.aggregator.settings
+        timing = ClusterTiming(
+            nbatch=nbatch,
+            per_device_emb_ns=per_device_ns,
+            gather_ns=self._gather_ns(nbatch),
+            mlp_ns=settings.cycles_to_ns(max(stages.tbot, stages.ttop)),
+            io_ns=2 * 2000.0,
+        )
+        return outputs, timing
+
+    def throughput_qps(self, nbatch: int = 1, seed: int = 0) -> float:
+        """Steady-state cluster QPS for random requests of ``nbatch``."""
+        rng = np.random.default_rng(seed)
+        rows = self.model.tables[0].rows
+        lookups = self.aggregator.lookups_per_table
+        sparse = [
+            [
+                list(rng.integers(0, rows, size=lookups))
+                for _ in range(len(self.model.tables))
+            ]
+            for _ in range(nbatch)
+        ]
+        dense_dim = getattr(self.model, "dense_dim", 0)
+        dense = (
+            rng.standard_normal((nbatch, dense_dim)).astype(np.float32)
+            if dense_dim
+            else None
+        )
+        _, timing = self.infer_batch(dense, sparse)
+        base = nbatch / (timing.interval_ns / 1e9)
+        if self.mode == MODE_REPLICA:
+            return base * self.num_devices
+        return base

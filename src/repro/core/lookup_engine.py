@@ -1,0 +1,219 @@
+"""Embedding Lookup Engine (Section IV-B).
+
+The engine chains the EV Translator, the vector-grained EV-FMC reads,
+and the EV Sum pooling unit:
+
+* lookups are translated to device addresses using only on-device
+  extent metadata;
+* vector reads are striped over all channels and dies (the layout's
+  channel-major page numbering does the striping);
+* returned vectors are accumulated per table in *lookup order* by the
+  fadd array, so results match the host SLS operator bit for bit.
+
+Two views are provided: an analytic bandwidth model (used by the kernel
+search and quick sizing) and a discrete-event execution (used by the
+end-to-end device, capturing real queueing over the trace's channel
+distribution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import Dict, Generator, List, Sequence
+
+import numpy as np
+
+from repro.embedding.layout import EmbeddingLayout
+from repro.embedding.translator import EVTranslator
+from repro.ssd.controller import SSDController
+from repro.ssd.geometry import SSDGeometry
+from repro.ssd.timing import SSDTimingModel
+
+#: EV Sum cost per returned vector, in cycles: the fadd array adds all
+#: dimensions in parallel, pipelined one vector per cycle plus a small
+#: drain.  Negligible next to flash reads ("the time consumption of
+#: embedding vector extraction and sum can be ignored for FPGA
+#: handling").
+EV_SUM_CYCLES_PER_VECTOR = 1
+
+
+def effective_vector_bandwidth(
+    geometry: SSDGeometry,
+    timing: SSDTimingModel,
+    ev_size: int,
+) -> float:
+    """``bEV``: sustained vector reads per engine cycle, whole device.
+
+    Per channel, throughput is bounded by (a) its dies, which can
+    overlap flushes (one vector per ``CEV`` cycles per die), and (b)
+    the shared channel bus (one vector's transfer slice at a time).
+    """
+    cev = timing.vector_read_cycles(ev_size)
+    per_die = 1.0 / cev
+    die_bound = geometry.dies_per_channel * per_die
+    bus_bound = 1.0 / timing.vector_transfer_cycles(ev_size)
+    return geometry.channels * min(die_bound, bus_bound)
+
+
+def effective_page_bandwidth(
+    geometry: SSDGeometry,
+    timing: SSDTimingModel,
+) -> float:
+    """Sustained full-page reads per engine cycle, whole device.
+
+    The page-granularity analogue of :func:`effective_vector_bandwidth`
+    — what the EMB-PageSum / EMB-MMIO / RecSSD paths achieve.  Pages
+    pay the full transfer slice on the shared bus, which is why the
+    vector-grained path beats them on bulk throughput.
+    """
+    die_bound = geometry.dies_per_channel / timing.page_read_cycles
+    bus_bound = 1.0 / timing.transfer_cycles
+    return geometry.channels * min(die_bound, bus_bound)
+
+
+def flash_read_cycles(
+    vectors: int,
+    geometry: SSDGeometry,
+    timing: SSDTimingModel,
+    ev_size: int,
+) -> int:
+    """Analytic cycles to stream ``vectors`` embedding reads (Eq. 1a's
+    ``M*N / bEV`` term)."""
+    if vectors <= 0:
+        return 0
+    return ceil(vectors / effective_vector_bandwidth(geometry, timing, ev_size))
+
+
+@dataclass
+class LookupResult:
+    """Output of one batched lookup: pooled vectors plus timing."""
+
+    pooled: np.ndarray  # batch x (tables * dim)
+    elapsed_ns: float
+    vectors_read: int
+
+    def elapsed_cycles(self, cycle_ns: float) -> float:
+        return self.elapsed_ns / cycle_ns
+
+
+class EmbeddingLookupEngine:
+    """Translator + EV-FMC + EV Sum over a laid-out table set.
+
+    ``pooling`` selects the EV Sum reduction: ``"sum"`` (the default
+    SparseLengthSum semantics) or ``"mean"`` (average pooling — the
+    fadd array followed by one multiply by ``1/N``).
+    """
+
+    def __init__(
+        self,
+        controller: SSDController,
+        layout: EmbeddingLayout,
+        pooling: str = "sum",
+    ) -> None:
+        if pooling not in ("sum", "mean"):
+            raise ValueError(f"unknown pooling mode {pooling!r}")
+        self.controller = controller
+        self.layout = layout
+        self.pooling = pooling
+        self.tables = layout.tables
+        self.translator = EVTranslator(page_size=controller.geometry.page_size)
+        for table_id, ranges in layout.metadata().items():
+            self.translator.register_table(
+                table_id,
+                ranges,
+                self.tables.ev_size,
+                self.tables[table_id].rows,
+            )
+
+    @property
+    def dim(self) -> int:
+        return self.tables.dim
+
+    # ------------------------------------------------------------------
+    # Discrete-event execution
+    # ------------------------------------------------------------------
+    def _read_all_proc(
+        self, sparse_batch: Sequence[Sequence[Sequence[int]]]
+    ) -> Generator:
+        """Process: issue every vector read of the batch concurrently.
+
+        Returns the raw vectors as ``(sample, table, position) -> row``
+        so EV Sum can reduce in lookup order regardless of completion
+        order (the Path Buffer's job).
+        """
+        sim = self.controller.sim
+        events = []
+        slots = []
+        for sample_id, sample in enumerate(sparse_batch):
+            if len(sample) != len(self.tables):
+                raise ValueError(
+                    f"sample {sample_id}: {len(sample)} index lists for "
+                    f"{len(self.tables)} tables"
+                )
+            for table_id, indices in enumerate(sample):
+                for position, index in enumerate(indices):
+                    read = self.translator.translate(table_id, index)
+                    events.append(
+                        sim.process(
+                            self.controller.read_vector_proc(
+                                read.device_offset, read.size
+                            )
+                        )
+                    )
+                    slots.append((sample_id, table_id, position))
+        results = yield sim.all_of(events)
+        raw: Dict[tuple, np.ndarray] = {}
+        for slot, request in zip(slots, results):
+            raw[slot] = np.frombuffer(request.data, dtype=np.float32)
+        return raw
+
+    def lookup_batch(
+        self, sparse_batch: Sequence[Sequence[Sequence[int]]]
+    ) -> LookupResult:
+        """Run a batched lookup to completion on the simulation clock.
+
+        Pools per (sample, table) in lookup order and concatenates per
+        sample — the EV Sum semantics.
+        """
+        sim = self.controller.sim
+        start = sim.now
+        proc = sim.process(self._read_all_proc(sparse_batch))
+        sim.run()
+        raw = proc.value
+        elapsed = sim.now - start
+        vectors_read = len(raw)
+        # EV Sum: accumulate in lookup order for bitwise-stable fp32.
+        pooled_rows: List[np.ndarray] = []
+        for sample_id, sample in enumerate(sparse_batch):
+            per_table: List[np.ndarray] = []
+            for table_id, indices in enumerate(sample):
+                acc = np.zeros(self.dim, dtype=np.float32)
+                for position in range(len(indices)):
+                    acc += raw[(sample_id, table_id, position)]
+                if self.pooling == "mean" and indices:
+                    acc = (acc / np.float32(len(indices))).astype(np.float32)
+                per_table.append(acc)
+            pooled_rows.append(np.concatenate(per_table).astype(np.float32))
+            self.controller.stats.record_useful(
+                sum(len(indices) for indices in sample) * self.tables.ev_size
+            )
+        ev_sum_ns = self.controller.timing.cycles_to_ns(
+            EV_SUM_CYCLES_PER_VECTOR * vectors_read
+        )
+        return LookupResult(
+            pooled=np.stack(pooled_rows),
+            elapsed_ns=elapsed + ev_sum_ns,
+            vectors_read=vectors_read,
+        )
+
+    # ------------------------------------------------------------------
+    # Analytic view
+    # ------------------------------------------------------------------
+    def analytic_cycles(self, vectors: int) -> int:
+        return flash_read_cycles(
+            vectors,
+            self.controller.geometry,
+            self.controller.timing,
+            self.tables.ev_size,
+        )

@@ -1,0 +1,124 @@
+"""MLP Acceleration Engine (Section IV-C) — runtime view.
+
+Bridges the analytic FPGA models (:mod:`repro.fpga`) and the numeric
+model zoo (:mod:`repro.models`):
+
+* **numeric** — computes the actual fp32 outputs from the pooled
+  embedding vectors delivered by the EV Sum unit, including a
+  decomposed evaluation of the top MLP's first layer that demonstrates
+  the intra-layer decomposition is mathematically exact;
+* **timing** — evaluates the Eq. 1 stage times for any batch size with
+  the kernels chosen by the kernel search.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.fpga.compose import StageTimes, stage_times
+from repro.fpga.search import KernelSearchResult
+from repro.fpga.specs import FPGASettings
+from repro.models.dlrm import DLRM
+
+
+def forward_from_pooled(model, dense: Optional[np.ndarray], pooled: np.ndarray) -> np.ndarray:
+    """Single-sample forward pass from pooled embeddings.
+
+    ``pooled`` is the EV Sum output: per-table pooled vectors
+    concatenated (``tables * dim``).  Works for every model in the zoo;
+    for single-lookup models (NCF/WnD) the pooled vector per table *is*
+    the raw embedding row, so no information is lost.
+    """
+    dim = model.tables.dim
+    if pooled.shape != (len(model.tables) * dim,):
+        raise ValueError(
+            f"pooled width {pooled.shape} != {len(model.tables)} tables x dim {dim}"
+        )
+    kind = type(model).__name__
+    if kind == "DLRM":
+        bottom_out = model.bottom(np.asarray(dense, dtype=np.float32))
+        return model.top(model.interact(bottom_out, pooled))
+    if kind == "NCF":
+        user_gmf, item_gmf, user_mlp, item_mlp = (
+            pooled[i * dim : (i + 1) * dim] for i in range(4)
+        )
+        gmf_out = (user_gmf * item_gmf).astype(np.float32)
+        mlp_out = model.mlp_tower(np.concatenate([user_mlp, item_mlp]))
+        return model.predict(np.concatenate([gmf_out, mlp_out]))
+    if kind == "WideAndDeep":
+        dense = np.asarray(dense, dtype=np.float32)
+        deep_in = np.concatenate([pooled, dense]).astype(np.float32)
+        deep_logit = model.deep_head(model.deep(deep_in))
+        wide_logit = model.wide(dense)
+        return model._sigmoid.apply(deep_logit + wide_logit)
+    raise TypeError(f"unsupported model type {kind}")
+
+
+def dlrm_forward_decomposed(
+    model: DLRM, dense: np.ndarray, pooled: np.ndarray
+) -> np.ndarray:
+    """DLRM forward with the top L0 evaluated as ``Lb + Le`` (Fig. 8).
+
+    ``x @ W0`` over the concatenated input splits exactly into
+    ``bottom_out @ W0[:Rb] + pooled @ W0[Rb:]`` — the identity the
+    intra-layer decomposition exploits.  Kept separate from the normal
+    forward so tests can prove the equivalence numerically.
+    """
+    bottom_out = model.bottom(np.asarray(dense, dtype=np.float32))
+    layer0 = model.top.layers[0]
+    rb = bottom_out.shape[-1]
+    partial_b = bottom_out @ layer0.weight[:rb]  # the Lb unit
+    partial_e = pooled @ layer0.weight[rb:]  # the Le unit
+    hidden = layer0.activation.apply(
+        (partial_b + partial_e + layer0.bias).astype(np.float32)
+    )
+    for layer in model.top.layers[1:]:
+        hidden = layer(hidden)
+    return hidden
+
+
+class MLPAccelerationEngine:
+    """Numeric + timing runtime for one kernel-searched model."""
+
+    def __init__(self, model, search_result: KernelSearchResult) -> None:
+        self.model = model
+        self.search = search_result
+        self.settings: FPGASettings = search_result.settings
+        self._flash_rate = (
+            search_result.model.vectors_per_inference
+            / max(1, search_result.flash_cycles_batch1)
+        )
+
+    @property
+    def supported_nbatch(self) -> int:
+        """The device batch chosen by Rule Three."""
+        return self.search.nbatch
+
+    # ------------------------------------------------------------------
+    # Numeric path
+    # ------------------------------------------------------------------
+    def forward_batch(
+        self, dense_batch: Optional[np.ndarray], pooled_batch: np.ndarray
+    ) -> np.ndarray:
+        outputs = []
+        for sample in range(len(pooled_batch)):
+            dense = None if dense_batch is None else dense_batch[sample]
+            outputs.append(forward_from_pooled(self.model, dense, pooled_batch[sample]))
+        return np.stack(outputs)
+
+    # ------------------------------------------------------------------
+    # Timing path
+    # ------------------------------------------------------------------
+    def stage_times_for(self, nbatch: int) -> StageTimes:
+        """Eq. 1 stage times at an arbitrary (device) batch size."""
+        return stage_times(
+            self.search.model, nbatch, self._flash_rate, self.settings
+        )
+
+    def interval_ns(self, nbatch: int) -> float:
+        return self.settings.cycles_to_ns(self.stage_times_for(nbatch).interval)
+
+    def latency_ns(self, nbatch: int) -> float:
+        return self.settings.cycles_to_ns(self.stage_times_for(nbatch).latency)

@@ -1,0 +1,90 @@
+"""Page-granular in-SSD lookup engine (the EMB-PageSum data path).
+
+The comparison systems that predate vector-grained reads — EMB-PageSum
+and RecSSD's device side — fetch the *whole flash page* containing each
+embedding vector and pool inside the SSD.  This module executes that
+path on the discrete-event simulator, sharing the translator/layout
+machinery with the real Embedding Lookup Engine, so the page-vs-vector
+comparison can be made under identical queueing rather than only
+analytically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Sequence
+
+import numpy as np
+
+from repro.embedding.layout import EmbeddingLayout
+from repro.embedding.translator import EVTranslator
+from repro.ssd.controller import SSDController
+
+
+class PageLookupEngine:
+    """Translator + page-granular internal reads + in-SSD pooling."""
+
+    def __init__(self, controller: SSDController, layout: EmbeddingLayout) -> None:
+        self.controller = controller
+        self.layout = layout
+        self.tables = layout.tables
+        self.translator = EVTranslator(page_size=controller.geometry.page_size)
+        for table_id, ranges in layout.metadata().items():
+            self.translator.register_table(
+                table_id, ranges, self.tables.ev_size, self.tables[table_id].rows
+            )
+
+    @property
+    def dim(self) -> int:
+        return self.tables.dim
+
+    def _read_all_proc(
+        self, sparse_batch: Sequence[Sequence[Sequence[int]]]
+    ) -> Generator:
+        sim = self.controller.sim
+        events = []
+        slots: List[tuple] = []
+        cols: List[int] = []
+        page_size = self.controller.geometry.page_size
+        for sample_id, sample in enumerate(sparse_batch):
+            if len(sample) != len(self.tables):
+                raise ValueError(
+                    f"sample {sample_id}: {len(sample)} index lists for "
+                    f"{len(self.tables)} tables"
+                )
+            for table_id, indices in enumerate(sample):
+                for position, index in enumerate(indices):
+                    read = self.translator.translate(table_id, index)
+                    lba = read.device_offset // page_size
+                    events.append(
+                        sim.process(self.controller.read_page_internal_proc(lba))
+                    )
+                    slots.append((sample_id, table_id, position))
+                    cols.append(read.device_offset % page_size)
+        results = yield sim.all_of(events)
+        raw: Dict[tuple, np.ndarray] = {}
+        ev_size = self.tables.ev_size
+        for slot, col, request in zip(slots, cols, results):
+            payload = request.data[col : col + ev_size]
+            raw[slot] = np.frombuffer(payload, dtype=np.float32)
+        return raw
+
+    def lookup_batch(self, sparse_batch) -> tuple:
+        """Run a batched page-granular lookup; returns ``(pooled,
+        elapsed_ns, pages_read)``.  Pooling order matches the host SLS.
+        """
+        sim = self.controller.sim
+        start = sim.now
+        proc = sim.process(self._read_all_proc(sparse_batch))
+        sim.run()
+        raw = proc.value
+        elapsed = sim.now - start
+        pooled_rows = []
+        for sample_id, sample in enumerate(sparse_batch):
+            per_table = []
+            for table_id, indices in enumerate(sample):
+                acc = np.zeros(self.dim, dtype=np.float32)
+                for position in range(len(indices)):
+                    acc += raw[(sample_id, table_id, position)]
+                per_table.append(acc)
+            pooled_rows.append(np.concatenate(per_table).astype(np.float32))
+        return np.stack(pooled_rows), elapsed, len(raw)

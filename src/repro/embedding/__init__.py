@@ -1,0 +1,24 @@
+"""Embedding substrate: tables, on-SSD layout, index translation, pooling.
+
+Implements the data side of the paper's embedding layer: embedding
+tables as fp32 row matrices, the page-aligned on-SSD layout whose
+extent metadata feeds the EV Translator (Fig. 6), the translator
+itself, and the SparseLengthSum pooling operators.
+"""
+
+from repro.embedding.layout import EmbeddingLayout, TableLayout
+from repro.embedding.pooling import pool_mean, pool_sum, sparse_length_sum
+from repro.embedding.table import EmbeddingTable, EmbeddingTableSet
+from repro.embedding.translator import EVTranslator, TranslatedRead
+
+__all__ = [
+    "EVTranslator",
+    "EmbeddingLayout",
+    "EmbeddingTable",
+    "EmbeddingTableSet",
+    "TableLayout",
+    "TranslatedRead",
+    "pool_mean",
+    "pool_sum",
+    "sparse_length_sum",
+]

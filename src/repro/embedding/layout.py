@@ -1,0 +1,147 @@
+"""On-SSD layout of embedding tables.
+
+Each table is stored as a normal file (``RM_create_table`` goes through
+the block I/O path and the file system).  Vectors are packed so that
+**no vector straddles a flash page boundary** — the EV-FMC reads one
+vector with a single in-page column access (Fig. 7), so a row must live
+wholly inside one page.  With power-of-two ``EVsize`` (64-256 B) the
+packing is dense; otherwise the tail of each page is padding.
+
+The layout also produces the *embedding table metadata* of Fig. 6: per
+extent, the index range it covers and its start LBA.  That metadata is
+what ``RM_open_table`` ships to the device for the EV Translator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.embedding.table import EmbeddingTable, EmbeddingTableSet
+from repro.ssd.blockdev import BlockDevice, FileHandle
+
+
+@dataclass(frozen=True)
+class ExtentRange:
+    """Fig. 6 metadata row: one extent's index range and start LBA."""
+
+    extent_id: int
+    first_index: int
+    last_index: int  # inclusive
+    start_lba: int
+
+    def covers(self, index: int) -> bool:
+        return self.first_index <= index <= self.last_index
+
+
+@dataclass
+class TableLayout:
+    """Placement of one table: geometry, file handle, extent ranges."""
+
+    table_id: int
+    table: EmbeddingTable
+    handle: FileHandle
+    page_size: int
+    extent_ranges: List[ExtentRange] = field(default_factory=list)
+
+    @property
+    def slots_per_page(self) -> int:
+        return self.page_size // self.table.ev_size
+
+    def vector_file_offset(self, index: int) -> int:
+        """File-relative byte offset of a row (page-aligned packing)."""
+        if not 0 <= index < self.table.rows:
+            raise IndexError(
+                f"index {index} out of range for table {self.table.name!r}"
+            )
+        slots = self.slots_per_page
+        page, slot = divmod(index, slots)
+        return page * self.page_size + slot * self.table.ev_size
+
+    @property
+    def file_bytes(self) -> int:
+        pages = -(-self.table.rows // self.slots_per_page)
+        return pages * self.page_size
+
+
+class EmbeddingLayout:
+    """Lays out a table set on a block device and serves the metadata."""
+
+    def __init__(self, device: BlockDevice, tables: EmbeddingTableSet) -> None:
+        self.device = device
+        self.tables = tables
+        self.page_size = device.page_size
+        if tables.ev_size > self.page_size:
+            raise ValueError("embedding vector larger than a flash page")
+        self.layouts: Dict[int, TableLayout] = {}
+
+    # ------------------------------------------------------------------
+    # Creation (RM_create_table path)
+    # ------------------------------------------------------------------
+    def create_all(self, write_data: bool = True) -> None:
+        """Allocate files for every table and optionally write the rows.
+
+        ``write_data=False`` lays out addressing only — useful for
+        timing-only studies with very large virtual tables.
+        """
+        for table_id, table in enumerate(self.tables):
+            self._create_one(table_id, table, write_data)
+
+    def _create_one(self, table_id: int, table: EmbeddingTable, write_data: bool) -> None:
+        slots_per_page = self.page_size // table.ev_size
+        file_bytes = -(-table.rows // slots_per_page) * self.page_size
+        handle = self.device.create_file(f"emb/{table.name}", file_bytes)
+        layout = TableLayout(
+            table_id=table_id,
+            table=table,
+            handle=handle,
+            page_size=self.page_size,
+        )
+        self.layouts[table_id] = layout
+        self._build_extent_ranges(layout)
+        if write_data:
+            self._write_rows(layout)
+
+    def _write_rows(self, layout: TableLayout) -> None:
+        table = layout.table
+        slots = layout.slots_per_page
+        for first_row in range(0, table.rows, slots):
+            rows = table.data[first_row : first_row + slots]
+            offset = layout.vector_file_offset(first_row)
+            self.device.write_file(layout.handle.name, rows.tobytes(), offset)
+
+    def _build_extent_ranges(self, layout: TableLayout) -> None:
+        """Compute each extent's covered index range (Fig. 6 metadata)."""
+        slots = layout.slots_per_page
+        pages_seen = 0
+        for extent_id, extent in enumerate(layout.handle.extents):
+            first_index = pages_seen * slots
+            pages_seen += extent.page_count
+            last_index = min(pages_seen * slots, layout.table.rows) - 1
+            if first_index > last_index:
+                break  # trailing allocation padding holds no vectors
+            layout.extent_ranges.append(
+                ExtentRange(
+                    extent_id=extent_id,
+                    first_index=first_index,
+                    last_index=last_index,
+                    start_lba=extent.start_lba,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Address resolution (used by the EV Translator and baselines)
+    # ------------------------------------------------------------------
+    def device_offset(self, table_id: int, index: int) -> int:
+        """Device byte address of row ``index`` of table ``table_id``."""
+        layout = self.layouts[table_id]
+        return self.device.device_offset_of(
+            layout.handle.name, layout.vector_file_offset(index)
+        )
+
+    def metadata(self) -> Dict[int, List[ExtentRange]]:
+        """The per-table extent metadata shipped via RM registers."""
+        return {tid: list(l.extent_ranges) for tid, l in self.layouts.items()}
+
+    def layout_for(self, table_id: int) -> TableLayout:
+        return self.layouts[table_id]

@@ -1,0 +1,98 @@
+"""SparseLengthSum pooling operators.
+
+The embedding layer gathers one vector per lookup index and reduces
+them to a single vector per table via element-wise pooling (sum or
+mean).  ``sparse_length_sum`` is the reference operator the host
+framework runs (Facebook's SLS); the in-device EV Sum unit must produce
+bit-identical results, which it does because fp32 addition is performed
+in the same left-to-right order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.embedding.table import EmbeddingTable, EmbeddingTableSet
+
+
+def pool_sum(vectors: np.ndarray) -> np.ndarray:
+    """Element-wise sum of ``n x dim`` vectors -> ``dim`` vector.
+
+    Accumulates in index order so hardware and host agree bitwise.
+    """
+    vectors = np.asarray(vectors, dtype=np.float32)
+    if vectors.ndim != 2:
+        raise ValueError("expected a 2-D array of vectors")
+    result = np.zeros(vectors.shape[1], dtype=np.float32)
+    for row in vectors:
+        result += row
+    return result
+
+
+def pool_mean(vectors: np.ndarray) -> np.ndarray:
+    """Element-wise average pooling."""
+    vectors = np.asarray(vectors, dtype=np.float32)
+    if len(vectors) == 0:
+        raise ValueError("cannot average zero vectors")
+    return (pool_sum(vectors) / np.float32(len(vectors))).astype(np.float32)
+
+
+#: Supported pooling modes ("element-wise pooling operations (e.g.,
+#: addition, average)" — Section II-A).
+POOLING_SUM = "sum"
+POOLING_MEAN = "mean"
+
+
+def pool(vectors: np.ndarray, mode: str = POOLING_SUM) -> np.ndarray:
+    """Dispatch to the requested pooling operator."""
+    if mode == POOLING_SUM:
+        return pool_sum(vectors)
+    if mode == POOLING_MEAN:
+        return pool_mean(vectors)
+    raise ValueError(f"unknown pooling mode {mode!r}")
+
+
+def sparse_length_sum(
+    table: EmbeddingTable, indices: Sequence[int], mode: str = POOLING_SUM
+) -> np.ndarray:
+    """The SLS operator for one table: gather rows, pool them."""
+    if len(indices) == 0:
+        return np.zeros(table.dim, dtype=np.float32)
+    return pool(table.lookup(indices), mode)
+
+
+def sls_all_tables(
+    tables: EmbeddingTableSet,
+    indices_per_table: Sequence[Sequence[int]],
+    mode: str = POOLING_SUM,
+) -> np.ndarray:
+    """Pool every table and concatenate: the Top-MLP sparse input.
+
+    Returns a vector of size ``M * dim`` (Section IV-B3: "the size of
+    the united input vector of Top MLP is EVdim * M").
+    """
+    if len(indices_per_table) != len(tables):
+        raise ValueError(
+            f"{len(indices_per_table)} index lists for {len(tables)} tables"
+        )
+    pooled: List[np.ndarray] = [
+        sparse_length_sum(table, indices, mode)
+        for table, indices in zip(tables, indices_per_table)
+    ]
+    return np.concatenate(pooled).astype(np.float32)
+
+
+def sls_batch(
+    tables: EmbeddingTableSet,
+    batch_indices: Sequence[Sequence[Sequence[int]]],
+    mode: str = POOLING_SUM,
+) -> np.ndarray:
+    """Batched SLS: ``batch_indices[sample][table] -> indices``.
+
+    Returns ``batch x (M * dim)``.
+    """
+    return np.stack(
+        [sls_all_tables(tables, sample, mode) for sample in batch_indices]
+    )

@@ -1,0 +1,194 @@
+"""Embedding tables.
+
+An embedding table maps a sparse categorical index to a dense fp32
+vector.  The paper keeps embeddings in FP32 without quantization
+("the recommendation model is much more sensitive to accuracy than
+other DNN models"), so rows are always ``float32``.
+
+Production tables reach tens of GB; experiments here materialize
+scaled-down tables (the scale factor is recorded so benchmark reports
+can state the substitution).  Rows are generated deterministically from
+a seed so any two components that should see the same table contents
+do, without sharing object references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+
+class EmbeddingTable:
+    """A single embedding table: ``rows x dim`` float32 matrix."""
+
+    def __init__(
+        self,
+        name: str,
+        rows: int,
+        dim: int,
+        seed: Optional[int] = 0,
+        data: Optional[np.ndarray] = None,
+        materialize: bool = True,
+    ) -> None:
+        if rows < 1 or dim < 1:
+            raise ValueError("rows and dim must be positive")
+        self.name = name
+        self.rows = rows
+        self.dim = dim
+        if data is not None:
+            data = np.asarray(data, dtype=np.float32)
+            if data.shape != (rows, dim):
+                raise ValueError(
+                    f"data shape {data.shape} != ({rows}, {dim})"
+                )
+            self._data: Optional[np.ndarray] = data
+        elif materialize:
+            rng = np.random.default_rng(seed)
+            # Small magnitudes, like trained embeddings after regularization.
+            self._data = rng.standard_normal((rows, dim), dtype=np.float32) * 0.1
+        else:
+            # Virtual table: addressing/layout studies at paper scale
+            # (tens of GB) without allocating row contents.
+            self._data = None
+
+    @classmethod
+    def virtual(cls, name: str, rows: int, dim: int) -> "EmbeddingTable":
+        """A table with shape but no contents (layout-only studies)."""
+        return cls(name, rows, dim, materialize=False)
+
+    @property
+    def is_virtual(self) -> bool:
+        return self._data is None
+
+    @property
+    def data(self) -> np.ndarray:
+        if self._data is None:
+            raise RuntimeError(
+                f"table {self.name!r} is virtual (layout-only); "
+                "row contents were never materialized"
+            )
+        return self._data
+
+    @property
+    def ev_size(self) -> int:
+        """``EVsize`` in bytes: dim * sizeof(float32)."""
+        return self.dim * 4
+
+    @property
+    def nbytes(self) -> int:
+        return self.rows * self.ev_size
+
+    def row(self, index: int) -> np.ndarray:
+        if not 0 <= index < self.rows:
+            raise IndexError(f"index {index} out of range for table {self.name!r}")
+        return self.data[index]
+
+    def row_bytes(self, index: int) -> bytes:
+        """Serialized fp32 row, as laid out on flash."""
+        return self.row(index).tobytes()
+
+    def lookup(self, indices: Sequence[int]) -> np.ndarray:
+        """Gather rows for ``indices`` (shape ``len(indices) x dim``)."""
+        return self.data[np.asarray(indices, dtype=np.int64)]
+
+    def __repr__(self) -> str:
+        return f"EmbeddingTable({self.name!r}, rows={self.rows}, dim={self.dim})"
+
+
+class EmbeddingTableSet:
+    """The model's full set of embedding tables (``M`` tables, Table I)."""
+
+    def __init__(self, tables: Iterable[EmbeddingTable]) -> None:
+        self.tables: List[EmbeddingTable] = list(tables)
+        if not self.tables:
+            raise ValueError("at least one table required")
+        dims = {t.dim for t in self.tables}
+        if len(dims) != 1:
+            raise ValueError(f"all tables must share one dimension, got {dims}")
+
+    @classmethod
+    def uniform(
+        cls,
+        num_tables: int,
+        rows_per_table: int,
+        dim: int,
+        seed: int = 0,
+        name_prefix: str = "table",
+    ) -> "EmbeddingTableSet":
+        """Build ``num_tables`` equally-sized tables with distinct seeds."""
+        return cls(
+            EmbeddingTable(f"{name_prefix}{i}", rows_per_table, dim, seed=seed + i)
+            for i in range(num_tables)
+        )
+
+    @classmethod
+    def uniform_virtual(
+        cls,
+        num_tables: int,
+        rows_per_table: int,
+        dim: int,
+        name_prefix: str = "table",
+    ) -> "EmbeddingTableSet":
+        """Equally-sized *virtual* tables (addressing studies at the
+        paper's full 30 GB capacity without allocating contents)."""
+        return cls(
+            EmbeddingTable.virtual(f"{name_prefix}{i}", rows_per_table, dim)
+            for i in range(num_tables)
+        )
+
+    def __len__(self) -> int:
+        return len(self.tables)
+
+    def __iter__(self):
+        return iter(self.tables)
+
+    def __getitem__(self, table_id: int) -> EmbeddingTable:
+        return self.tables[table_id]
+
+    @property
+    def dim(self) -> int:
+        return self.tables[0].dim
+
+    @property
+    def ev_size(self) -> int:
+        return self.tables[0].ev_size
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(t.nbytes for t in self.tables)
+
+
+@dataclass(frozen=True)
+class TableScaling:
+    """Record of a capacity substitution (30 GB paper -> N MB here).
+
+    Benchmarks report this so a reader always knows how far below the
+    paper's capacity a run's tables were materialized.
+    """
+
+    paper_total_bytes: int
+    built_total_bytes: int
+
+    @property
+    def factor(self) -> float:
+        return self.paper_total_bytes / self.built_total_bytes
+
+    def __str__(self) -> str:
+        return (
+            f"{self.built_total_bytes / (1 << 20):.0f} MB built "
+            f"(paper: {self.paper_total_bytes / (1 << 30):.0f} GB, "
+            f"{self.factor:.0f}x scale-down)"
+        )
+
+
+def scaling_vs_paper(
+    tables: EmbeddingTableSet,
+    paper_total_bytes: int = 30 * (1 << 30),
+) -> TableScaling:
+    """The substitution record for a materialized table set."""
+    return TableScaling(
+        paper_total_bytes=paper_total_bytes,
+        built_total_bytes=tables.total_bytes,
+    )

@@ -1,0 +1,124 @@
+"""Embedding Vector Translator (Fig. 6).
+
+Resolves ``(table_id, index)`` lookups to device addresses using only
+the extent metadata shipped at ``RM_open_table`` time — exactly the
+five steps of Fig. 6:
+
+1. scan each table's metadata once when a batch arrives;
+2. fetch an index from the Index Buffer;
+3. find the covering extent by checking index ranges (in parallel in
+   hardware; a bisect here);
+4. read that extent's start LBA;
+5. add the in-extent offset: vectors are packed ``slots_per_page`` to a
+   page, so the final address is
+   ``start_LBA * Psize + page_in_extent * Psize + slot * EVsize``.
+
+The translator never touches host state after setup — that is the point
+of the design: index-to-address resolution is in-device.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.embedding.layout import ExtentRange
+
+
+@dataclass(frozen=True)
+class TranslatedRead:
+    """One vector-grained read request produced by the translator."""
+
+    table_id: int
+    index: int
+    device_offset: int
+    size: int
+
+
+@dataclass(frozen=True)
+class _TableMeta:
+    """Preprocessed metadata for one table (Fig. 6 step 1)."""
+
+    extent_first_indices: List[int]
+    extents: List[ExtentRange]
+    ev_size: int
+    slots_per_page: int
+    page_size: int
+    rows: int
+
+
+class EVTranslator:
+    """Device-resident index-to-LBA translation."""
+
+    #: Cycles to translate one index once metadata is staged — a couple
+    #: of comparisons and adds in the FPGA pipeline.
+    CYCLES_PER_LOOKUP = 4
+
+    def __init__(self, page_size: int) -> None:
+        self.page_size = page_size
+        self._tables: Dict[int, _TableMeta] = {}
+
+    def register_table(
+        self,
+        table_id: int,
+        extent_ranges: Sequence[ExtentRange],
+        ev_size: int,
+        rows: int,
+    ) -> None:
+        """Stage one table's metadata (the RM_open_table upload)."""
+        if not extent_ranges:
+            raise ValueError(f"table {table_id} has no extents")
+        if ev_size <= 0 or ev_size > self.page_size:
+            raise ValueError("invalid embedding vector size")
+        self._tables[table_id] = _TableMeta(
+            extent_first_indices=[e.first_index for e in extent_ranges],
+            extents=list(extent_ranges),
+            ev_size=ev_size,
+            slots_per_page=self.page_size // ev_size,
+            page_size=self.page_size,
+            rows=rows,
+        )
+
+    @property
+    def registered_tables(self) -> int:
+        return len(self._tables)
+
+    def translate(self, table_id: int, index: int) -> TranslatedRead:
+        """Resolve one lookup to a device byte address (steps 2-5)."""
+        try:
+            meta = self._tables[table_id]
+        except KeyError:
+            raise KeyError(f"table {table_id} not registered") from None
+        if not 0 <= index < meta.rows:
+            raise IndexError(f"index {index} out of range for table {table_id}")
+        # Step 3: locate the covering extent.
+        position = bisect_right(meta.extent_first_indices, index) - 1
+        extent = meta.extents[position]
+        if not extent.covers(index):
+            raise RuntimeError(
+                f"metadata hole: index {index} not covered by extent {extent}"
+            )
+        # Steps 4-5: start LBA plus in-extent page/slot offset.
+        index_offset = index - extent.first_index
+        page_in_extent, slot = divmod(index_offset, meta.slots_per_page)
+        device_offset = (
+            (extent.start_lba + page_in_extent) * meta.page_size
+            + slot * meta.ev_size
+        )
+        return TranslatedRead(
+            table_id=table_id,
+            index=index,
+            device_offset=device_offset,
+            size=meta.ev_size,
+        )
+
+    def translate_batch(
+        self, table_id: int, indices: Sequence[int]
+    ) -> List[TranslatedRead]:
+        """Translate a whole Index Buffer worth of lookups."""
+        return [self.translate(table_id, index) for index in indices]
+
+    def translation_cycles(self, num_lookups: int) -> int:
+        """Pipeline cycles to translate ``num_lookups`` indices."""
+        return self.CYCLES_PER_LOOKUP * num_lookups

@@ -1,0 +1,34 @@
+"""FPGA engine models for the MLP Acceleration Engine.
+
+Analytic models of Section IV-C: the FC kernel time/resource model,
+intra-layer decomposition (Fig. 8), inter-layer composition (Fig. 9 and
+Eq. 1), the kernel search algorithm (Rules 1-4, Eq. 2-5), and the
+resource accounting behind Table VI.
+"""
+
+from repro.fpga.compose import StageTimes, stage_times
+from repro.fpga.decompose import DecomposedModel, LayerAssignment, decompose
+from repro.fpga.kernel import KernelSize, batch_cycles, layer_cycles
+from repro.fpga.resources import ResourceVector, engine_resources, naive_gemm_resources
+from repro.fpga.search import KernelSearchResult, kernel_search
+from repro.fpga.specs import XC7A200T, XCVU9P, FPGAPart, FPGASettings
+
+__all__ = [
+    "DecomposedModel",
+    "FPGAPart",
+    "FPGASettings",
+    "KernelSearchResult",
+    "KernelSize",
+    "LayerAssignment",
+    "ResourceVector",
+    "StageTimes",
+    "XC7A200T",
+    "XCVU9P",
+    "batch_cycles",
+    "decompose",
+    "engine_resources",
+    "kernel_search",
+    "layer_cycles",
+    "naive_gemm_resources",
+    "stage_times",
+]

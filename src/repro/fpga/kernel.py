@@ -1,0 +1,91 @@
+"""FC kernel timing model (Section IV-C1).
+
+An FC layer with ``R`` inputs and ``C`` outputs is computed by a
+``kr x kc`` kernel: ``kr`` is the adder-tree width along the input
+dimension, ``kc`` the number of parallel output columns.  With the
+adder tree the time cost is ``(R*C) / (kr*kc) * II`` cycles (the paper
+approximates ``RC/kr * II + log2(kr) * II`` by its dominant term); we
+use exact ceilings so non-divisible shapes are handled.
+
+Batching: the ``II``-deep kernel pipeline accepts a new input sample
+each cycle, so up to ``II`` batch samples ride the pipeline for free —
+``batch_cycles = layer_cycles * ceil(Nbatch / II)``.  This is what
+makes Rule Three's batch-size escalation effective: embedding time
+grows linearly in ``Nbatch`` while MLP stage time is flat until
+``Nbatch > II``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, log2
+
+from repro.fpga.specs import DEFAULT_SETTINGS, FPGASettings
+
+
+@dataclass(frozen=True)
+class KernelSize:
+    """A ``kr x kc`` kernel (Table V entries)."""
+
+    kr: int
+    kc: int
+
+    def __post_init__(self) -> None:
+        if self.kr < 1 or self.kc < 1:
+            raise ValueError("kernel sides must be positive")
+        for side in (self.kr, self.kc):
+            if side & (side - 1):
+                raise ValueError(f"kernel sides must be powers of two, got {side}")
+
+    @property
+    def area(self) -> int:
+        return self.kr * self.kc
+
+    def __str__(self) -> str:
+        return f"{self.kr}x{self.kc}"
+
+
+def layer_cycles(
+    rows: int,
+    cols: int,
+    kernel: KernelSize,
+    settings: FPGASettings = DEFAULT_SETTINGS,
+) -> int:
+    """Single-sample cycles for an ``R x C`` layer under ``kernel``."""
+    if rows < 1 or cols < 1:
+        raise ValueError("layer dimensions must be positive")
+    return ceil(rows / kernel.kr) * ceil(cols / kernel.kc) * settings.ii
+
+
+def batch_cycles(
+    rows: int,
+    cols: int,
+    kernel: KernelSize,
+    nbatch: int,
+    settings: FPGASettings = DEFAULT_SETTINGS,
+) -> int:
+    """Cycles to push ``nbatch`` samples through the layer.
+
+    Samples pipeline through the ``II`` reuse slots, so the cost steps
+    up only every ``II`` samples.
+    """
+    if nbatch < 1:
+        raise ValueError("batch size must be positive")
+    return layer_cycles(rows, cols, kernel, settings) * ceil(nbatch / settings.ii)
+
+
+def dram_layer_kernel(settings: FPGASettings = DEFAULT_SETTINGS) -> KernelSize:
+    """Rule Two's fixed kernel for DRAM-resident layers.
+
+    ``kr = Dwidth`` (in fp32 words: 16 for a 64 B DDR4 bus) and
+    ``kc = II``, so the layer time equals the weight-streaming time
+    ``R*C / Dwidth`` and double buffering hides the fetch.
+    """
+    return KernelSize(kr=settings.dram_words_per_cycle, kc=settings.ii)
+
+
+def adder_tree_depth(kr: int) -> int:
+    """Pipeline depth of the kr-input adder tree (log2 kr stages)."""
+    if kr < 1:
+        raise ValueError("kr must be positive")
+    return max(1, ceil(log2(kr))) if kr > 1 else 0

@@ -1,0 +1,189 @@
+"""Analytic FPGA resource model (Table VI).
+
+We cannot run Vivado synthesis, so resources are estimated from an
+analytic per-unit model calibrated against Table VI's published counts.
+The unit of account is one *MAC unit* — an fp32 multiplier plus an fp32
+adder.  With the kernel-reuse pipeline of Section IV-C1, a ``kr x kc``
+kernel instantiates ``ceil(kr*kc / II)`` MAC units (the paper's
+``krkc/II * (Nfmul + Nfadd)``).
+
+The model reproduces Table VI's *relative* structure — the optimized
+engine is an order of magnitude cheaper than the default/naive designs
+for RMC1/2, and the RMC3 default design does not fit an XC7A200T while
+the optimized one does — rather than exact synthesis counts, which
+depend on Vivado versions and URAM inference.  Constants are documented
+against the Table VI rows they were calibrated to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import Sequence
+
+from repro.fpga.decompose import PLACEMENT_DRAM, DecomposedModel, LayerAssignment
+from repro.fpga.specs import DEFAULT_SETTINGS, FPGASettings
+
+#: Usable bytes per BRAM36 tile (36 Kbit).
+BRAM36_BYTES = 4608
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """LUT / FF / BRAM36 / DSP usage of a design."""
+
+    lut: int = 0
+    ff: int = 0
+    bram: float = 0.0
+    dsp: int = 0
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            lut=self.lut + other.lut,
+            ff=self.ff + other.ff,
+            bram=self.bram + other.bram,
+            dsp=self.dsp + other.dsp,
+        )
+
+    def dominates(self, other: "ResourceVector") -> bool:
+        """True when this usage is >= ``other`` in every resource."""
+        return (
+            self.lut >= other.lut
+            and self.ff >= other.ff
+            and self.bram >= other.bram
+            and self.dsp >= other.dsp
+        )
+
+    def as_dict(self) -> dict:
+        return {"lut": self.lut, "ff": self.ff, "bram": self.bram, "dsp": self.dsp}
+
+
+@dataclass(frozen=True)
+class ResourceModelConstants:
+    """Per-unit and per-layer costs, calibrated against Table VI.
+
+    * ``unit_*`` — one fp32 MAC unit (fmul + fadd).  ~740 LUT tracks
+      the RMC1 "MLP" row: 192 units -> ~159 K LUT.
+    * ``layer_*`` — per-layer control logic, stream FIFOs, and address
+      generators (the MLP-op RMC1 row: 6 layers + 6 units -> ~19 K
+      LUT, 41 DSP).
+    * ``dram_layer_*`` — extra fetch/DMA logic and double buffers for a
+      DRAM-resident layer (Rule Two).
+    """
+
+    unit_lut: int = 740
+    unit_ff: int = 290
+    unit_dsp: int = 3
+    layer_lut: int = 2400
+    layer_ff: int = 950
+    layer_dsp: int = 2
+    layer_bram: float = 2.0
+    dram_layer_lut: int = 3000
+    dram_layer_ff: int = 1200
+    dram_layer_bram: float = 16.0
+
+
+DEFAULT_CONSTANTS = ResourceModelConstants()
+
+
+def mac_units(layer: LayerAssignment, settings: FPGASettings = DEFAULT_SETTINGS) -> int:
+    """MAC units instantiated for a layer: ``ceil(kr*kc / II)``."""
+    if layer.kernel is None:
+        raise ValueError(f"layer {layer.name} has no kernel assigned")
+    return ceil(layer.kernel.area / settings.ii)
+
+
+def weight_bram_tiles(weight_bytes: int) -> int:
+    """BRAM36 tiles to hold a layer's fp32 weights."""
+    return ceil(weight_bytes / BRAM36_BYTES)
+
+
+def layer_resources(
+    layer: LayerAssignment,
+    settings: FPGASettings = DEFAULT_SETTINGS,
+    constants: ResourceModelConstants = DEFAULT_CONSTANTS,
+) -> ResourceVector:
+    """Resource usage of one kernel-assigned layer."""
+    units = mac_units(layer, settings)
+    lut = units * constants.unit_lut + constants.layer_lut
+    ff = units * constants.unit_ff + constants.layer_ff
+    dsp = units * constants.unit_dsp + constants.layer_dsp
+    if layer.placement == PLACEMENT_DRAM:
+        # Weights stream from DDR4: no weight BRAM, but double buffers
+        # and fetch logic instead.
+        lut += constants.dram_layer_lut
+        ff += constants.dram_layer_ff
+        bram = constants.dram_layer_bram + constants.layer_bram
+    else:
+        # Weights banked on chip; at least one bank per MAC unit so the
+        # units can read in parallel.
+        bram = max(weight_bram_tiles(layer.weight_bytes), units) + constants.layer_bram
+    return ResourceVector(lut=lut, ff=ff, bram=bram, dsp=dsp)
+
+
+def engine_resources(
+    model: DecomposedModel,
+    settings: FPGASettings = DEFAULT_SETTINGS,
+    constants: ResourceModelConstants = DEFAULT_CONSTANTS,
+) -> ResourceVector:
+    """Total MLP Acceleration Engine usage for a decomposed model."""
+    total = ResourceVector()
+    for layer in model.all_layers():
+        total = total + layer_resources(layer, settings, constants)
+    return total
+
+
+@dataclass(frozen=True)
+class NaiveGemmConstants:
+    """The conventional layer-by-layer GEMM design (MLP-naive).
+
+    A fixed systolic array processes layers sequentially (the Centaur-
+    style design Section VI-D compares against).  Calibrated to the
+    RMC1/RMC3 MLP-naive rows: PE costs set the ~155 K LUT / 612 DSP
+    base, the input-width terms the RMC3 growth to ~220 K LUT.
+    """
+
+    array_dim: int = 16
+    pe_lut: int = 580
+    pe_ff: int = 205
+    pe_dsp: int = 2
+    control_lut: int = 7000
+    control_ff: int = 2000
+    control_dsp: int = 100
+    lut_per_input: int = 25
+    ff_per_input: int = 9
+    buffer_bram: float = 128.0
+
+
+def naive_gemm_resources(
+    shapes: Sequence[tuple],
+    bram_capacity: float = 512.0,
+    constants: NaiveGemmConstants = NaiveGemmConstants(),
+) -> ResourceVector:
+    """Resource usage of the MLP-naive design for a set of FC shapes.
+
+    ``bram_capacity`` bounds on-chip weight storage; models whose
+    weights exceed it stream from DRAM with fixed staging buffers
+    (which is why RMC3's naive BRAM count is close to RMC1's despite a
+    30x larger model).
+    """
+    if not shapes:
+        raise ValueError("no FC layers given")
+    pes = constants.array_dim * constants.array_dim
+    max_input = max(rows for rows, _ in shapes)
+    weight_bytes = sum(rows * cols * 4 for rows, cols in shapes)
+    weight_tiles = weight_bram_tiles(weight_bytes)
+    if weight_tiles <= bram_capacity:
+        bram = weight_tiles + constants.buffer_bram
+    else:
+        bram = 160.0 + constants.buffer_bram / 2  # DRAM streaming buffers
+    return ResourceVector(
+        lut=pes * constants.pe_lut
+        + constants.control_lut
+        + max_input * constants.lut_per_input,
+        ff=pes * constants.pe_ff
+        + constants.control_ff
+        + max_input * constants.ff_per_input,
+        bram=bram,
+        dsp=pes * constants.pe_dsp + constants.control_dsp,
+    )

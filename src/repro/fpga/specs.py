@@ -1,0 +1,89 @@
+"""FPGA part capacities and engine-wide settings.
+
+Capacities are the totals the paper's Table VI compares against:
+
+* **XCVU9P** — the Virtex UltraScale+ part on the AWS F1 card used for
+  emulation (1.18M LUT, 2.36M FF, 2160 BRAM, 6840 DSP).
+* **XC7A200T** — the low-end Artix-7 class part representative of what
+  an enterprise SSD could actually embed (215K LUT, 269K FF, 365 BRAM,
+  740 DSP).  RM-SSD targets this class; designs that do not fit it are
+  not deployable in-storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FPGAPart:
+    """Resource capacity of one FPGA device (Table VI footer)."""
+
+    name: str
+    luts: int
+    ffs: int
+    brams: int  # BRAM36-equivalent tiles
+    dsps: int
+
+    def fits(self, usage: "ResourceVector") -> bool:  # noqa: F821
+        """Whether a design's resource vector fits this part."""
+        return (
+            usage.lut <= self.luts
+            and usage.ff <= self.ffs
+            and usage.bram <= self.brams
+            and usage.dsp <= self.dsps
+        )
+
+    def utilization(self, usage: "ResourceVector") -> dict:  # noqa: F821
+        return {
+            "lut": usage.lut / self.luts,
+            "ff": usage.ff / self.ffs,
+            "bram": usage.bram / self.brams,
+            "dsp": usage.dsp / self.dsps,
+        }
+
+
+XCVU9P = FPGAPart("XCVU9P", luts=1_181_768, ffs=2_363_536, brams=2160, dsps=6840)
+XC7A200T = FPGAPart("XC7A200T", luts=215_360, ffs=269_200, brams=365, dsps=740)
+
+
+@dataclass(frozen=True)
+class FPGASettings:
+    """Engine-wide constants of Section V.
+
+    * ``clock_hz`` — the controller/engine clock (200 MHz).
+    * ``ii`` — initiation interval of the FC kernel pipeline
+      (Section VI-D: "The II for kernel computing is 8").
+    * ``dram_width_bytes`` — off-chip DDR4 data width (64 B), which is
+      Rule Two's ``Dwidth``.
+    * ``kmax_log2`` — kernels are powers of two up to ``2^kmax_log2``
+      per side (Rule Three's ``Kmax``); 16x16 is the largest default
+      kernel the paper uses.
+    * ``mmio_width_bytes`` — host MMIO data width (Section VI-C: the
+      64 B returned per batch-1 inference).
+    """
+
+    clock_hz: float = 200e6
+    ii: int = 8
+    dram_width_bytes: int = 64
+    kmax_log2: int = 4
+    mmio_width_bytes: int = 64
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1e9 / self.clock_hz
+
+    @property
+    def dram_words_per_cycle(self) -> int:
+        """fp32 weights deliverable per cycle from DDR4 (64 B -> 16)."""
+        return self.dram_width_bytes // 4
+
+    @property
+    def kmax(self) -> int:
+        return 1 << self.kmax_log2
+
+    def cycles_to_ns(self, cycles: float) -> float:
+        return cycles * self.cycle_ns
+
+
+DEFAULT_SETTINGS = FPGASettings()

@@ -1,0 +1,6 @@
+"""Host-side models: CPU/framework/I/O-stack costs and the runtime."""
+
+from repro.host.costs import HostCostModel
+from repro.host.runtime import HostPipeline
+
+__all__ = ["HostCostModel", "HostPipeline"]

@@ -1,0 +1,144 @@
+"""Deadline-aware dynamic batching (extension).
+
+RM-SSD serves small device batches; the host decides how to group an
+incoming query stream into them.  Batching raises device efficiency
+(up to ``II`` samples ride the kernel pipeline free, and embedding
+reads amortize fixed costs) but holding queries to fill a batch adds
+queueing delay — the classic trade-off the DeepRecSys line of work
+schedules around.
+
+:class:`DynamicBatcher` implements the standard policy: dispatch when
+either ``max_batch`` queries are waiting or the oldest has waited
+``max_wait_ns``.  Batches then flow through the three-stage RM-SSD
+pipeline with batch-size-dependent stage times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator, List, Sequence
+
+from repro.analysis.metrics import percentile
+from repro.fpga.compose import StageTimes
+from repro.sim import Server, Simulator
+
+#: Maps a batch size to its (emb_ns, bot_ns, top_ns) stage times.
+StageTimesFn = Callable[[int], tuple]
+
+
+@dataclass
+class BatchingResult:
+    """Outcome of one batching-policy run."""
+
+    query_latencies_ns: List[float]
+    batch_sizes: List[int]
+    makespan_ns: float
+
+    @property
+    def queries(self) -> int:
+        return len(self.query_latencies_ns)
+
+    @property
+    def qps(self) -> float:
+        return self.queries / (self.makespan_ns / 1e9) if self.makespan_ns else 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return sum(self.batch_sizes) / len(self.batch_sizes)
+
+    def latency_percentile_ns(self, q: float) -> float:
+        return percentile(self.query_latencies_ns, q)
+
+
+class DynamicBatcher:
+    """Batch-or-deadline dispatch into a 3-stage pipeline."""
+
+    def __init__(
+        self,
+        stage_times_fn: StageTimesFn,
+        max_batch: int,
+        max_wait_ns: float,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        if max_wait_ns < 0:
+            raise ValueError("max_wait_ns must be non-negative")
+        self.stage_times_fn = stage_times_fn
+        self.max_batch = max_batch
+        self.max_wait_ns = max_wait_ns
+
+    @classmethod
+    def from_engine(cls, mlp_engine, max_batch: int, max_wait_ns: float):
+        """Build from an :class:`MLPAccelerationEngine` (stage times in
+        engine cycles at 5 ns)."""
+
+        def fn(nbatch: int) -> tuple:
+            times: StageTimes = mlp_engine.stage_times_for(nbatch)
+            cycle = mlp_engine.settings.cycle_ns
+            return (times.temb * cycle, times.tbot * cycle, times.ttop * cycle)
+
+        return cls(fn, max_batch, max_wait_ns)
+
+    # ------------------------------------------------------------------
+    def run(self, arrival_times_ns: Sequence[float]) -> BatchingResult:
+        """Serve queries arriving at the given (sorted) instants."""
+        arrivals = list(arrival_times_ns)
+        if not arrivals:
+            raise ValueError("no queries")
+        if arrivals != sorted(arrivals):
+            raise ValueError("arrival times must be sorted")
+
+        sim = Simulator()
+        emb_server = Server(sim, "emb")
+        bot_server = Server(sim, "bot")
+        top_server = Server(sim, "top")
+        latencies: List[float] = [0.0] * len(arrivals)
+        batch_sizes: List[int] = []
+
+        def serve_batch(members: List[int]) -> Generator:
+            emb_ns, bot_ns, top_ns = self.stage_times_fn(len(members))
+
+            def emb_stage() -> Generator:
+                yield emb_server.serve(emb_ns)
+
+            def bot_stage() -> Generator:
+                if bot_ns > 0:
+                    yield bot_server.serve(bot_ns)
+
+            yield sim.all_of([sim.process(emb_stage()), sim.process(bot_stage())])
+            if top_ns > 0:
+                yield top_server.serve(top_ns)
+            for query in members:
+                latencies[query] = sim.now - arrivals[query]
+
+        def batcher() -> Generator:
+            index = 0
+            while index < len(arrivals):
+                if sim.now < arrivals[index]:
+                    yield sim.timeout(arrivals[index] - sim.now)
+                deadline = arrivals[index] + self.max_wait_ns
+                take = 1
+                while (
+                    take < self.max_batch
+                    and index + take < len(arrivals)
+                    and arrivals[index + take] <= deadline
+                ):
+                    take += 1
+                if take == self.max_batch:
+                    dispatch_at = max(sim.now, arrivals[index + take - 1])
+                else:
+                    dispatch_at = max(sim.now, deadline)
+                if sim.now < dispatch_at:
+                    yield sim.timeout(dispatch_at - sim.now)
+                members = list(range(index, index + take))
+                batch_sizes.append(take)
+                sim.process(serve_batch(members))
+                index += take
+
+        sim.process(batcher())
+        sim.run()
+        return BatchingResult(
+            query_latencies_ns=latencies,
+            batch_sizes=batch_sizes,
+            makespan_ns=sim.now,
+        )

@@ -1,0 +1,69 @@
+"""Host-side pipelining helper (Section IV-D's throughput optimization).
+
+Given a stream of per-request stage costs ``(send, device, receive)``,
+computes total wall time with and without the pre-send optimization:
+pipelined, the host sends request *i+1* while the device processes *i*,
+so the steady-state cost per request is ``max(send, device, receive)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+
+@dataclass(frozen=True)
+class StageCost:
+    """One request's host-send / device / host-receive costs in ns."""
+
+    send_ns: float
+    device_ns: float
+    receive_ns: float
+
+    @property
+    def serial_ns(self) -> float:
+        return self.send_ns + self.device_ns + self.receive_ns
+
+    @property
+    def bottleneck_ns(self) -> float:
+        return max(self.send_ns, self.device_ns, self.receive_ns)
+
+
+class HostPipeline:
+    """Accumulates request costs and reports total wall time."""
+
+    def __init__(self, pipelined: bool = True) -> None:
+        self.pipelined = pipelined
+        self._costs: List[StageCost] = []
+
+    def add(self, send_ns: float, device_ns: float, receive_ns: float) -> None:
+        self._costs.append(StageCost(send_ns, device_ns, receive_ns))
+
+    def extend(self, costs: Iterable[Tuple[float, float, float]]) -> None:
+        for send, device, receive in costs:
+            self.add(send, device, receive)
+
+    @property
+    def requests(self) -> int:
+        return len(self._costs)
+
+    def total_ns(self) -> float:
+        """Wall time for the whole stream.
+
+        Pipelined: the first request fills the pipe at full cost, each
+        further request costs its bottleneck stage.  Serial: every
+        request costs its full sum.
+        """
+        if not self._costs:
+            return 0.0
+        if not self.pipelined:
+            return sum(cost.serial_ns for cost in self._costs)
+        total = self._costs[0].serial_ns
+        for cost in self._costs[1:]:
+            total += cost.bottleneck_ns
+        return total
+
+    def speedup_from_pipelining(self) -> float:
+        serial = sum(cost.serial_ns for cost in self._costs)
+        piped = self.total_ns()
+        return serial / piped if piped else 1.0

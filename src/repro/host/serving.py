@@ -1,0 +1,115 @@
+"""Open-loop serving study (SLA analysis).
+
+The paper's very first sentence: recommendation systems must "meet the
+strict service level agreement requirements".  This module turns the
+reproduction into an SLA tool: offer a Poisson query stream to a
+serving pipeline, measure the latency distribution, and search for the
+highest sustainable load under a tail-latency SLA — the
+DeepRecSys-style question the paper's motivation implies but its
+evaluation (closed-loop throughput) does not answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.analysis.metrics import percentile
+from repro.core.pipeline_sim import PipelineSimulator
+from repro.fpga.compose import StageTimes
+
+
+@dataclass(frozen=True)
+class LoadPoint:
+    """Latency distribution at one offered load."""
+
+    offered_qps: float
+    achieved_qps: float
+    p50_ns: float
+    p95_ns: float
+    p99_ns: float
+    mean_ns: float
+
+    def meets_sla(self, sla_ns: float, quantile: float = 99.0) -> bool:
+        value = {50.0: self.p50_ns, 95.0: self.p95_ns, 99.0: self.p99_ns}[quantile]
+        return value <= sla_ns
+
+
+class ServingSimulator:
+    """Poisson arrivals into a 3-stage serving pipeline."""
+
+    def __init__(
+        self,
+        times: StageTimes,
+        cycle_ns: float = 5.0,
+        nbatch: int = 1,
+        seed: int = 0,
+    ) -> None:
+        self.pipeline = PipelineSimulator.from_stage_times(times, cycle_ns)
+        self.nbatch = max(1, nbatch)
+        self.saturation_qps = times.throughput_qps(1e9 / cycle_ns)
+        self._seed = seed
+
+    def offered_load(self, qps: float, queries: int = 200) -> LoadPoint:
+        """Latency distribution at an offered Poisson load of ``qps``.
+
+        Queries arrive individually; the device serves them in batches
+        of ``nbatch`` (the paper's small-batch partitioning), so the
+        batch arrival process is the nbatch-fold thinning of the query
+        process.
+        """
+        if qps <= 0:
+            raise ValueError("offered load must be positive")
+        rng = np.random.default_rng(self._seed)
+        batches = max(2, queries // self.nbatch)
+        # Inter-arrival of the nbatch-th query: Erlang(nbatch, qps).
+        gaps = rng.gamma(shape=self.nbatch, scale=1e9 / qps, size=batches)
+        arrivals = np.cumsum(gaps) - gaps[0]
+        result = self.pipeline.run(batches, arrival_times_ns=list(arrivals))
+        latencies = [r.latency_ns for r in result.records]
+        elapsed_s = result.makespan_ns / 1e9
+        return LoadPoint(
+            offered_qps=qps,
+            achieved_qps=batches * self.nbatch / elapsed_s if elapsed_s else 0.0,
+            p50_ns=percentile(latencies, 50),
+            p95_ns=percentile(latencies, 95),
+            p99_ns=percentile(latencies, 99),
+            mean_ns=sum(latencies) / len(latencies),
+        )
+
+    def load_sweep(
+        self, fractions: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 0.9, 0.95),
+        queries: int = 200,
+    ) -> List[LoadPoint]:
+        """Latency-vs-load curve as fractions of the saturation QPS."""
+        return [
+            self.offered_load(self.saturation_qps * fraction, queries)
+            for fraction in fractions
+        ]
+
+    def max_qps_under_sla(
+        self,
+        sla_ns: float,
+        quantile: float = 99.0,
+        queries: int = 200,
+        tolerance: float = 0.02,
+    ) -> float:
+        """Largest offered load whose latency quantile meets the SLA.
+
+        Bisects over (0, saturation]; returns 0.0 if even a trickle
+        misses the SLA (the unloaded latency already exceeds it).
+        """
+        low, high = 0.0, self.saturation_qps
+        trickle = self.offered_load(max(1e-3, 0.01 * high), queries=queries)
+        if not trickle.meets_sla(sla_ns, quantile):
+            return 0.0
+        while (high - low) > tolerance * self.saturation_qps:
+            mid = (low + high) / 2
+            point = self.offered_load(mid, queries=queries)
+            if point.meets_sla(sla_ns, quantile):
+                low = mid
+            else:
+                high = mid
+        return low

@@ -1,0 +1,32 @@
+"""Recommendation models (NumPy, fp32, inference only).
+
+Implements the model zoo the paper evaluates: Facebook's DLRM in the
+RMC1/RMC2/RMC3 configurations of Table III, Neural Collaborative
+Filtering (NCF), and Wide & Deep (WnD).  All arithmetic is fp32 without
+quantization, matching the paper's accuracy stance.
+"""
+
+from repro.models.configs import (
+    MODEL_CONFIGS,
+    ModelConfig,
+    build_model,
+    get_config,
+)
+from repro.models.dlrm import DLRM
+from repro.models.layers import Activation, FCLayer
+from repro.models.mlp import MLP
+from repro.models.ncf import NCF
+from repro.models.wnd import WideAndDeep
+
+__all__ = [
+    "Activation",
+    "DLRM",
+    "FCLayer",
+    "MLP",
+    "MODEL_CONFIGS",
+    "ModelConfig",
+    "NCF",
+    "WideAndDeep",
+    "build_model",
+    "get_config",
+]

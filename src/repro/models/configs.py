@@ -1,0 +1,178 @@
+"""Model configurations (Table III) and builders.
+
+Table III of the paper:
+
+====== ============== =========== === ====== ======= ========
+Model  Bottom MLP     Top MLP     DIM Tables Lookups MLP size
+====== ============== =========== === ====== ======= ========
+RMC1   128-64-32      256-64-1    32  8      80      0.39 MB
+RMC2   256-128-64     128-64-1    64  32     120     1.23 MB
+RMC3   2560-1024-...  512-256-1   32  10     20      12.23 MB
+====== ============== =========== === ====== ======= ========
+
+The first number of the bottom chain is the dense-feature input width;
+the top chain's input is the feature-interaction width
+``tables * dim + bottom_out`` (e.g. 8*32+32 = 288 for RMC1).  With that
+reading the fp32 parameter totals come out at 0.40/1.28/12.8 MB —
+matching the paper's MLP-size column to within rounding.
+
+The paper sets every model's total embedding capacity to 30 GB; here
+tables are materialized at a configurable ``rows_per_table`` and the
+scale factor is recorded (see DESIGN.md's substitution table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.embedding.table import EmbeddingTableSet
+from repro.models.dlrm import DLRM
+from repro.models.layers import Activation
+from repro.models.mlp import MLP
+from repro.models.ncf import NCF
+from repro.models.wnd import WideAndDeep
+
+#: The paper's per-model embedding capacity (Section VI-A).
+PAPER_EMBEDDING_BYTES = 30 * (1 << 30)
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architecture plus workload shape for one evaluated model."""
+
+    name: str
+    kind: str  # "dlrm" | "ncf" | "wnd"
+    dim: int
+    num_tables: int
+    lookups_per_table: int
+    bottom_widths: Tuple[int, ...] = ()
+    top_widths: Tuple[int, ...] = ()
+    dense_dim: int = 0
+
+    @property
+    def ev_size(self) -> int:
+        return self.dim * 4
+
+    @property
+    def is_mlp_dominated(self) -> bool:
+        """RMC3, NCF, WnD in the paper's taxonomy."""
+        return self.lookups_per_table * self.num_tables <= 200
+
+    @property
+    def lookups_per_inference(self) -> int:
+        return self.lookups_per_table * self.num_tables
+
+    def paper_rows_per_table(self) -> int:
+        """Rows each table would have at the paper's 30 GB capacity."""
+        return PAPER_EMBEDDING_BYTES // (self.num_tables * self.ev_size)
+
+
+def _dlrm_config(
+    name: str,
+    bottom: Tuple[int, ...],
+    top: Tuple[int, ...],
+    dim: int,
+    tables: int,
+    lookups: int,
+) -> ModelConfig:
+    return ModelConfig(
+        name=name,
+        kind="dlrm",
+        dim=dim,
+        num_tables=tables,
+        lookups_per_table=lookups,
+        bottom_widths=bottom,
+        top_widths=top,
+        dense_dim=bottom[0],
+    )
+
+
+MODEL_CONFIGS: Dict[str, ModelConfig] = {
+    "rmc1": _dlrm_config("RMC1", (128, 64, 32), (256, 64, 1), dim=32, tables=8, lookups=80),
+    "rmc2": _dlrm_config("RMC2", (256, 128, 64), (128, 64, 1), dim=64, tables=32, lookups=120),
+    "rmc3": _dlrm_config(
+        "RMC3", (2560, 1024, 256, 32), (512, 256, 1), dim=32, tables=10, lookups=20
+    ),
+    "ncf": ModelConfig(
+        name="NCF",
+        kind="ncf",
+        dim=64,
+        num_tables=4,
+        lookups_per_table=1,
+        top_widths=(256, 128, 64),
+        dense_dim=0,
+    ),
+    "wnd": ModelConfig(
+        name="WnD",
+        kind="wnd",
+        dim=64,
+        num_tables=26,
+        lookups_per_table=1,
+        top_widths=(1024, 512, 256),
+        dense_dim=13,
+    ),
+}
+
+
+def get_config(name: str) -> ModelConfig:
+    try:
+        return MODEL_CONFIGS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; choose from {sorted(MODEL_CONFIGS)}"
+        ) from None
+
+
+def build_model(
+    config: ModelConfig,
+    rows_per_table: int = 4096,
+    seed: int = 0,
+    pooling: str = "sum",
+):
+    """Materialize a model at a (scaled-down) embedding capacity.
+
+    Returns a DLRM, NCF, or WideAndDeep instance whose ``tables`` hold
+    ``rows_per_table`` rows each.  ``pooling`` ("sum" or "mean")
+    selects the DLRM embedding pooling operator; NCF and WnD perform
+    single lookups, where the two coincide.
+    """
+    if rows_per_table < 1:
+        raise ValueError("rows_per_table must be positive")
+    if config.kind == "dlrm":
+        tables = EmbeddingTableSet.uniform(
+            config.num_tables, rows_per_table, config.dim, seed=seed
+        )
+        dense_dim = config.bottom_widths[0]
+        bottom = MLP.from_widths(
+            dense_dim, list(config.bottom_widths[1:]), seed=seed + 100
+        )
+        top_in = config.num_tables * config.dim + bottom.output_dim
+        top = MLP.from_widths(
+            top_in,
+            list(config.top_widths),
+            final_activation=Activation.SIGMOID,
+            seed=seed + 200,
+        )
+        return DLRM(config.name, tables, bottom, top, pooling=pooling)
+    if config.kind == "ncf":
+        return NCF(
+            num_users=rows_per_table,
+            num_items=rows_per_table,
+            dim=config.dim,
+            tower_widths=config.top_widths,
+            seed=seed,
+            name=config.name,
+        )
+    if config.kind == "wnd":
+        tables = EmbeddingTableSet.uniform(
+            config.num_tables, rows_per_table, config.dim, seed=seed
+        )
+        return WideAndDeep(
+            tables,
+            dense_dim=config.dense_dim,
+            deep_widths=config.top_widths,
+            seed=seed,
+            name=config.name,
+        )
+    raise ValueError(f"unknown model kind {config.kind!r}")

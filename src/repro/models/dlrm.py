@@ -1,0 +1,115 @@
+"""DLRM: Facebook's deep learning recommendation model (Fig. 1).
+
+Dense features flow through the bottom MLP; sparse features are pooled
+per embedding table with SparseLengthSum; feature interaction
+concatenates the bottom-MLP output with the pooled embedding vectors;
+the top MLP produces the click-through-rate.
+
+The feature-interaction operator here is concatenation, which is the
+variant the paper maps onto the FPGA (its intra-layer decomposition in
+Section IV-C2 relies on the top MLP's first layer consuming the
+concatenated ``[bottom_out | pooled embeddings]`` vector).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.embedding.pooling import POOLING_MEAN, POOLING_SUM, sls_all_tables
+from repro.embedding.table import EmbeddingTableSet
+from repro.models.mlp import MLP
+
+#: ``batch_sparse[sample][table]`` is the list of lookup indices.
+SparseBatch = Sequence[Sequence[Sequence[int]]]
+
+
+class DLRM:
+    """A DLRM instance: bottom MLP + embedding tables + top MLP."""
+
+    def __init__(
+        self,
+        name: str,
+        tables: EmbeddingTableSet,
+        bottom: MLP,
+        top: MLP,
+        pooling: str = POOLING_SUM,
+    ) -> None:
+        expected_top_in = len(tables) * tables.dim + bottom.output_dim
+        if top.input_dim != expected_top_in:
+            raise ValueError(
+                f"top MLP input {top.input_dim} != concat width {expected_top_in} "
+                f"({len(tables)} tables x dim {tables.dim} + bottom out "
+                f"{bottom.output_dim})"
+            )
+        if pooling not in (POOLING_SUM, POOLING_MEAN):
+            raise ValueError(f"unknown pooling mode {pooling!r}")
+        self.name = name
+        self.tables = tables
+        self.bottom = bottom
+        self.top = top
+        self.pooling = pooling
+
+    # ------------------------------------------------------------------
+    # Forward pass
+    # ------------------------------------------------------------------
+    def interact(self, bottom_out: np.ndarray, pooled: np.ndarray) -> np.ndarray:
+        """Feature interaction: concatenation (bottom first, Fig. 8)."""
+        return np.concatenate([bottom_out, pooled]).astype(np.float32)
+
+    def forward_one(
+        self, dense: np.ndarray, sparse: Sequence[Sequence[int]]
+    ) -> np.ndarray:
+        """Single-sample inference; returns the CTR scalar array."""
+        bottom_out = self.bottom(np.asarray(dense, dtype=np.float32))
+        pooled = sls_all_tables(self.tables, sparse, self.pooling)
+        return self.top(self.interact(bottom_out, pooled))
+
+    def forward(self, dense_batch: np.ndarray, sparse_batch: SparseBatch) -> np.ndarray:
+        """Batched inference: ``batch x dense_dim`` -> ``batch x 1``."""
+        dense_batch = np.asarray(dense_batch, dtype=np.float32)
+        if dense_batch.ndim != 2:
+            raise ValueError("dense_batch must be 2-D (batch x dense_dim)")
+        if len(dense_batch) != len(sparse_batch):
+            raise ValueError("dense and sparse batch sizes differ")
+        return np.stack(
+            [
+                self.forward_one(dense, sparse)
+                for dense, sparse in zip(dense_batch, sparse_batch)
+            ]
+        )
+
+    __call__ = forward
+
+    # ------------------------------------------------------------------
+    # Introspection for the ISC mapping
+    # ------------------------------------------------------------------
+    @property
+    def dense_dim(self) -> int:
+        return self.bottom.input_dim
+
+    @property
+    def num_tables(self) -> int:
+        return len(self.tables)
+
+    @property
+    def embedding_out_dim(self) -> int:
+        return self.num_tables * self.tables.dim
+
+    @property
+    def mlp_weight_bytes(self) -> int:
+        """Table III's "MLP size" column."""
+        return self.bottom.weight_bytes + self.top.weight_bytes
+
+    def fc_shapes_bottom(self) -> List[tuple]:
+        return self.bottom.shapes()
+
+    def fc_shapes_top(self) -> List[tuple]:
+        return self.top.shapes()
+
+    def __repr__(self) -> str:
+        return (
+            f"DLRM({self.name!r}, bottom={self.bottom!r}, top={self.top!r}, "
+            f"tables={self.num_tables}x{self.tables.dim})"
+        )

@@ -1,0 +1,178 @@
+"""Model serialization.
+
+``RM_create_table`` persists table ownership on the device; a usable
+library also needs to persist the *model* itself.  ``save_model`` /
+``load_model`` round-trip any zoo model through a single ``.npz``
+archive (weights, biases, embedding tables, and enough architecture
+metadata to rebuild the object), bit-exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List
+
+import numpy as np
+
+from repro.embedding.table import EmbeddingTable, EmbeddingTableSet
+from repro.models.dlrm import DLRM
+from repro.models.layers import Activation, FCLayer
+from repro.models.mlp import MLP
+from repro.models.ncf import NCF
+from repro.models.wnd import WideAndDeep
+
+FORMAT_VERSION = 1
+
+
+def _pack_mlp(prefix: str, mlp: MLP, arrays: dict, meta: list) -> None:
+    for i, layer in enumerate(mlp.layers):
+        arrays[f"{prefix}_w{i}"] = layer.weight
+        arrays[f"{prefix}_b{i}"] = layer.bias
+        meta.append(layer.activation.value)
+
+
+def _unpack_mlp(prefix: str, arrays, meta: List[str]) -> MLP:
+    layers = []
+    for i, activation in enumerate(meta):
+        weight = arrays[f"{prefix}_w{i}"]
+        bias = arrays[f"{prefix}_b{i}"]
+        layers.append(
+            FCLayer(
+                weight.shape[0],
+                weight.shape[1],
+                activation=Activation(activation),
+                weight=weight,
+                bias=bias,
+            )
+        )
+    return MLP(layers)
+
+
+def _pack_tables(tables: EmbeddingTableSet, arrays: dict) -> list:
+    names = []
+    for i, table in enumerate(tables):
+        arrays[f"table_{i}"] = table.data
+        names.append(table.name)
+    return names
+
+
+def _unpack_tables(arrays, names: List[str]) -> EmbeddingTableSet:
+    tables = []
+    for i, name in enumerate(names):
+        data = arrays[f"table_{i}"]
+        tables.append(
+            EmbeddingTable(name, data.shape[0], data.shape[1], data=data)
+        )
+    return EmbeddingTableSet(tables)
+
+
+def save_model(model, path) -> Path:
+    """Serialize a DLRM / NCF / WideAndDeep to one ``.npz`` archive."""
+    if not isinstance(model, (DLRM, NCF, WideAndDeep)):
+        raise TypeError(f"cannot serialize {type(model).__name__}")
+    path = Path(path)
+    arrays: dict = {}
+    header = {"version": FORMAT_VERSION, "kind": type(model).__name__,
+              "name": model.name}
+    if isinstance(model, DLRM):
+        bottom_meta: list = []
+        top_meta: list = []
+        _pack_mlp("bottom", model.bottom, arrays, bottom_meta)
+        _pack_mlp("top", model.top, arrays, top_meta)
+        header.update(
+            bottom=bottom_meta, top=top_meta, pooling=model.pooling,
+            tables=_pack_tables(model.tables, arrays),
+        )
+    elif isinstance(model, NCF):
+        tower_meta: list = []
+        _pack_mlp("tower", model.mlp_tower, arrays, tower_meta)
+        arrays["predict_w"] = model.predict.weight
+        arrays["predict_b"] = model.predict.bias
+        header.update(
+            tower=tower_meta, dim=model.dim,
+            tables=_pack_tables(model.tables, arrays),
+        )
+    elif isinstance(model, WideAndDeep):
+        deep_meta: list = []
+        _pack_mlp("deep", model.deep, arrays, deep_meta)
+        arrays["deep_head_w"] = model.deep_head.weight
+        arrays["deep_head_b"] = model.deep_head.bias
+        arrays["wide_w"] = model.wide.weight
+        arrays["wide_b"] = model.wide.bias
+        header.update(
+            deep=deep_meta, dense_dim=model.dense_dim,
+            tables=_pack_tables(model.tables, arrays),
+        )
+    else:
+        raise TypeError(f"cannot serialize {type(model).__name__}")
+    arrays["_header"] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_model(path):
+    """Rebuild a model saved with :func:`save_model` (bit-exact)."""
+    with np.load(Path(path)) as arrays:
+        header = json.loads(bytes(arrays["_header"]).decode("utf-8"))
+        if header.get("version") != FORMAT_VERSION:
+            raise ValueError(f"unsupported format version {header.get('version')}")
+        kind = header["kind"]
+        if kind == "DLRM":
+            tables = _unpack_tables(arrays, header["tables"])
+            return DLRM(
+                header["name"],
+                tables,
+                _unpack_mlp("bottom", arrays, header["bottom"]),
+                _unpack_mlp("top", arrays, header["top"]),
+                pooling=header["pooling"],
+            )
+        if kind == "NCF":
+            tables = _unpack_tables(arrays, header["tables"])
+            model = NCF(
+                num_users=tables[0].rows,
+                num_items=tables[1].rows,
+                dim=header["dim"],
+                tower_widths=tuple(
+                    arrays[f"tower_w{i}"].shape[1]
+                    for i in range(len(header["tower"]))
+                ),
+                name=header["name"],
+            )
+            model.tables = tables
+            model.mlp_tower = _unpack_mlp("tower", arrays, header["tower"])
+            predict_w = arrays["predict_w"]
+            model.predict = FCLayer(
+                predict_w.shape[0], predict_w.shape[1],
+                activation=Activation.SIGMOID,
+                weight=predict_w, bias=arrays["predict_b"],
+            )
+            return model
+        if kind == "WideAndDeep":
+            tables = _unpack_tables(arrays, header["tables"])
+            model = WideAndDeep(
+                tables,
+                dense_dim=header["dense_dim"],
+                deep_widths=tuple(
+                    arrays[f"deep_w{i}"].shape[1]
+                    for i in range(len(header["deep"]))
+                ),
+                name=header["name"],
+            )
+            model.deep = _unpack_mlp("deep", arrays, header["deep"])
+            head_w = arrays["deep_head_w"]
+            model.deep_head = FCLayer(
+                head_w.shape[0], head_w.shape[1],
+                activation=Activation.NONE,
+                weight=head_w, bias=arrays["deep_head_b"],
+            )
+            wide_w = arrays["wide_w"]
+            model.wide = FCLayer(
+                wide_w.shape[0], wide_w.shape[1],
+                activation=Activation.NONE,
+                weight=wide_w, bias=arrays["wide_b"],
+            )
+            return model
+        raise ValueError(f"unknown model kind {kind!r}")

@@ -1,0 +1,96 @@
+"""Fully-connected layers and activations."""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional
+
+import numpy as np
+
+
+class Activation(Enum):
+    """Supported activations: ReLU for hidden layers, sigmoid for CTR."""
+
+    NONE = "none"
+    RELU = "relu"
+    SIGMOID = "sigmoid"
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        if self is Activation.NONE:
+            return x
+        if self is Activation.RELU:
+            return np.maximum(x, np.float32(0.0))
+        # Sigmoid, computed in fp32.
+        return (1.0 / (1.0 + np.exp(-x.astype(np.float32)))).astype(np.float32)
+
+
+class FCLayer:
+    """One fully-connected layer: ``y = act(x @ W + b)``.
+
+    ``in_features`` is the paper's ``R`` and ``out_features`` its ``C``
+    (Table I); the FPGA kernel model consumes exactly these two numbers.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        activation: Activation = Activation.RELU,
+        seed: Optional[int] = 0,
+        weight: Optional[np.ndarray] = None,
+        bias: Optional[np.ndarray] = None,
+    ) -> None:
+        if in_features < 1 or out_features < 1:
+            raise ValueError("layer dimensions must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.activation = activation
+        if weight is not None:
+            weight = np.asarray(weight, dtype=np.float32)
+            if weight.shape != (in_features, out_features):
+                raise ValueError(
+                    f"weight shape {weight.shape} != ({in_features}, {out_features})"
+                )
+            self.weight = weight
+        else:
+            rng = np.random.default_rng(seed)
+            scale = np.sqrt(2.0 / in_features)  # He init, as DLRM uses for ReLU
+            self.weight = (
+                rng.standard_normal((in_features, out_features)) * scale
+            ).astype(np.float32)
+        if bias is not None:
+            bias = np.asarray(bias, dtype=np.float32)
+            if bias.shape != (out_features,):
+                raise ValueError(f"bias shape {bias.shape} != ({out_features},)")
+            self.bias = bias
+        else:
+            self.bias = np.zeros(out_features, dtype=np.float32)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        squeeze = x.ndim == 1
+        if squeeze:
+            x = x[None, :]
+        if x.shape[1] != self.in_features:
+            raise ValueError(
+                f"input width {x.shape[1]} != layer in_features {self.in_features}"
+            )
+        y = self.activation.apply((x @ self.weight + self.bias).astype(np.float32))
+        return y[0] if squeeze else y
+
+    __call__ = forward
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulates per sample: ``R * C``."""
+        return self.in_features * self.out_features
+
+    @property
+    def weight_bytes(self) -> int:
+        return (self.weight.size + self.bias.size) * 4
+
+    def __repr__(self) -> str:
+        return (
+            f"FCLayer({self.in_features}x{self.out_features}, "
+            f"{self.activation.value})"
+        )

@@ -1,0 +1,87 @@
+"""MLP: an ordered chain of fully-connected layers."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.models.layers import Activation, FCLayer
+
+
+class MLP:
+    """A feed-forward stack of :class:`FCLayer`.
+
+    ``MLP.from_widths(288, [256, 64, 1])`` builds layers
+    ``288x256 -> 256x64 -> 64x1`` with ReLU between and a configurable
+    final activation (sigmoid for a CTR head, none for hidden stacks).
+    """
+
+    def __init__(self, layers: Iterable[FCLayer]) -> None:
+        self.layers: List[FCLayer] = list(layers)
+        if not self.layers:
+            raise ValueError("an MLP needs at least one layer")
+        for upstream, downstream in zip(self.layers, self.layers[1:]):
+            if upstream.out_features != downstream.in_features:
+                raise ValueError(
+                    f"layer width mismatch: {upstream!r} -> {downstream!r}"
+                )
+
+    @classmethod
+    def from_widths(
+        cls,
+        input_dim: int,
+        widths: Sequence[int],
+        final_activation: Activation = Activation.RELU,
+        seed: int = 0,
+    ) -> "MLP":
+        if not widths:
+            raise ValueError("widths must be non-empty")
+        layers = []
+        previous = input_dim
+        for position, width in enumerate(widths):
+            is_last = position == len(widths) - 1
+            layers.append(
+                FCLayer(
+                    previous,
+                    width,
+                    activation=final_activation if is_last else Activation.RELU,
+                    seed=seed + position,
+                )
+            )
+            previous = width
+        return cls(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    __call__ = forward
+
+    @property
+    def input_dim(self) -> int:
+        return self.layers[0].in_features
+
+    @property
+    def output_dim(self) -> int:
+        return self.layers[-1].out_features
+
+    @property
+    def macs(self) -> int:
+        return sum(layer.macs for layer in self.layers)
+
+    @property
+    def weight_bytes(self) -> int:
+        return sum(layer.weight_bytes for layer in self.layers)
+
+    def shapes(self) -> List[tuple]:
+        """``(R, C)`` per layer — input to the FPGA kernel model."""
+        return [(layer.in_features, layer.out_features) for layer in self.layers]
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __repr__(self) -> str:
+        chain = "-".join(str(l.out_features) for l in self.layers)
+        return f"MLP({self.input_dim}-{chain})"

@@ -1,0 +1,110 @@
+"""Neural Collaborative Filtering (He et al., WWW'17).
+
+NCF is the paper's extreme MLP-dominated case (Fig. 15): it performs
+exactly **one** embedding lookup per table (user and item ids) and
+spends the rest of the inference in MLP compute.
+
+The model has two towers sharing nothing:
+
+* **GMF** — element-wise product of user and item GMF embeddings;
+* **MLP** — concatenation of user and item MLP embeddings through a
+  pyramid MLP;
+
+and a final prediction layer over the concatenated tower outputs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.embedding.table import EmbeddingTable, EmbeddingTableSet
+from repro.models.layers import Activation, FCLayer
+from repro.models.mlp import MLP
+
+# Table order within the sparse input: one lookup per table per sample.
+USER_GMF, ITEM_GMF, USER_MLP, ITEM_MLP = range(4)
+
+
+class NCF:
+    """NCF with GMF + MLP towers over four embedding tables."""
+
+    def __init__(
+        self,
+        num_users: int,
+        num_items: int,
+        dim: int = 64,
+        tower_widths: Sequence[int] = (256, 128, 64),
+        seed: int = 0,
+        name: str = "NCF",
+    ) -> None:
+        self.name = name
+        self.dim = dim
+        self.tables = EmbeddingTableSet(
+            [
+                EmbeddingTable("user_gmf", num_users, dim, seed=seed),
+                EmbeddingTable("item_gmf", num_items, dim, seed=seed + 1),
+                EmbeddingTable("user_mlp", num_users, dim, seed=seed + 2),
+                EmbeddingTable("item_mlp", num_items, dim, seed=seed + 3),
+            ]
+        )
+        self.mlp_tower = MLP.from_widths(2 * dim, list(tower_widths), seed=seed + 10)
+        self.predict = FCLayer(
+            dim + self.mlp_tower.output_dim,
+            1,
+            activation=Activation.SIGMOID,
+            seed=seed + 20,
+        )
+
+    # NCF consumes no dense features.
+    dense_dim = 0
+
+    @property
+    def num_tables(self) -> int:
+        return len(self.tables)
+
+    def forward_one(
+        self, dense: np.ndarray, sparse: Sequence[Sequence[int]]
+    ) -> np.ndarray:
+        if len(sparse) != 4:
+            raise ValueError("NCF expects 4 index lists (one per table)")
+        for indices in sparse:
+            if len(indices) != 1:
+                raise ValueError("NCF performs exactly one lookup per table")
+        user_gmf = self.tables[USER_GMF].row(sparse[USER_GMF][0])
+        item_gmf = self.tables[ITEM_GMF].row(sparse[ITEM_GMF][0])
+        user_mlp = self.tables[USER_MLP].row(sparse[USER_MLP][0])
+        item_mlp = self.tables[ITEM_MLP].row(sparse[ITEM_MLP][0])
+        gmf_out = (user_gmf * item_gmf).astype(np.float32)
+        mlp_out = self.mlp_tower(np.concatenate([user_mlp, item_mlp]))
+        return self.predict(np.concatenate([gmf_out, mlp_out]))
+
+    def forward(self, dense_batch: np.ndarray, sparse_batch) -> np.ndarray:
+        return np.stack(
+            [self.forward_one(None, sparse) for sparse in sparse_batch]
+        )
+
+    __call__ = forward
+
+    # ------------------------------------------------------------------
+    # ISC mapping: NCF is all "top" MLP (no dense bottom chain).
+    # ------------------------------------------------------------------
+    @property
+    def embedding_out_dim(self) -> int:
+        return self.num_tables * self.dim
+
+    @property
+    def mlp_weight_bytes(self) -> int:
+        return self.mlp_tower.weight_bytes + self.predict.weight_bytes
+
+    def fc_shapes_bottom(self) -> List[tuple]:
+        return []
+
+    def fc_shapes_top(self) -> List[tuple]:
+        return self.mlp_tower.shapes() + [
+            (self.predict.in_features, self.predict.out_features)
+        ]
+
+    def __repr__(self) -> str:
+        return f"NCF(dim={self.dim}, tower={self.mlp_tower!r})"

@@ -1,0 +1,129 @@
+"""Post-training int8 quantization (extension study).
+
+The paper keeps MLP weights and embeddings in FP32: "the recommendation
+model is much more sensitive to accuracy than other DNN models.
+Therefore, we still keep the MLP weights and embedding vectors in FP32
+precision without any quantization" (Section IV-C1).  This module
+implements the alternative so the trade-off can be *measured*: symmetric
+per-tensor int8 weight quantization of FC layers, the induced CTR
+error, and the FPGA resource saving it would have bought.
+
+Used by ``benchmarks/bench_ext_quantization.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from repro.models.dlrm import DLRM
+from repro.models.layers import FCLayer
+from repro.models.mlp import MLP
+
+
+@dataclass(frozen=True)
+class QuantizationReport:
+    """Error statistics of a quantized model vs its fp32 reference."""
+
+    max_abs_error: float
+    mean_abs_error: float
+    max_rel_error: float
+    flipped_rankings: int  # pairs whose CTR order inverted
+    samples: int
+
+    @property
+    def flip_rate(self) -> float:
+        pairs = self.samples * (self.samples - 1) // 2
+        return self.flipped_rankings / pairs if pairs else 0.0
+
+
+def quantize_weight(weight: np.ndarray) -> tuple:
+    """Symmetric per-tensor int8 quantization: returns ``(q, scale)``."""
+    weight = np.asarray(weight, dtype=np.float32)
+    max_abs = float(np.max(np.abs(weight)))
+    if max_abs == 0.0:
+        return np.zeros(weight.shape, dtype=np.int8), 1.0
+    scale = max_abs / 127.0
+    q = np.clip(np.round(weight / scale), -127, 127).astype(np.int8)
+    return q, scale
+
+
+def dequantize_layer(layer: FCLayer) -> FCLayer:
+    """An FC layer whose weights went through an int8 round trip.
+
+    The forward math stays fp32 (as a DSP-poor FPGA would accumulate),
+    but the weights carry int8 resolution — exactly the error a
+    quantized engine would exhibit.
+    """
+    q, scale = quantize_weight(layer.weight)
+    restored = (q.astype(np.float32) * np.float32(scale)).astype(np.float32)
+    return FCLayer(
+        layer.in_features,
+        layer.out_features,
+        activation=layer.activation,
+        weight=restored,
+        bias=layer.bias.copy(),
+    )
+
+
+def quantize_mlp(mlp: MLP) -> MLP:
+    return MLP([dequantize_layer(layer) for layer in mlp.layers])
+
+
+def quantize_dlrm(model: DLRM) -> DLRM:
+    """A DLRM whose bottom and top MLPs carry int8-resolution weights.
+
+    Embedding tables stay fp32 (quantizing them is a separate,
+    orthogonal line of work the paper cites — mixed-dimension /
+    compositional embeddings).
+    """
+    return DLRM(
+        f"{model.name}-int8",
+        model.tables,
+        quantize_mlp(model.bottom),
+        quantize_mlp(model.top),
+        pooling=model.pooling,
+    )
+
+
+def compare_outputs(
+    reference: np.ndarray, quantized: np.ndarray
+) -> QuantizationReport:
+    """Error report between two CTR output vectors."""
+    reference = np.asarray(reference, dtype=np.float64).ravel()
+    quantized = np.asarray(quantized, dtype=np.float64).ravel()
+    if reference.shape != quantized.shape:
+        raise ValueError("output shapes differ")
+    errors = np.abs(reference - quantized)
+    denominator = np.maximum(np.abs(reference), 1e-12)
+    flipped = 0
+    for i in range(len(reference)):
+        for j in range(i + 1, len(reference)):
+            ref_order = reference[i] - reference[j]
+            q_order = quantized[i] - quantized[j]
+            if ref_order * q_order < 0:
+                flipped += 1
+    return QuantizationReport(
+        max_abs_error=float(errors.max()),
+        mean_abs_error=float(errors.mean()),
+        max_rel_error=float((errors / denominator).max()),
+        flipped_rankings=flipped,
+        samples=len(reference),
+    )
+
+
+#: Estimated resource scaling of an int8 MAC vs an fp32 MAC on the
+#: same fabric: an int8 multiply fits one DSP slice (vs 3) and the
+#: adder tree shrinks to ~1/4 the LUTs.
+INT8_DSP_FACTOR = 3.0
+INT8_LUT_FACTOR = 4.0
+
+
+def int8_resource_estimate(fp32_usage) -> dict:
+    """What the Table VI engine would cost at int8 (rough estimate)."""
+    return {
+        "lut": int(fp32_usage.lut / INT8_LUT_FACTOR),
+        "dsp": int(np.ceil(fp32_usage.dsp / INT8_DSP_FACTOR)),
+        "bram": fp32_usage.bram / 4.0,  # weights shrink 4x
+        "ff": int(fp32_usage.ff / INT8_LUT_FACTOR),
+    }

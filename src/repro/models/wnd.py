@@ -1,0 +1,109 @@
+"""Wide & Deep (Cheng et al., DLRS'16).
+
+The second MLP-dominated model of Fig. 15.  Like NCF it performs one
+embedding lookup per table; unlike NCF it also consumes dense features.
+
+* **Deep**: the concatenation of all embedding vectors and the dense
+  features runs through a large MLP.
+* **Wide**: a linear model over the dense features, added to the deep
+  logit before the sigmoid.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.embedding.table import EmbeddingTableSet
+from repro.models.layers import Activation, FCLayer
+from repro.models.mlp import MLP
+
+
+class WideAndDeep:
+    """Wide & Deep with one lookup per embedding table."""
+
+    def __init__(
+        self,
+        tables: EmbeddingTableSet,
+        dense_dim: int = 13,
+        deep_widths: Sequence[int] = (1024, 512, 256),
+        seed: int = 0,
+        name: str = "WnD",
+    ) -> None:
+        self.name = name
+        self.tables = tables
+        self.dense_dim = dense_dim
+        deep_in = len(tables) * tables.dim + dense_dim
+        self.deep = MLP.from_widths(deep_in, list(deep_widths), seed=seed)
+        self.deep_head = FCLayer(
+            self.deep.output_dim, 1, activation=Activation.NONE, seed=seed + 50
+        )
+        self.wide = FCLayer(dense_dim, 1, activation=Activation.NONE, seed=seed + 60)
+        self._sigmoid = Activation.SIGMOID
+
+    @property
+    def num_tables(self) -> int:
+        return len(self.tables)
+
+    @property
+    def dim(self) -> int:
+        return self.tables.dim
+
+    def forward_one(
+        self, dense: np.ndarray, sparse: Sequence[Sequence[int]]
+    ) -> np.ndarray:
+        if len(sparse) != self.num_tables:
+            raise ValueError(
+                f"expected {self.num_tables} index lists, got {len(sparse)}"
+            )
+        rows = []
+        for table, indices in zip(self.tables, sparse):
+            if len(indices) != 1:
+                raise ValueError("WnD performs exactly one lookup per table")
+            rows.append(table.row(indices[0]))
+        dense = np.asarray(dense, dtype=np.float32)
+        deep_in = np.concatenate(rows + [dense]).astype(np.float32)
+        deep_logit = self.deep_head(self.deep(deep_in))
+        wide_logit = self.wide(dense)
+        return self._sigmoid.apply(deep_logit + wide_logit)
+
+    def forward(self, dense_batch: np.ndarray, sparse_batch) -> np.ndarray:
+        dense_batch = np.asarray(dense_batch, dtype=np.float32)
+        if len(dense_batch) != len(sparse_batch):
+            raise ValueError("dense and sparse batch sizes differ")
+        return np.stack(
+            [
+                self.forward_one(dense, sparse)
+                for dense, sparse in zip(dense_batch, sparse_batch)
+            ]
+        )
+
+    __call__ = forward
+
+    # ------------------------------------------------------------------
+    # ISC mapping: the deep chain is the "top" MLP; the wide part is a
+    # single tiny FC folded into the head's stage time.
+    # ------------------------------------------------------------------
+    @property
+    def embedding_out_dim(self) -> int:
+        return self.num_tables * self.dim
+
+    @property
+    def mlp_weight_bytes(self) -> int:
+        return (
+            self.deep.weight_bytes
+            + self.deep_head.weight_bytes
+            + self.wide.weight_bytes
+        )
+
+    def fc_shapes_bottom(self) -> List[tuple]:
+        return []
+
+    def fc_shapes_top(self) -> List[tuple]:
+        return self.deep.shapes() + [
+            (self.deep_head.in_features, self.deep_head.out_features)
+        ]
+
+    def __repr__(self) -> str:
+        return f"WideAndDeep(tables={self.num_tables}x{self.dim}, deep={self.deep!r})"

@@ -1,0 +1,22 @@
+"""Discrete-event simulation kernel.
+
+A minimal, dependency-free process-based simulator in the style of
+SimPy: processes are Python generators that yield *events* (timeouts,
+resource acquisitions, other processes) and are resumed when those
+events fire.  The SSD substrate (:mod:`repro.ssd`) is built on top of
+this kernel; the FPGA engine models are analytic and do not need it.
+"""
+
+from repro.sim.engine import AllOf, Event, Process, Simulator, Timeout
+from repro.sim.resources import Resource, Server, Store
+
+__all__ = [
+    "AllOf",
+    "Event",
+    "Process",
+    "Resource",
+    "Server",
+    "Simulator",
+    "Store",
+    "Timeout",
+]

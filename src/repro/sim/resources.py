@@ -1,0 +1,126 @@
+"""Shared resources for simulation processes.
+
+Three primitives cover everything the SSD substrate needs:
+
+* :class:`Resource` — counting semaphore with a FIFO wait queue (flash
+  dies, DMA engines).
+* :class:`Server` — a single FIFO server that processes *jobs* of a
+  given service time and tracks busy-time utilization (a flash channel
+  bus is a ``Server``).
+* :class:`Store` — an unbounded producer/consumer queue of items
+  (request queues between controller stages).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, List
+
+from repro.sim.engine import Event, Simulator
+
+
+class Resource:
+    """Counting semaphore with FIFO granting order."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        """Event that fires when a unit of the resource is granted."""
+        event = self.sim.event()
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise RuntimeError("release without matching acquire")
+        if self._waiters:
+            # Hand the unit directly to the next waiter.
+            self._waiters.popleft().succeed()
+        else:
+            self._in_use -= 1
+
+
+class Server:
+    """Single FIFO server with busy-time accounting.
+
+    ``serve(duration)`` returns an event that fires when the caller's
+    job completes; jobs run back-to-back in arrival order.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "server") -> None:
+        self.sim = sim
+        self.name = name
+        self._free_at = 0.0
+        self.busy_time = 0.0
+        self.jobs_served = 0
+
+    def serve(self, duration: float) -> Event:
+        """Enqueue a job of ``duration``; event fires at completion."""
+        if duration < 0:
+            raise ValueError("negative service duration")
+        start = max(self.sim.now, self._free_at)
+        finish = start + duration
+        self._free_at = finish
+        self.busy_time += duration
+        self.jobs_served += 1
+        return self.sim.timeout(finish - self.sim.now)
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` time this server spent busy."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+
+class Store:
+    """Unbounded FIFO queue of items with blocking ``get``."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Event that fires with the next item (immediately if queued)."""
+        event = self.sim.event()
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+
+def drain(sim: Simulator, store: Store, count: int) -> Generator:
+    """Process helper: collect ``count`` items from ``store`` into a list."""
+    items: List[Any] = []
+    for _ in range(count):
+        item = yield store.get()
+        items.append(item)
+    return items

@@ -1,0 +1,31 @@
+"""SSD substrate: flash array, FTL, controllers, timing, page cache.
+
+This package implements the emulated SSD of the paper's Section V: a
+flash array organized as channels x dies x planes x blocks x pages with
+the Table II timing model, a flash translation layer, flash memory
+controllers with vector-grained read support (EV-FMC), an LRU page
+cache used by the host-side baselines, and I/O traffic accounting.
+"""
+
+from repro.ssd.blockdev import BlockDevice
+from repro.ssd.controller import SSDController
+from repro.ssd.flash import FlashArray
+from repro.ssd.ftl import FlashTranslationLayer, LinearMapping, PageMapping
+from repro.ssd.geometry import PhysicalAddress, SSDGeometry
+from repro.ssd.pagecache import LRUPageCache
+from repro.ssd.stats import IOStatistics
+from repro.ssd.timing import SSDTimingModel
+
+__all__ = [
+    "BlockDevice",
+    "FlashArray",
+    "FlashTranslationLayer",
+    "IOStatistics",
+    "LRUPageCache",
+    "LinearMapping",
+    "PageMapping",
+    "PhysicalAddress",
+    "SSDController",
+    "SSDGeometry",
+    "SSDTimingModel",
+]

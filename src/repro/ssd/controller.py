@@ -1,0 +1,148 @@
+"""SSD controller front end.
+
+Combines the NVMe-facing block I/O path and the embedding-vector path
+over one FTL and one flash array, mirroring Fig. 5:
+
+* block I/O requests go FTL -> FMC -> (whole pages) -> host;
+* EV requests go EV Translator -> FTL -> MUX -> EV-FMC -> (vectors) ->
+  DEMUX -> EV Sum.
+
+The MUX's round-robin arbitration between the two paths is modelled by
+the shared FTL service point; the Path Buffer is the ``tag`` carried by
+every :class:`repro.ssd.fmc.ReadRequest`.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from repro.sim import Server, Simulator
+from repro.ssd.flash import FlashArray
+from repro.ssd.fmc import EVFlashMemoryController, ReadRequest
+from repro.ssd.ftl import FlashTranslationLayer
+from repro.ssd.geometry import SSDGeometry
+from repro.ssd.stats import IOStatistics
+from repro.ssd.timing import SSDTimingModel
+
+
+class SSDController:
+    """Device-side controller: FTL + FMC/EV-FMC over one flash array."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        geometry: Optional[SSDGeometry] = None,
+        timing: Optional[SSDTimingModel] = None,
+        ftl: Optional[FlashTranslationLayer] = None,
+        stats: Optional[IOStatistics] = None,
+    ) -> None:
+        self.sim = sim
+        self.geometry = geometry or SSDGeometry()
+        self.stats = stats if stats is not None else IOStatistics()
+        self.timing = timing or SSDTimingModel(page_size=self.geometry.page_size)
+        self.flash = FlashArray(sim, self.geometry, self.timing, self.stats)
+        self.ftl = ftl or FlashTranslationLayer(self.geometry)
+        self.fmc = EVFlashMemoryController(sim, self.flash)
+        # The MUX: block I/O and EV requests share one translation
+        # pipeline; FIFO service approximates the round-robin arbiter.
+        self._ftl_server = Server(sim, "ftl-mux")
+
+    def _ftl_lookup(self):
+        """Event: one arbitrated pass through the shared FTL stage."""
+        return self._ftl_server.serve(
+            self.timing.cycles_to_ns(self.ftl.lookup_cycles)
+        )
+
+    # ------------------------------------------------------------------
+    # Functional writes (used to lay out embedding tables / files)
+    # ------------------------------------------------------------------
+    def write_logical(self, byte_offset: int, data: bytes) -> None:
+        """Write ``data`` at a logical byte offset (crosses pages)."""
+        page_size = self.geometry.page_size
+        cursor = 0
+        while cursor < len(data):
+            lba, col = self.geometry.byte_to_page(byte_offset + cursor)
+            chunk = min(page_size - col, len(data) - cursor)
+            physical = self.ftl.map_write(lba)
+            self.flash.write_page(physical, data[cursor : cursor + chunk], offset=col)
+            cursor += chunk
+
+    def write_block_proc(self, lba: int, data: bytes) -> Generator:
+        """Process: timed page write through the block path."""
+        if len(data) > self.geometry.page_size:
+            raise ValueError("write exceeds one page")
+        yield self._ftl_lookup()
+        physical = self.ftl.map_write(lba)
+        yield from self.flash.write_page_proc(physical, data)
+        return lba
+
+    def peek_logical(self, byte_offset: int, size: int) -> bytes:
+        """Functional read (no simulated time), for verification."""
+        out = bytearray()
+        page_size = self.geometry.page_size
+        cursor = 0
+        while cursor < size:
+            lba, col = self.geometry.byte_to_page(byte_offset + cursor)
+            chunk = min(page_size - col, size - cursor)
+            physical = self.ftl.translate(lba)
+            out += self.flash.peek(physical, col, chunk)
+            cursor += chunk
+        return bytes(out)
+
+    # ------------------------------------------------------------------
+    # Block I/O path (page granularity, crosses the host link)
+    # ------------------------------------------------------------------
+    def read_block_proc(self, lba: int, tag: object = None) -> Generator:
+        """Process: conventional page read returned to the host."""
+        yield self._ftl_lookup()
+        physical = self.ftl.translate(lba)
+        request = yield from self.fmc.read_page(physical, tag=tag, to_host=True)
+        return request
+
+    def read_bytes_block_proc(self, byte_offset: int, size: int) -> Generator:
+        """Process: host read of an arbitrary byte range via page I/O.
+
+        Every touched page is read and transferred whole — this is the
+        page-alignment read amplification of Section III-B2(a).
+        """
+        page_size = self.geometry.page_size
+        first = byte_offset // page_size
+        last = (byte_offset + size - 1) // page_size
+        requests: List[ReadRequest] = []
+        events = []
+        for lba in range(first, last + 1):
+            events.append(self.sim.process(self.read_block_proc(lba)))
+        results = yield self.sim.all_of(events)
+        requests.extend(results)
+        data = bytearray()
+        for lba, request in zip(range(first, last + 1), results):
+            data += request.data
+        start = byte_offset - first * page_size
+        return bytes(data[start : start + size])
+
+    # ------------------------------------------------------------------
+    # Embedding-vector path (vector granularity, stays in the device)
+    # ------------------------------------------------------------------
+    def read_vector_proc(self, byte_offset: int, size: int, tag: object = None) -> Generator:
+        """Process: vector-grained read of ``size`` bytes.
+
+        The caller guarantees the vector does not straddle a page
+        boundary (the layout module aligns vectors; see
+        :mod:`repro.embedding.layout`).
+        """
+        yield self._ftl_lookup()
+        lba, col = self.geometry.byte_to_page(byte_offset)
+        if col + size > self.geometry.page_size:
+            raise ValueError(
+                f"vector read at offset {byte_offset} size {size} straddles a page"
+            )
+        physical = self.ftl.translate(lba)
+        request = yield from self.fmc.read_vector(physical, col, size, tag=tag)
+        return request
+
+    def read_page_internal_proc(self, lba: int, tag: object = None) -> Generator:
+        """Process: page read consumed inside the device (EMB-PageSum)."""
+        yield self._ftl_lookup()
+        physical = self.ftl.translate(lba)
+        request = yield from self.fmc.read_page(physical, tag=tag, to_host=False)
+        return request

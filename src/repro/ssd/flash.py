@@ -1,0 +1,183 @@
+"""The flash array: data plane plus Table II timing on the DES kernel.
+
+Every read follows the two-phase flash protocol the paper's Section
+IV-B2 describes:
+
+1. **Flush** — the addressed die copies a whole page from the cell
+   array into its page buffer (``Tflush = 0.7 * Tpage``).  Dies operate
+   independently, so flushes on different dies of one channel overlap.
+2. **Transfer** — the page buffer is shifted out over the channel bus,
+   which is shared by all dies of the channel ("though flash arrays
+   have a deep hierarchy of storage, all in/out data share one bus for
+   each channel").  A *page read* transfers ``Psize`` bytes; a
+   *vector read* transfers only ``EVsize`` bytes, which is where the
+   vector-grained strategy wins.
+
+Data contents are stored sparsely (only written pages consume memory),
+so a "32 GB" array whose workload touches a few hundred MB stays cheap
+to host in RAM.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from repro.sim import Resource, Server, Simulator
+from repro.ssd.geometry import PhysicalAddress, SSDGeometry
+from repro.ssd.stats import IOStatistics
+from repro.ssd.timing import SSDTimingModel
+
+
+class _Channel:
+    """Per-channel shared bus plus one mutex per die."""
+
+    def __init__(self, sim: Simulator, geometry: SSDGeometry, index: int) -> None:
+        self.index = index
+        self.bus = Server(sim, name=f"channel{index}-bus")
+        self.dies: List[Resource] = [
+            Resource(sim, capacity=1) for _ in range(geometry.dies_per_channel)
+        ]
+
+
+class FlashArray:
+    """Sparse-backed flash array with simulated read timing."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        geometry: Optional[SSDGeometry] = None,
+        timing: Optional[SSDTimingModel] = None,
+        stats: Optional[IOStatistics] = None,
+    ) -> None:
+        self.sim = sim
+        self.geometry = geometry or SSDGeometry()
+        self.timing = timing or SSDTimingModel(page_size=self.geometry.page_size)
+        if self.timing.page_size != self.geometry.page_size:
+            raise ValueError("timing model and geometry disagree on page size")
+        self.stats = stats if stats is not None else IOStatistics()
+        self._pages: Dict[int, bytearray] = {}
+        self.channels = [
+            _Channel(sim, self.geometry, i) for i in range(self.geometry.channels)
+        ]
+
+    # ------------------------------------------------------------------
+    # Functional data plane (no simulated time)
+    # ------------------------------------------------------------------
+    def write_page(self, page_index: int, data: bytes, offset: int = 0) -> None:
+        """Store ``data`` into a physical page at ``offset`` (functional)."""
+        page_size = self.geometry.page_size
+        if not 0 <= page_index < self.geometry.total_pages:
+            raise ValueError(f"page index {page_index} out of range")
+        if offset < 0 or offset + len(data) > page_size:
+            raise ValueError("write crosses the page boundary")
+        page = self._pages.get(page_index)
+        if page is None:
+            page = bytearray(page_size)
+            self._pages[page_index] = page
+        page[offset : offset + len(data)] = data
+
+    def peek(self, page_index: int, col: int = 0, size: Optional[int] = None) -> bytes:
+        """Read page contents without consuming simulated time."""
+        page_size = self.geometry.page_size
+        if size is None:
+            size = page_size - col
+        if col < 0 or col + size > page_size:
+            raise ValueError("read crosses the page boundary")
+        page = self._pages.get(page_index)
+        if page is None:
+            return bytes(size)
+        return bytes(page[col : col + size])
+
+    @property
+    def written_pages(self) -> int:
+        return len(self._pages)
+
+    # ------------------------------------------------------------------
+    # Timed read operations (DES processes)
+    # ------------------------------------------------------------------
+    def read_page_proc(self, page_index: int, to_host: bool = True) -> Generator:
+        """Timed full-page read; returns the page bytes.
+
+        ``to_host`` controls traffic accounting only: a page consumed
+        inside the device (EMB-PageSum) does not cross the host link.
+        """
+        data = yield from self._read_proc(
+            page_index, col=0, size=self.geometry.page_size, is_vector=False
+        )
+        self.stats.record_page_read(self.geometry.page_size, to_host=to_host)
+        return data
+
+    def read_vector_proc(self, page_index: int, col: int, size: int) -> Generator:
+        """Timed vector-grained read of ``size`` bytes at ``col``."""
+        data = yield from self._read_proc(page_index, col=col, size=size, is_vector=True)
+        self.stats.record_vector_read(size)
+        return data
+
+    def write_page_proc(self, page_index: int, data: bytes, offset: int = 0) -> Generator:
+        """Timed page program: bus-in transfer, then cell programming.
+
+        Writes only matter for the ``RM_create_table`` setup phase; the
+        inference path is read-only.  The die is held through the
+        program (no cache-program pipelining).
+        """
+        address = self.geometry.page_index_to_address(page_index)
+        channel = self.channels[address.channel]
+        die = channel.dies[address.die]
+        yield self.sim.timeout(self.timing.request_overhead_ns)
+        yield die.acquire()
+        try:
+            yield channel.bus.serve(self.timing.transfer_ns)
+            yield self.sim.timeout(self.timing.program_ns)
+        finally:
+            die.release()
+        self.write_page(page_index, data, offset)
+        self.stats.record_host_transfer(write_bytes=len(data))
+        return page_index
+
+    def _read_proc(
+        self, page_index: int, col: int, size: int, is_vector: bool
+    ) -> Generator:
+        address = self.geometry.page_index_to_address(page_index, col)
+        channel = self.channels[address.channel]
+        die = channel.dies[address.die]
+        # Request decode / FTL / path-buffer handling.
+        yield self.sim.timeout(self.timing.request_overhead_ns)
+        # Phase 1: flush the page into the die's page buffer.
+        yield die.acquire()
+        try:
+            yield self.sim.timeout(self.timing.flush_ns)
+            # Phase 2: shift the requested bytes over the shared bus.
+            if is_vector:
+                transfer_ns = self.timing.vector_transfer_ns(size)
+            else:
+                transfer_ns = self.timing.transfer_ns
+            yield channel.bus.serve(transfer_ns)
+        finally:
+            die.release()
+        return self.peek(page_index, col, size)
+
+    # ------------------------------------------------------------------
+    # Convenience: run a batch of reads to completion, return elapsed ns
+    # ------------------------------------------------------------------
+    def run_reads(self, requests, vector: bool) -> float:
+        """Issue ``requests`` concurrently and run the sim to completion.
+
+        ``requests`` is an iterable of ``(page_index, col, size)``
+        triples for vector reads or plain page indices for page reads.
+        Returns elapsed simulated nanoseconds.
+        """
+        start = self.sim.now
+        events = []
+        for request in requests:
+            if vector:
+                page_index, col, size = request
+                events.append(self.sim.process(self.read_vector_proc(page_index, col, size)))
+            else:
+                events.append(self.sim.process(self.read_page_proc(request)))
+        self.sim.run()
+        del events
+        return self.sim.now - start
+
+    def address_of(self, address: PhysicalAddress) -> int:
+        """Flat page index of a structured physical address."""
+        return self.geometry.address_to_page_index(address)

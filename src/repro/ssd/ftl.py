@@ -1,0 +1,102 @@
+"""Flash Translation Layer.
+
+Translates logical block addresses (LBAs, in units of logical pages) to
+physical page indices.  The paper's prototype "applies the linear
+mapping function in the FTL design, and each page's data are scattered
+around the four DDR4 chips for higher throughput" — that scattering is
+exactly what :class:`repro.ssd.geometry.SSDGeometry`'s channel-major
+page numbering provides, so :class:`LinearMapping` is the identity on
+page numbers.  :class:`PageMapping` is a conventional page-mapped FTL
+kept for completeness (block I/O workloads with out-of-place writes).
+
+The FTL is shared between the conventional block I/O path and the
+embedding-vector path; the controller arbitrates between them with a
+round-robin MUX (Section IV-B2).  Each translation costs a small fixed
+number of cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.ssd.geometry import SSDGeometry
+
+
+class LinearMapping:
+    """Identity LBA->PBA mapping (the prototype's choice)."""
+
+    def __init__(self, geometry: SSDGeometry) -> None:
+        self.geometry = geometry
+
+    def translate(self, lba: int) -> int:
+        if not 0 <= lba < self.geometry.total_pages:
+            raise ValueError(f"LBA {lba} out of device range")
+        return lba
+
+    def map_write(self, lba: int) -> int:
+        return self.translate(lba)
+
+
+class PageMapping:
+    """Page-mapped FTL with an append-only allocation pointer.
+
+    Unmapped reads raise ``KeyError`` — reading never-written logical
+    space is a host bug the simulator should surface, not hide.
+    """
+
+    def __init__(self, geometry: SSDGeometry) -> None:
+        self.geometry = geometry
+        self._table: Dict[int, int] = {}
+        self._next_free = 0
+
+    def translate(self, lba: int) -> int:
+        try:
+            return self._table[lba]
+        except KeyError:
+            raise KeyError(f"LBA {lba} has never been written") from None
+
+    def map_write(self, lba: int) -> int:
+        """Allocate (or reuse, in-place for simplicity) a physical page."""
+        if lba in self._table:
+            return self._table[lba]
+        if self._next_free >= self.geometry.total_pages:
+            raise RuntimeError("flash device is full")
+        physical = self._next_free
+        self._next_free += 1
+        self._table[lba] = physical
+        return physical
+
+    @property
+    def mapped_pages(self) -> int:
+        return len(self._table)
+
+
+class FlashTranslationLayer:
+    """FTL facade: a mapping policy plus a translation cost.
+
+    ``lookup_cycles`` models the pipeline stage the translation takes in
+    the controller; the EV path pre-scans table metadata so its
+    translation is cheap (Fig. 6 step 1).
+    """
+
+    def __init__(
+        self,
+        geometry: SSDGeometry,
+        mapping: Optional[object] = None,
+        lookup_cycles: int = 8,
+    ) -> None:
+        self.geometry = geometry
+        self.mapping = mapping if mapping is not None else LinearMapping(geometry)
+        self.lookup_cycles = lookup_cycles
+
+    def translate(self, lba: int) -> int:
+        """LBA (logical page number) -> physical page index."""
+        return self.mapping.translate(lba)
+
+    def map_write(self, lba: int) -> int:
+        return self.mapping.map_write(lba)
+
+    def translate_byte_address(self, byte_offset: int) -> tuple:
+        """Byte offset in logical space -> ``(physical_page, col)``."""
+        lba, col = self.geometry.byte_to_page(byte_offset)
+        return self.translate(lba), col

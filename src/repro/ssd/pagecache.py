@@ -1,0 +1,92 @@
+"""LRU page cache.
+
+Used in two roles:
+
+* the **OS page cache** of the naive SSD deployments (SSD-S caps it at
+  1/4 of the embedding-table size, SSD-M at 1/2 — Section III-B);
+* the **host-side embedding cache** of RecSSD (Section VI-C), where the
+  cached unit is an embedding vector rather than a 4 KB page.
+
+The unit is abstract: capacity and accesses are counted in *entries*,
+each of a fixed ``entry_size`` in bytes (4096 for an OS page cache).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Optional, Tuple
+
+
+class LRUPageCache:
+    """Fixed-capacity LRU map from keys to opaque values."""
+
+    def __init__(self, capacity_entries: int, entry_size: int = 4096) -> None:
+        if capacity_entries < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity_entries = capacity_entries
+        self.entry_size = entry_size
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @classmethod
+    def with_byte_capacity(cls, capacity_bytes: int, entry_size: int) -> "LRUPageCache":
+        """Build a cache holding ``capacity_bytes`` worth of entries."""
+        return cls(max(0, capacity_bytes // entry_size), entry_size)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.capacity_entries * self.entry_size
+
+    def lookup(self, key: Hashable) -> Tuple[bool, Optional[object]]:
+        """Probe the cache; a hit refreshes recency.
+
+        Returns ``(hit, value)``.
+        """
+        if key in self._entries:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return True, self._entries[key]
+        self.misses += 1
+        return False, None
+
+    def insert(self, key: Hashable, value: object = None) -> None:
+        """Insert (or refresh) an entry, evicting the LRU tail if full."""
+        if self.capacity_entries == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = value
+            return
+        if len(self._entries) >= self.capacity_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        self._entries[key] = value
+
+    def access(self, key: Hashable, value: object = None) -> bool:
+        """Probe-and-fill in one step; returns whether it was a hit."""
+        hit, _ = self.lookup(key)
+        if not hit:
+            self.insert(key, value)
+        return hit
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.reset_stats()

@@ -1,0 +1,96 @@
+"""I/O traffic accounting.
+
+The paper reports three traffic-related results that all come from the
+same counters:
+
+* Fig. 3 — read amplification of the naive SSD deployment (bytes read
+  from the device / bytes the model actually needed).
+* Table IV — I/O traffic *reduction factor* of each ISC realization
+  relative to the SSD-S baseline (host<->SSD transferred bytes).
+* Section VI-C — RM-SSD transfers only the MMIO-width result per
+  inference (~64 B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class IOStatistics:
+    """Mutable counter bundle shared by a device and its host model."""
+
+    #: Bytes moved from the SSD to the host (page reads, DMA results).
+    host_read_bytes: int = 0
+    #: Bytes moved from the host to the SSD (writes, indices, dense inputs).
+    host_write_bytes: int = 0
+    #: Number of full-page reads served by the flash array.
+    flash_page_reads: int = 0
+    #: Number of vector-grained reads served by the flash array.
+    flash_vector_reads: int = 0
+    #: Bytes transferred over the flash channel buses.
+    flash_bus_bytes: int = 0
+    #: Bytes the application actually consumed (embedding vectors, etc.).
+    useful_bytes: int = 0
+    #: Page-cache hits/misses observed on the host path (if any).
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def record_page_read(self, page_size: int, to_host: bool = True) -> None:
+        """A full flash page read; optionally also crossing to the host."""
+        self.flash_page_reads += 1
+        self.flash_bus_bytes += page_size
+        if to_host:
+            self.host_read_bytes += page_size
+
+    def record_vector_read(self, ev_size: int) -> None:
+        """A vector-grained flash read (stays inside the device)."""
+        self.flash_vector_reads += 1
+        self.flash_bus_bytes += ev_size
+
+    def record_host_transfer(self, read_bytes: int = 0, write_bytes: int = 0) -> None:
+        self.host_read_bytes += read_bytes
+        self.host_write_bytes += write_bytes
+
+    def record_useful(self, nbytes: int) -> None:
+        self.useful_bytes += nbytes
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+    @property
+    def read_amplification(self) -> float:
+        """Host-observed read traffic / useful bytes (Fig. 3 metric)."""
+        if self.useful_bytes == 0:
+            return 0.0
+        return self.host_read_bytes / self.useful_bytes
+
+    @property
+    def flash_amplification(self) -> float:
+        """Channel-bus traffic / useful bytes (device-internal view)."""
+        if self.useful_bytes == 0:
+            return 0.0
+        return self.flash_bus_bytes / self.useful_bytes
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def reduction_factor_vs(self, baseline: "IOStatistics") -> float:
+        """Table IV metric: baseline host traffic / this host traffic."""
+        own = self.host_read_bytes
+        if own == 0:
+            return float("inf")
+        return baseline.host_read_bytes / own
+
+    def reset(self) -> None:
+        for name in vars(self):
+            setattr(self, name, 0)
+
+    def as_dict(self) -> dict:
+        data = dict(vars(self))
+        data["read_amplification"] = self.read_amplification
+        data["flash_amplification"] = self.flash_amplification
+        data["cache_hit_ratio"] = self.cache_hit_ratio
+        return data

@@ -1,0 +1,28 @@
+"""Workloads: synthetic traces, locality control, input generation.
+
+The paper synthesizes input traces "based on the locality of the public
+Kaggle Criteo Ad Competition dataset by applying the method in
+[RecSSD]" and sweeps locality with a parameter K (Fig. 14: K=0, 0.3, 1,
+2 give 80%, 65%, 45%, 30% hit ratios).  This package reproduces that:
+a hot/cold mixture generator whose hot-access fraction is the target
+hit ratio, plus the statistics of Fig. 4.
+"""
+
+from repro.workloads.inputs import InferenceRequest, RequestGenerator
+from repro.workloads.locality import (
+    K_TO_HIT_RATIO,
+    hit_ratio_for_k,
+    measured_cache_hit_ratio,
+)
+from repro.workloads.stats import TraceStatistics
+from repro.workloads.tracegen import TraceGenerator
+
+__all__ = [
+    "InferenceRequest",
+    "K_TO_HIT_RATIO",
+    "RequestGenerator",
+    "TraceGenerator",
+    "TraceStatistics",
+    "hit_ratio_for_k",
+    "measured_cache_hit_ratio",
+]

@@ -1,0 +1,187 @@
+"""Synthetic Criteo-format dataset (file substrate).
+
+The paper's traces derive from the public Kaggle Criteo Ad Competition
+dataset, which we cannot ship.  This module generates and parses files
+in the same TSV format — ``label <tab> 13 integer features <tab> 26
+hashed categorical features`` — with the categorical columns drawn
+from the same hot/cold mixture the trace generator uses, so a file's
+access statistics match Fig. 4's shape.
+
+This closes the loop for downstream users: the same ingestion code
+that would read real Criteo data runs against the synthetic files.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.workloads.inputs import InferenceRequest
+
+NUM_DENSE = 13
+NUM_SPARSE = 26
+
+
+def generate_criteo_file(
+    path,
+    rows: int,
+    vocab_size: int = 100_000,
+    hot_access_fraction: float = 0.65,
+    hot_set_fraction: float = 0.001,
+    seed: int = 0,
+) -> Path:
+    """Write a synthetic Criteo-format TSV of ``rows`` samples.
+
+    Dense columns are non-negative integers with a heavy tail (like
+    real count features); categorical columns are 8-hex-digit hashes
+    drawn from a hot/cold mixture per column.
+    """
+    if rows < 1:
+        raise ValueError("rows must be positive")
+    path = Path(path)
+    rng = np.random.default_rng(seed)
+    hot_size = max(1, int(vocab_size * hot_set_fraction))
+    hot_sets = [
+        rng.choice(vocab_size, size=hot_size, replace=False)
+        for _ in range(NUM_SPARSE)
+    ]
+    ranks = np.arange(1, hot_size + 1, dtype=np.float64)
+    weights = ranks ** -1.05
+    weights /= weights.sum()
+
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle, delimiter="\t")
+        for _ in range(rows):
+            label = int(rng.random() < 0.25)  # ~CTR-like positive rate
+            dense = [
+                int(v)
+                for v in np.minimum(rng.lognormal(1.0, 1.5, NUM_DENSE), 1e6)
+            ]
+            sparse = []
+            for column in range(NUM_SPARSE):
+                if rng.random() < hot_access_fraction:
+                    value = int(rng.choice(hot_sets[column], p=weights))
+                else:
+                    value = int(rng.integers(0, vocab_size))
+                sparse.append(f"{value:08x}")
+            writer.writerow([label, *dense, *sparse])
+    return path
+
+
+@dataclass
+class CriteoSample:
+    label: int
+    dense: np.ndarray  # NUM_DENSE float32 (log-transformed)
+    sparse: List[int]  # NUM_SPARSE raw category hashes (ints)
+
+
+class CriteoDataset:
+    """Parsed Criteo-format file with model-ready batching."""
+
+    def __init__(self, samples: Sequence[CriteoSample]) -> None:
+        if not samples:
+            raise ValueError("empty dataset")
+        self.samples = list(samples)
+
+    @classmethod
+    def load(cls, path, limit: Optional[int] = None) -> "CriteoDataset":
+        samples: List[CriteoSample] = []
+        with Path(path).open(newline="") as handle:
+            reader = csv.reader(handle, delimiter="\t")
+            for line_no, row in enumerate(reader):
+                if limit is not None and len(samples) >= limit:
+                    break
+                if len(row) != 1 + NUM_DENSE + NUM_SPARSE:
+                    raise ValueError(
+                        f"line {line_no + 1}: expected "
+                        f"{1 + NUM_DENSE + NUM_SPARSE} columns, got {len(row)}"
+                    )
+                label = int(row[0])
+                dense_raw = np.array(
+                    [float(v) if v else 0.0 for v in row[1 : 1 + NUM_DENSE]],
+                    dtype=np.float32,
+                )
+                # The standard Criteo transform: log(1 + x).
+                dense = np.log1p(np.maximum(dense_raw, 0.0)).astype(np.float32)
+                sparse = [int(v, 16) for v in row[1 + NUM_DENSE :]]
+                samples.append(CriteoSample(label=label, dense=dense, sparse=sparse))
+        return cls(samples)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    # ------------------------------------------------------------------
+    # Model-facing conversion
+    # ------------------------------------------------------------------
+    def to_requests(
+        self,
+        batch_size: int,
+        num_tables: int,
+        rows_per_table: int,
+        dense_dim: Optional[int] = None,
+        lookups_per_table: int = 1,
+    ) -> List[InferenceRequest]:
+        """Convert to inference requests for a model configuration.
+
+        Each of the model's ``num_tables`` tables maps to a Criteo
+        categorical column (cycling when the model has more than 26);
+        hashes fold into the table's index space.  Multi-lookup models
+        pool the categories of ``lookups_per_table`` consecutive
+        samples per table, the multi-hot synthesis RecSSD introduced.
+        """
+        if batch_size < 1 or lookups_per_table < 1:
+            raise ValueError("batch and lookups must be positive")
+        dense_dim = dense_dim if dense_dim is not None else NUM_DENSE
+        requests: List[InferenceRequest] = []
+        cursor = 0
+        total = len(self.samples)
+        stride = lookups_per_table
+
+        def dense_vector(sample: CriteoSample) -> np.ndarray:
+            if dense_dim <= NUM_DENSE:
+                return sample.dense[:dense_dim]
+            reps = -(-dense_dim // NUM_DENSE)
+            return np.tile(sample.dense, reps)[:dense_dim]
+
+        while cursor + batch_size * stride <= total:
+            dense_rows = []
+            sparse_rows = []
+            for b in range(batch_size):
+                window = self.samples[
+                    cursor + b * stride : cursor + (b + 1) * stride
+                ]
+                dense_rows.append(dense_vector(window[0]))
+                sample_sparse = []
+                for table in range(num_tables):
+                    column = table % NUM_SPARSE
+                    sample_sparse.append(
+                        [s.sparse[column] % rows_per_table for s in window]
+                    )
+                sparse_rows.append(sample_sparse)
+            requests.append(
+                InferenceRequest(
+                    dense=np.stack(dense_rows).astype(np.float32),
+                    sparse=sparse_rows,
+                )
+            )
+            cursor += batch_size * stride
+        if not requests:
+            raise ValueError(
+                f"dataset too small: {total} samples for batch {batch_size} "
+                f"x {stride} lookups"
+            )
+        return requests
+
+    def column_indices(self, column: int, rows_per_table: int) -> np.ndarray:
+        """One categorical column folded to an index space (for trace
+        statistics)."""
+        if not 0 <= column < NUM_SPARSE:
+            raise ValueError("column out of range")
+        return np.array(
+            [s.sparse[column] % rows_per_table for s in self.samples],
+            dtype=np.int64,
+        )

@@ -1,0 +1,62 @@
+"""Batched inference request generation (dense + sparse inputs)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.models.configs import ModelConfig
+from repro.workloads.tracegen import TraceGenerator
+
+
+@dataclass
+class InferenceRequest:
+    """One batched request: dense features plus sparse lookups."""
+
+    dense: Optional[np.ndarray]  # batch x dense_dim (None if model has none)
+    sparse: List[List[List[int]]]  # [sample][table][lookups]
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.sparse)
+
+
+class RequestGenerator:
+    """Generates full inference requests for a model configuration."""
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        rows_per_table: int,
+        hot_access_fraction: float = 0.65,
+        seed: int = 0,
+    ) -> None:
+        self.config = config
+        self.rows_per_table = rows_per_table
+        self.trace = TraceGenerator(
+            num_tables=config.num_tables,
+            rows_per_table=rows_per_table,
+            lookups_per_table=config.lookups_per_table,
+            hot_access_fraction=hot_access_fraction,
+            seed=seed,
+        )
+        self._rng = np.random.default_rng(seed + 1)
+
+    def request(self, batch_size: int) -> InferenceRequest:
+        """One batched request of ``batch_size`` samples."""
+        if batch_size < 1:
+            raise ValueError("batch size must be positive")
+        sparse = self.trace.generate(batch_size)
+        if self.config.dense_dim > 0:
+            dense = self._rng.standard_normal(
+                (batch_size, self.config.dense_dim)
+            ).astype(np.float32)
+        else:
+            dense = None
+        return InferenceRequest(dense=dense, sparse=sparse)
+
+    def requests(self, count: int, batch_size: int) -> List[InferenceRequest]:
+        """``count`` batched requests (the paper's "1K inferences")."""
+        return [self.request(batch_size) for _ in range(count)]

@@ -1,0 +1,85 @@
+"""Trace statistics (Fig. 4).
+
+Fig. 4 characterizes the Criteo-derived trace with an occurrence
+histogram and two headline numbers: indices accessed exactly once make
+up 84.74% of distinct indices, and the 10,000 most frequent indices
+receive 59.2% of all lookups.  :class:`TraceStatistics` computes the
+same quantities for any trace so benchmarks can print the comparison.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+@dataclass
+class TraceStatistics:
+    """Occurrence statistics of a flat index trace."""
+
+    total_lookups: int
+    total_indices: int
+    occurrence_counts: Counter  # occurrence -> number of indices
+
+    @classmethod
+    def from_indices(cls, indices: Sequence[int]) -> "TraceStatistics":
+        indices = np.asarray(indices)
+        if indices.size == 0:
+            raise ValueError("empty trace")
+        per_index = Counter(indices.tolist())
+        occurrence_counts = Counter(per_index.values())
+        return cls(
+            total_lookups=int(indices.size),
+            total_indices=len(per_index),
+            occurrence_counts=occurrence_counts,
+        )
+
+    # ------------------------------------------------------------------
+    # Fig. 4 headline numbers
+    # ------------------------------------------------------------------
+    def unique_access_fraction(self) -> float:
+        """Fraction of distinct indices accessed exactly once
+        (the paper's 84.74%)."""
+        return self.occurrence_counts.get(1, 0) / self.total_indices
+
+    def top_k_share(self, k: int) -> float:
+        """Fraction of all lookups landing on the k hottest indices
+        (the paper's 59.2% for k = 10,000)."""
+        if k < 1:
+            raise ValueError("k must be positive")
+        # Occurrences sorted hottest first.
+        occurrences = sorted(self.occurrence_counts.items(), reverse=True)
+        taken = 0
+        lookups = 0
+        for occurrence, count in occurrences:
+            use = min(count, k - taken)
+            lookups += use * occurrence
+            taken += use
+            if taken >= k:
+                break
+        return lookups / self.total_lookups
+
+    def occurrence_table(self, top: int = 10) -> Dict[int, int]:
+        """Fig. 4's right-hand table: occurrence -> #indices."""
+        return {
+            occurrence: self.occurrence_counts[occurrence]
+            for occurrence in sorted(self.occurrence_counts)[:top]
+        }
+
+    def histogram(self, bins: int = 50) -> np.ndarray:
+        """Counts of indices per occurrence bin (for plotting)."""
+        occurrences = np.array(
+            [occ for occ, n in self.occurrence_counts.items() for _ in range(n)]
+        )
+        counts, _ = np.histogram(occurrences, bins=bins)
+        return counts
+
+    def summary(self) -> str:
+        return (
+            f"lookups={self.total_lookups}, distinct={self.total_indices}, "
+            f"unique-once={self.unique_access_fraction():.2%}, "
+            f"top-1%-share={self.top_k_share(max(1, self.total_indices // 100)):.2%}"
+        )

@@ -1,0 +1,67 @@
+"""Trace persistence.
+
+Benchmark runs should be replayable: a trace generated once can be
+saved and re-served byte-identically later (or on another machine),
+the way the paper reuses one synthetic Criteo-derived trace across all
+its experiments.  The format is JSON-lines — one inference's sparse
+input per line — with a small header describing the generator.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+FORMAT = "rmssd-trace-v1"
+
+
+def save_trace(
+    path,
+    trace: Sequence[Sequence[Sequence[int]]],
+    metadata: Optional[Dict] = None,
+) -> Path:
+    """Write a trace (``[inference][table][lookups]``) as JSONL."""
+    path = Path(path)
+    if not trace:
+        raise ValueError("empty trace")
+    tables = len(trace[0])
+    with path.open("w") as handle:
+        header = {"format": FORMAT, "tables": tables, "inferences": len(trace)}
+        if metadata:
+            header["metadata"] = metadata
+        handle.write(json.dumps(header) + "\n")
+        for sample in trace:
+            if len(sample) != tables:
+                raise ValueError("inconsistent table count across samples")
+            handle.write(json.dumps([list(map(int, l)) for l in sample]) + "\n")
+    return path
+
+
+def load_trace(path) -> tuple:
+    """Read a trace; returns ``(trace, header)``."""
+    path = Path(path)
+    with path.open() as handle:
+        first = handle.readline()
+        if not first:
+            raise ValueError("empty trace file")
+        header = json.loads(first)
+        if header.get("format") != FORMAT:
+            raise ValueError(f"not a trace file: format={header.get('format')!r}")
+        trace: List[List[List[int]]] = []
+        for line_no, line in enumerate(handle, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            sample = json.loads(line)
+            if len(sample) != header["tables"]:
+                raise ValueError(
+                    f"line {line_no}: expected {header['tables']} tables"
+                )
+            trace.append(sample)
+    if len(trace) != header["inferences"]:
+        raise ValueError(
+            f"header promises {header['inferences']} inferences, "
+            f"file holds {len(trace)}"
+        )
+    return trace, header

@@ -1,0 +1,92 @@
+"""Synthetic embedding lookup trace generator.
+
+Models the Criteo-derived access pattern of Fig. 4: a small *hot set*
+of indices receives a configurable fraction of all lookups (Zipf-
+weighted within the set), while the remaining lookups scatter almost
+uniformly over the full index space — which is why "simply increasing
+the cache capacity can only marginally improve the performance" (the
+cold tail is near-random and mostly unique).
+
+``hot_access_fraction`` is the paper's *hit ratio*: a cache big enough
+for the hot set converges to exactly this hit rate, which is how the
+Fig. 14 locality sweep is parameterized.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+class TraceGenerator:
+    """Hot/cold Zipf mixture over one model's tables."""
+
+    def __init__(
+        self,
+        num_tables: int,
+        rows_per_table: int,
+        lookups_per_table: int,
+        hot_access_fraction: float = 0.65,
+        hot_set_fraction: float = 0.001,
+        zipf_exponent: float = 1.05,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= hot_access_fraction <= 1.0:
+            raise ValueError("hot_access_fraction must be in [0, 1]")
+        if not 0.0 < hot_set_fraction <= 1.0:
+            raise ValueError("hot_set_fraction must be in (0, 1]")
+        if num_tables < 1 or rows_per_table < 1 or lookups_per_table < 1:
+            raise ValueError("table/lookup counts must be positive")
+        self.num_tables = num_tables
+        self.rows_per_table = rows_per_table
+        self.lookups_per_table = lookups_per_table
+        self.hot_access_fraction = hot_access_fraction
+        self.hot_set_size = max(1, int(rows_per_table * hot_set_fraction))
+        self.zipf_exponent = zipf_exponent
+        self._rng = np.random.default_rng(seed)
+        # One hot set per table: a random sample of its index space,
+        # with Zipf weights (rank 1 is hottest), like Fig. 4's head.
+        self._hot_sets: List[np.ndarray] = []
+        self._hot_weights: Optional[np.ndarray] = None
+        for _ in range(num_tables):
+            self._hot_sets.append(
+                self._rng.choice(rows_per_table, size=self.hot_set_size, replace=False)
+            )
+        ranks = np.arange(1, self.hot_set_size + 1, dtype=np.float64)
+        weights = ranks ** (-zipf_exponent)
+        self._hot_weights = weights / weights.sum()
+
+    def _draw_table(self, table_id: int, count: int) -> np.ndarray:
+        hot_mask = self._rng.random(count) < self.hot_access_fraction
+        n_hot = int(hot_mask.sum())
+        out = np.empty(count, dtype=np.int64)
+        if n_hot:
+            out[hot_mask] = self._rng.choice(
+                self._hot_sets[table_id], size=n_hot, p=self._hot_weights
+            )
+        n_cold = count - n_hot
+        if n_cold:
+            out[~hot_mask] = self._rng.integers(0, self.rows_per_table, size=n_cold)
+        return out
+
+    def sample(self) -> List[List[int]]:
+        """One inference's sparse input: per table, its lookup indices."""
+        return [
+            self._draw_table(t, self.lookups_per_table).tolist()
+            for t in range(self.num_tables)
+        ]
+
+    def generate(self, num_inferences: int) -> List[List[List[int]]]:
+        """A trace of ``num_inferences`` sparse inputs."""
+        return [self.sample() for _ in range(num_inferences)]
+
+    def flat_indices(self, trace: Sequence[Sequence[Sequence[int]]]) -> np.ndarray:
+        """All ``(table_id, index)`` pairs of a trace, flattened in
+        lookup order, encoded as ``table_id * rows + index``."""
+        flat = []
+        for sample in trace:
+            for table_id, indices in enumerate(sample):
+                for index in indices:
+                    flat.append(table_id * self.rows_per_table + index)
+        return np.asarray(flat, dtype=np.int64)

@@ -1,0 +1,48 @@
+"""Tests for the deployment advisor."""
+
+import pytest
+
+from repro.analysis.advisor import Advice, advise
+from repro.fpga.specs import FPGAPart
+from repro.models import get_config
+
+
+class TestAdvise:
+    def test_rmc1_latency_bound_recommendation(self):
+        advice = advise(get_config("rmc1"))
+        assert advice.dominated_by == "embedding"
+        assert advice.fits_low_end
+        # RM-SSD wins batch-1 but batched DRAM overtakes (Fig. 12a).
+        assert advice.rmssd_qps > advice.dram_qps_batch1
+        assert advice.dram_qps_batched > advice.rmssd_qps
+        assert "latency-bound" in advice.recommendation
+
+    def test_mlp_dominated_models_recommend_rmssd(self):
+        for key in ("rmc3", "ncf", "wnd"):
+            advice = advise(get_config(key))
+            assert advice.dominated_by == "mlp", key
+            assert advice.recommendation == "RM-SSD", key
+            assert advice.rmssd_qps >= advice.dram_qps_batched, key
+
+    def test_rmc3_spills_and_batches(self):
+        advice = advise(get_config("rmc3"))
+        assert advice.device_nbatch == 4
+        assert "Lb0" in advice.spilled_layers
+
+    def test_paper_capacity_reported(self):
+        advice = advise(get_config("rmc2"))
+        assert advice.embedding_bytes_paper == pytest.approx(
+            30 * (1 << 30), rel=0.01
+        )
+
+    def test_tiny_part_fails_fit(self):
+        tiny = FPGAPart("tiny", luts=100, ffs=100, brams=1, dsps=1)
+        advice = advise(get_config("rmc1"), target_part=tiny)
+        assert not advice.fits_low_end
+        assert "host-side serving" in advice.recommendation
+
+    def test_render_mentions_key_facts(self):
+        text = advise(get_config("rmc1")).render()
+        assert "RMC1" in text
+        assert "recommendation:" in text
+        assert "QPS" in text

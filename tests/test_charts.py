@@ -1,0 +1,65 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.analysis.charts import bar_chart, line_chart
+
+
+class TestBarChart:
+    def test_renders_all_labels(self):
+        text = bar_chart(["a", "bb"], [1.0, 2.0], title="T")
+        assert "T" in text
+        assert "a " in text and "bb" in text
+
+    def test_longest_bar_is_max(self):
+        text = bar_chart(["small", "big"], [1.0, 10.0], width=20)
+        lines = text.splitlines()
+        small_bar = lines[0].count("#")
+        big_bar = lines[1].count("#")
+        assert big_bar == 20
+        assert small_bar < big_bar
+
+    def test_log_scale_compresses(self):
+        linear = bar_chart(["a", "b"], [1.0, 1000.0], width=30)
+        logged = bar_chart(["a", "b"], [1.0, 1000.0], width=30, log=True)
+        assert linear.splitlines()[0].count("#") < logged.splitlines()[0].count("#")
+
+    def test_zero_value_no_bar(self):
+        text = bar_chart(["z"], [0.0])
+        assert text.splitlines()[0].count("#") == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [-1.0])
+
+
+class TestLineChart:
+    def test_renders_axis_and_legend(self):
+        text = line_chart(
+            {"up": [1, 2, 3], "down": [3, 2, 1]}, ["1", "2", "3"], title="L"
+        )
+        assert "o=up" in text and "x=down" in text
+        assert "1" in text and "3" in text
+
+    def test_monotone_series_rises(self):
+        text = line_chart({"s": [0.0, 10.0]}, ["a", "b"], height=10)
+        grid = [line for line in text.splitlines() if line.startswith("|")]
+        rows = [i for i, line in enumerate(grid) if "o" in line]
+        assert len(rows) == 2
+        # The larger value's marker sits on an upper row, and its x
+        # position is further right.
+        assert grid[rows[0]].index("o") > grid[rows[1]].index("o")
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({"s": [1, 2]}, ["a"])
+        with pytest.raises(ValueError):
+            line_chart({}, ["a"])
+
+    def test_log_mode_annotated(self):
+        text = line_chart({"s": [1, 100]}, ["a", "b"], log=True)
+        assert "(log y)" in text

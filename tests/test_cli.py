@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search", "rmc9"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "rmc1"])
+        assert args.backend == "rm-ssd"
+        assert args.batch == 1
+
+
+class TestCommands:
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "RMC1" in out and "WnD" in out
+
+    def test_search(self, capsys):
+        assert main(["search", "rmc1"]) == 0
+        out = capsys.readouterr().out
+        assert "4x2" in out
+        assert "XC7A200T" in out
+
+    def test_search_with_budget(self, capsys):
+        assert main(["search", "rmc3", "--bram-budget", "280"]) == 0
+        out = capsys.readouterr().out
+        assert "dram" in out
+
+    def test_run_each_backend_smoke(self, capsys):
+        for backend in (
+            "dram", "emb-vectorsum", "recssd", "rm-ssd-naive",
+            "ssd-s", "ssd-m", "emb-mmio", "emb-pagesum",
+        ):
+            code = main(
+                ["run", "rmc1", "--backend", backend, "--requests", "2",
+                 "--rows", "512", "--no-compute"]
+            )
+            assert code == 0
+            out = capsys.readouterr().out
+            assert "QPS" in out
+
+    def test_run_with_compute(self, capsys):
+        assert main(["run", "rmc1", "--requests", "1", "--rows", "256"]) == 0
+        assert "throughput" in capsys.readouterr().out
+
+    def test_sweep(self, capsys):
+        code = main(
+            ["sweep", "rmc1", "--backends", "rm-ssd,dram",
+             "--batches", "1,4", "--requests", "2", "--rows", "512"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RM-SSD" in out and "DRAM" in out
+
+    def test_advise(self, capsys):
+        assert main(["advise", "rmc3"]) == 0
+        out = capsys.readouterr().out
+        assert "recommendation" in out
+        assert "RMC3" in out
+
+    def test_sla(self, capsys):
+        code = main(["sla", "rmc1", "--rows", "256", "--queries", "40",
+                     "--sla-ms", "20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "saturation" in out
+        assert "max load" in out
+
+    def test_criteo_gen_and_run(self, capsys, tmp_path):
+        tsv = str(tmp_path / "c.tsv")
+        assert main(["criteo-gen", tsv, "--rows", "80"]) == 0
+        assert "wrote 80" in capsys.readouterr().out
+        code = main(["criteo-run", tsv, "ncf", "--batch", "4",
+                     "--rows", "256"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+
+    def test_trace_stats(self, capsys):
+        code = main(
+            ["trace-stats", "--rows", "5000", "--requests", "50",
+             "--lookups", "10"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lookups=" in out
+        assert "occurrence" in out

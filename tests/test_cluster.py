@@ -1,0 +1,112 @@
+"""Tests for the multi-device scale-out extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.cluster import MODE_REPLICA, MODE_TABLE_SHARD, RMSSDCluster
+from repro.models import build_model, get_config
+
+ROWS = 64
+
+
+def build(key="rmc1", devices=2, mode=MODE_TABLE_SHARD):
+    config = get_config(key)
+    model = build_model(config, rows_per_table=ROWS, seed=3)
+    cluster = RMSSDCluster(
+        model, lookups_per_table=4, num_devices=devices, mode=mode
+    )
+    return config, model, cluster
+
+
+def random_batch(config, batch=2, lookups=4, seed=0):
+    rng = np.random.default_rng(seed)
+    sparse = [
+        [list(rng.integers(0, ROWS, size=lookups)) for _ in range(config.num_tables)]
+        for _ in range(batch)
+    ]
+    dense = rng.standard_normal((batch, config.dense_dim)).astype(np.float32)
+    return dense, sparse
+
+
+class TestNumerics:
+    def test_table_shard_outputs_match_reference(self):
+        config, model, cluster = build(devices=4)
+        dense, sparse = random_batch(config)
+        outputs, _ = cluster.infer_batch(dense, sparse)
+        np.testing.assert_allclose(
+            outputs, model.forward(dense, sparse), rtol=1e-5, atol=1e-6
+        )
+
+    def test_replica_outputs_match_reference(self):
+        config, model, cluster = build(devices=3, mode=MODE_REPLICA)
+        dense, sparse = random_batch(config, seed=1)
+        outputs, _ = cluster.infer_batch(dense, sparse)
+        np.testing.assert_allclose(
+            outputs, model.forward(dense, sparse), rtol=1e-5, atol=1e-6
+        )
+
+    def test_uneven_shard_split(self):
+        # 8 tables over 3 devices: 3+3+2.
+        config, model, cluster = build(devices=3)
+        sizes = sorted(len(s.table_ids) for s in cluster.shards)
+        assert sizes == [2, 3, 3]
+        dense, sparse = random_batch(config, seed=2)
+        outputs, _ = cluster.infer_batch(dense, sparse)
+        np.testing.assert_allclose(
+            outputs, model.forward(dense, sparse), rtol=1e-5, atol=1e-6
+        )
+
+
+class TestScaling:
+    def test_table_sharding_cuts_embedding_time(self):
+        _, _, single = build(devices=1)
+        _, _, quad = build(devices=4)
+        config = get_config("rmc1")
+        dense, sparse = random_batch(config, seed=4)
+        _, t1 = single.infer_batch(dense, sparse)
+        _, t4 = quad.infer_batch(dense, sparse)
+        assert t4.emb_ns < t1.emb_ns
+
+    def test_replica_throughput_scales_linearly(self):
+        _, _, single = build(devices=1, mode=MODE_REPLICA)
+        _, _, quad = build(devices=4, mode=MODE_REPLICA)
+        q1 = single.throughput_qps(nbatch=2)
+        q4 = quad.throughput_qps(nbatch=2)
+        assert q4 == pytest.approx(4 * q1, rel=0.05)
+
+    def test_capacity_accounting(self):
+        _, model, shard = build(devices=2)
+        _, _, replica = build(devices=2, mode=MODE_REPLICA)
+        assert shard.total_capacity_bytes == model.tables.total_bytes
+        assert replica.total_capacity_bytes == 2 * model.tables.total_bytes
+
+    def test_timing_structure(self):
+        config, _, cluster = build(devices=2)
+        dense, sparse = random_batch(config, seed=5)
+        _, timing = cluster.infer_batch(dense, sparse)
+        assert len(timing.per_device_emb_ns) == 2
+        assert timing.latency_ns >= timing.interval_ns
+        assert timing.gather_ns > 0
+
+
+class TestValidation:
+    def test_too_many_devices_rejected(self):
+        with pytest.raises(ValueError):
+            build(devices=9)  # RMC1 has 8 tables
+
+    def test_unknown_mode_rejected(self):
+        config = get_config("rmc1")
+        model = build_model(config, rows_per_table=ROWS)
+        with pytest.raises(ValueError):
+            RMSSDCluster(model, 4, num_devices=2, mode="rings")
+
+    def test_zero_devices_rejected(self):
+        config = get_config("rmc1")
+        model = build_model(config, rows_per_table=ROWS)
+        with pytest.raises(ValueError):
+            RMSSDCluster(model, 4, num_devices=0)
+
+    def test_empty_batch_rejected(self):
+        _, _, cluster = build(devices=2)
+        with pytest.raises(ValueError):
+            cluster.infer_batch(None, [])

@@ -1,0 +1,262 @@
+"""Tests for the assembled RM-SSD device and host runtime."""
+
+import numpy as np
+import pytest
+
+from repro.core.device import (
+    MLP_DESIGN_NAIVE,
+    MLP_DESIGN_OPTIMIZED,
+    RMSSD,
+)
+from repro.core.interfaces import RMPermissionError, RMRuntime
+from repro.core.registers import DeviceStatus, MMIOCostModel, MMIOManager, RMRegisters
+from repro.models import build_model, get_config
+from repro.ssd.stats import IOStatistics
+
+
+def make_device(config_key="rmc1", rows=64, **kwargs):
+    config = get_config(config_key)
+    model = build_model(config, rows_per_table=rows, seed=7)
+    return RMSSD(model, config.lookups_per_table, **kwargs), model, config
+
+
+def random_requests(config, rows, batch, lookups=None, seed=0):
+    rng = np.random.default_rng(seed)
+    lookups = lookups or config.lookups_per_table
+    sparse = [
+        [list(rng.integers(0, rows, size=lookups)) for _ in range(config.num_tables)]
+        for _ in range(batch)
+    ]
+    dense = rng.standard_normal((batch, config.dense_dim)).astype(np.float32)
+    return dense, sparse
+
+
+class TestNumericFidelity:
+    def test_outputs_match_host_reference_rmc1(self):
+        device, model, config = make_device("rmc1")
+        dense, sparse = random_requests(config, 64, batch=3, lookups=8)
+        outputs, _ = device.infer_batch(dense, sparse)
+        reference = model.forward(dense, sparse)
+        np.testing.assert_allclose(outputs, reference, rtol=1e-5, atol=1e-6)
+
+    def test_outputs_match_host_reference_ncf(self):
+        config = get_config("ncf")
+        model = build_model(config, rows_per_table=32, seed=1)
+        device = RMSSD(model, config.lookups_per_table)
+        rng = np.random.default_rng(2)
+        sparse = [
+            [[int(rng.integers(0, 32))] for _ in range(4)] for _ in range(4)
+        ]
+        outputs, _ = device.infer_batch(None, sparse)
+        reference = model.forward(None, sparse)
+        np.testing.assert_allclose(outputs, reference, rtol=1e-5, atol=1e-6)
+
+    def test_outputs_match_host_reference_wnd(self):
+        config = get_config("wnd")
+        model = build_model(config, rows_per_table=32, seed=1)
+        device = RMSSD(model, config.lookups_per_table)
+        rng = np.random.default_rng(3)
+        sparse = [[[int(rng.integers(0, 32))] for _ in range(config.num_tables)]]
+        dense = rng.standard_normal((1, config.dense_dim)).astype(np.float32)
+        outputs, _ = device.infer_batch(dense, sparse)
+        np.testing.assert_allclose(
+            outputs, model.forward(dense, sparse), rtol=1e-5, atol=1e-6
+        )
+
+    def test_naive_design_same_numerics(self):
+        device, model, config = make_device("rmc1", mlp_design=MLP_DESIGN_NAIVE)
+        dense, sparse = random_requests(config, 64, batch=2, lookups=4)
+        outputs, _ = device.infer_batch(dense, sparse)
+        np.testing.assert_allclose(
+            outputs, model.forward(dense, sparse), rtol=1e-5, atol=1e-6
+        )
+
+
+class TestTiming:
+    def test_embedding_dominates_rmc1(self):
+        device, _, config = make_device("rmc1")
+        dense, sparse = random_requests(config, 64, batch=1)
+        _, timing = device.infer_batch(dense, sparse)
+        assert timing.emb_ns > timing.bot_ns
+        assert timing.emb_ns > timing.top_ns
+        assert timing.interval_ns == timing.emb_ns
+
+    def test_io_overhead_under_one_percent(self):
+        # Section VI-C: the MMIO interface costs <1% per inference.
+        device, _, config = make_device("rmc1")
+        dense, sparse = random_requests(config, 64, batch=1)
+        _, timing = device.infer_batch(dense, sparse)
+        assert timing.io_ns < 0.05 * timing.latency_ns
+
+    def test_naive_slower_for_mlp_dominated(self):
+        # Fig. 12(c): RM-SSD beats RM-SSD-Naive ~3x on RMC3 once the
+        # batch fills the kernel pipeline.
+        fast, _, config = make_device("rmc3", rows=32)
+        slow, _, _ = make_device("rmc3", rows=32, mlp_design=MLP_DESIGN_NAIVE)
+        dense, sparse = random_requests(config, 32, batch=8)
+        _, t_fast = fast.infer_batch(dense, sparse)
+        _, t_slow = slow.infer_batch(dense, sparse)
+        assert t_slow.interval_ns > 1.5 * t_fast.interval_ns
+        # Even at batch 1 the naive design is never faster.
+        dense1, sparse1 = random_requests(config, 32, batch=1)
+        _, t_fast1 = fast.infer_batch(dense1, sparse1)
+        _, t_slow1 = slow.infer_batch(dense1, sparse1)
+        assert t_slow1.interval_ns >= 0.95 * t_fast1.interval_ns
+
+    def test_naive_similar_for_embedding_dominated(self):
+        # Fig. 12(a)/(b): RM-SSD-Naive tracks RM-SSD when embedding-bound.
+        fast, _, config = make_device("rmc1")
+        slow, _, _ = make_device("rmc1", mlp_design=MLP_DESIGN_NAIVE)
+        dense, sparse = random_requests(config, 64, batch=1)
+        _, t_fast = fast.infer_batch(dense, sparse)
+        _, t_slow = slow.infer_batch(dense, sparse)
+        assert t_slow.interval_ns == pytest.approx(t_fast.interval_ns, rel=0.2)
+
+    def test_pipelined_workload_faster_than_unpipelined(self):
+        device, _, config = make_device("rmc1")
+        batches = [random_requests(config, 64, batch=1, seed=s) for s in range(5)]
+        dense_batches = [d for d, _ in batches]
+        sparse_batches = [s for _, s in batches]
+        piped = device.run_workload(dense_batches, sparse_batches, pipelined=True)
+        device2, _, _ = make_device("rmc1")
+        unpiped = device2.run_workload(dense_batches, sparse_batches, pipelined=False)
+        assert piped.total_ns < unpiped.total_ns
+        assert piped.qps > unpiped.qps
+
+    def test_rmc1_throughput_order_of_magnitude(self):
+        # Fig. 12(a): RM-SSD sustains O(1K) QPS on RMC1.
+        device, _, config = make_device("rmc1")
+        dense, sparse = random_requests(config, 64, batch=4)
+        result = device.run_workload([dense], [sparse])
+        _, timing = device.infer_batch(dense, sparse)
+        qps = timing.nbatch / (timing.interval_ns / 1e9)
+        assert 500 < qps < 5000
+
+    def test_empty_batch_rejected(self):
+        device, _, _ = make_device("rmc1")
+        with pytest.raises(ValueError):
+            device.infer_batch(None, [])
+
+    def test_unknown_design_rejected(self):
+        config = get_config("rmc1")
+        model = build_model(config, rows_per_table=16)
+        with pytest.raises(ValueError):
+            RMSSD(model, config.lookups_per_table, mlp_design="bogus")
+
+    def test_host_traffic_tiny(self):
+        # Table IV: RM-SSD returns ~MMIO-width bytes per inference.
+        device, _, config = make_device("rmc1")
+        device.stats.reset()
+        dense, sparse = random_requests(config, 64, batch=1)
+        device.infer_batch(dense, sparse)
+        # Read traffic: status poll + 64 B result, nothing else.
+        assert device.stats.host_read_bytes <= 128
+
+
+class TestRuntime:
+    def _runtime(self):
+        device, model, config = make_device("rmc1")
+        runtime = RMRuntime(device, user="alice")
+        for table_id in range(config.num_tables):
+            runtime.rm_create_table(table_id, owner="alice")
+        return runtime, model, config
+
+    def test_create_open_infer(self):
+        runtime, model, config = self._runtime()
+        fds = [runtime.rm_open_table(t) for t in range(config.num_tables)]
+        dense, sparse = random_requests(config, 64, batch=4, lookups=4)
+        outputs, result = runtime.rm_infer(fds, dense, sparse)
+        np.testing.assert_allclose(
+            outputs, model.forward(dense, sparse), rtol=1e-5, atol=1e-6
+        )
+        assert result.inferences == 4
+
+    def test_permission_enforced(self):
+        runtime, _, _ = self._runtime()
+        with pytest.raises(RMPermissionError):
+            runtime.rm_open_table(0, user="mallory")
+
+    def test_open_before_create_fails(self):
+        device, _, config = make_device("rmc1")
+        runtime = RMRuntime(device)
+        with pytest.raises(FileNotFoundError):
+            runtime.rm_open_table(0)
+
+    def test_double_create_fails(self):
+        runtime, _, _ = self._runtime()
+        with pytest.raises(ValueError):
+            runtime.rm_create_table(0)
+
+    def test_invalid_fd_rejected(self):
+        runtime, _, config = self._runtime()
+        dense, sparse = random_requests(config, 64, batch=1, lookups=2)
+        with pytest.raises(RMPermissionError):
+            runtime.rm_infer([99], dense, sparse)
+
+    def test_large_batch_partitioned(self):
+        runtime, model, config = self._runtime()
+        fds = [runtime.rm_open_table(t) for t in range(config.num_tables)]
+        batch = 4 * max(1, runtime.device.supported_nbatch) + 1
+        dense, sparse = random_requests(config, 64, batch=batch, lookups=2)
+        outputs, result = runtime.rm_infer(fds, dense, sparse)
+        assert outputs.shape == (batch, 1)
+        assert len(result.batch_timings) == -(-batch // runtime.device.supported_nbatch)
+
+
+class TestRegisters:
+    def test_register_roundtrip(self):
+        mmio = MMIOManager(IOStatistics())
+        elapsed = mmio.write_register("num_lookups", 80)
+        assert elapsed > 0
+        value, _ = mmio.read_register("num_lookups")
+        assert value == 80
+
+    def test_status_enum(self):
+        regs = RMRegisters()
+        assert regs.status is DeviceStatus.IDLE
+        regs.set_status(DeviceStatus.READY)
+        assert regs.status is DeviceStatus.READY
+
+    def test_dma_cost_scales_with_bytes(self):
+        costs = MMIOCostModel()
+        assert costs.dma_ns(1 << 20) > costs.dma_ns(1 << 10)
+        assert costs.dma_ns(0) == 0.0
+        with pytest.raises(ValueError):
+            costs.dma_ns(-1)
+
+    def test_traffic_accounted(self):
+        stats = IOStatistics()
+        mmio = MMIOManager(stats)
+        mmio.dma_to_device(1000)
+        mmio.dma_from_device(64)
+        assert stats.host_write_bytes == 1000
+        assert stats.host_read_bytes == 64
+
+
+class TestTableUpload:
+    def test_upload_time_positive_and_data_intact(self):
+        device, model, config = make_device("rmc1")
+        before = model.tables[0].row_bytes(0)
+        elapsed = device.simulate_table_upload()
+        assert elapsed > 0
+        # A full-table stream is bounded below by the per-die program
+        # throughput of the written pages.
+        pages = sum(
+            l.file_bytes // 4096 for l in device.layout.layouts.values()
+        )
+        dies = (
+            device.controller.geometry.channels
+            * device.controller.geometry.dies_per_channel
+        )
+        floor = pages * device.controller.timing.program_ns / dies
+        assert elapsed >= 0.9 * floor
+        # The laid-out data survives the rewrite.
+        read = device.lookup_engine.lookup_batch(
+            [[[0]] + [[0]] * (config.num_tables - 1)]
+        )
+        assert read.pooled[0, :32].tobytes() == before
+
+    def test_upload_scales_with_capacity(self):
+        small, _, _ = make_device("rmc1", rows=32)
+        big, _, _ = make_device("rmc1", rows=128)
+        assert big.simulate_table_upload() > small.simulate_table_upload()

@@ -1,0 +1,132 @@
+"""Tests for the synthetic Criteo-format dataset substrate."""
+
+import numpy as np
+import pytest
+
+from repro.models import build_model, get_config
+from repro.workloads.criteo import (
+    NUM_DENSE,
+    NUM_SPARSE,
+    CriteoDataset,
+    generate_criteo_file,
+)
+from repro.workloads.stats import TraceStatistics
+
+
+@pytest.fixture(scope="module")
+def dataset(tmp_path_factory):
+    path = tmp_path_factory.mktemp("criteo") / "train.tsv"
+    generate_criteo_file(path, rows=600, vocab_size=50_000, seed=3)
+    return CriteoDataset.load(path)
+
+
+class TestGeneration:
+    def test_file_shape(self, tmp_path):
+        path = generate_criteo_file(tmp_path / "t.tsv", rows=10, seed=0)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 10
+        for line in lines:
+            fields = line.split("\t")
+            assert len(fields) == 1 + NUM_DENSE + NUM_SPARSE
+            assert fields[0] in ("0", "1")
+            int(fields[NUM_DENSE], 10)  # dense columns are integers
+            int(fields[-1], 16)  # sparse columns are hex
+
+    def test_deterministic(self, tmp_path):
+        a = generate_criteo_file(tmp_path / "a.tsv", rows=20, seed=5)
+        b = generate_criteo_file(tmp_path / "b.tsv", rows=20, seed=5)
+        assert a.read_text() == b.read_text()
+
+    def test_invalid_rows(self, tmp_path):
+        with pytest.raises(ValueError):
+            generate_criteo_file(tmp_path / "x.tsv", rows=0)
+
+    def test_label_rate_reasonable(self, dataset):
+        rate = sum(s.label for s in dataset.samples) / len(dataset)
+        assert 0.1 < rate < 0.45
+
+
+class TestLoading:
+    def test_load_counts(self, dataset):
+        assert len(dataset) == 600
+
+    def test_limit(self, tmp_path):
+        path = generate_criteo_file(tmp_path / "t.tsv", rows=50, seed=1)
+        assert len(CriteoDataset.load(path, limit=10)) == 10
+
+    def test_dense_log_transform(self, dataset):
+        for sample in dataset.samples[:20]:
+            assert sample.dense.dtype == np.float32
+            assert np.all(sample.dense >= 0)
+
+    def test_malformed_rejected(self, tmp_path):
+        bad = tmp_path / "bad.tsv"
+        bad.write_text("1\t2\t3\n")
+        with pytest.raises(ValueError):
+            CriteoDataset.load(bad)
+
+    def test_empty_rejected(self, tmp_path):
+        empty = tmp_path / "empty.tsv"
+        empty.write_text("")
+        with pytest.raises(ValueError):
+            CriteoDataset.load(empty)
+
+
+class TestRequests:
+    def test_single_lookup_requests(self, dataset):
+        requests = dataset.to_requests(
+            batch_size=4, num_tables=26, rows_per_table=1000
+        )
+        request = requests[0]
+        assert request.batch_size == 4
+        assert request.dense.shape == (4, NUM_DENSE)
+        assert len(request.sparse[0]) == 26
+        assert all(len(l) == 1 for l in request.sparse[0])
+        assert all(
+            0 <= i < 1000 for sample in request.sparse for l in sample for i in l
+        )
+
+    def test_multi_lookup_requests(self, dataset):
+        requests = dataset.to_requests(
+            batch_size=2, num_tables=8, rows_per_table=500, lookups_per_table=10
+        )
+        assert all(len(l) == 10 for l in requests[0].sparse[0])
+
+    def test_dense_dim_padding(self, dataset):
+        requests = dataset.to_requests(
+            batch_size=1, num_tables=8, rows_per_table=100, dense_dim=128
+        )
+        assert requests[0].dense.shape == (1, 128)
+
+    def test_too_small_dataset_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.to_requests(
+                batch_size=1000, num_tables=8, rows_per_table=100,
+                lookups_per_table=10,
+            )
+
+    def test_requests_drive_a_model(self, dataset):
+        config = get_config("wnd")  # 26 tables, 1 lookup: Criteo-native
+        model = build_model(config, rows_per_table=512, seed=0)
+        requests = dataset.to_requests(
+            batch_size=4,
+            num_tables=config.num_tables,
+            rows_per_table=512,
+            dense_dim=config.dense_dim,
+        )
+        outputs = model.forward(requests[0].dense, requests[0].sparse)
+        assert outputs.shape == (4, 1)
+        assert np.all((outputs > 0) & (outputs < 1))
+
+
+class TestLocality:
+    def test_column_statistics_heavy_tailed(self, dataset):
+        indices = dataset.column_indices(0, rows_per_table=50_000)
+        stats = TraceStatistics.from_indices(indices)
+        # Hot/cold mixture: hot head owns a meaningful share.
+        hot_share = stats.top_k_share(max(1, stats.total_indices // 20))
+        assert hot_share > 0.4
+
+    def test_column_out_of_range(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.column_indices(NUM_SPARSE, 100)

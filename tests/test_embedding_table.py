@@ -1,0 +1,153 @@
+"""Tests for embedding tables and pooling operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.embedding.pooling import (
+    pool_mean,
+    pool_sum,
+    sls_all_tables,
+    sls_batch,
+    sparse_length_sum,
+)
+from repro.embedding.table import EmbeddingTable, EmbeddingTableSet
+
+
+class TestEmbeddingTable:
+    def test_shape_and_dtype(self):
+        table = EmbeddingTable("t", rows=100, dim=32)
+        assert table.data.shape == (100, 32)
+        assert table.data.dtype == np.float32
+
+    def test_deterministic_from_seed(self):
+        a = EmbeddingTable("a", 50, 16, seed=7)
+        b = EmbeddingTable("b", 50, 16, seed=7)
+        assert np.array_equal(a.data, b.data)
+
+    def test_different_seeds_differ(self):
+        a = EmbeddingTable("a", 50, 16, seed=1)
+        b = EmbeddingTable("b", 50, 16, seed=2)
+        assert not np.array_equal(a.data, b.data)
+
+    def test_ev_size_is_dim_times_4(self):
+        assert EmbeddingTable("t", 10, 64).ev_size == 256
+
+    def test_row_bytes_roundtrip(self):
+        table = EmbeddingTable("t", 10, 8)
+        restored = np.frombuffer(table.row_bytes(3), dtype=np.float32)
+        assert np.array_equal(restored, table.row(3))
+
+    def test_row_out_of_range(self):
+        table = EmbeddingTable("t", 10, 8)
+        with pytest.raises(IndexError):
+            table.row(10)
+
+    def test_explicit_data(self):
+        data = np.ones((4, 2), dtype=np.float32)
+        table = EmbeddingTable("t", 4, 2, data=data)
+        assert np.array_equal(table.row(2), [1.0, 1.0])
+
+    def test_explicit_data_shape_checked(self):
+        with pytest.raises(ValueError):
+            EmbeddingTable("t", 4, 2, data=np.ones((3, 2), dtype=np.float32))
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            EmbeddingTable("t", 0, 8)
+
+
+class TestEmbeddingTableSet:
+    def test_uniform_construction(self):
+        tables = EmbeddingTableSet.uniform(8, rows_per_table=100, dim=32)
+        assert len(tables) == 8
+        assert tables.dim == 32
+        assert tables.ev_size == 128
+        assert tables.total_bytes == 8 * 100 * 128
+
+    def test_mixed_dims_rejected(self):
+        with pytest.raises(ValueError):
+            EmbeddingTableSet(
+                [EmbeddingTable("a", 10, 8), EmbeddingTable("b", 10, 16)]
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmbeddingTableSet([])
+
+    def test_tables_have_distinct_contents(self):
+        tables = EmbeddingTableSet.uniform(2, 10, 8, seed=0)
+        assert not np.array_equal(tables[0].data, tables[1].data)
+
+
+class TestTableScaling:
+    def test_scaling_record(self):
+        from repro.embedding.table import scaling_vs_paper
+
+        tables = EmbeddingTableSet.uniform(8, 1024, 32)
+        scaling = scaling_vs_paper(tables)
+        assert scaling.built_total_bytes == tables.total_bytes
+        assert scaling.factor == pytest.approx(
+            30 * (1 << 30) / tables.total_bytes
+        )
+        assert "scale-down" in str(scaling)
+
+
+class TestPooling:
+    def test_pool_sum_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        vectors = rng.standard_normal((20, 16)).astype(np.float32)
+        assert np.allclose(pool_sum(vectors), vectors.sum(axis=0), atol=1e-5)
+
+    def test_pool_sum_deterministic_order(self):
+        vectors = np.array([[1e8], [1.0], [-1e8]], dtype=np.float32)
+        # Left-to-right fp32: (1e8 + 1) - 1e8 == 0 exactly in fp32.
+        assert pool_sum(vectors)[0] == np.float32(np.float32(1e8 + 1.0) - 1e8)
+
+    def test_pool_mean(self):
+        vectors = np.array([[2.0, 4.0], [4.0, 8.0]], dtype=np.float32)
+        assert np.array_equal(pool_mean(vectors), [3.0, 6.0])
+
+    def test_pool_mean_empty_rejected(self):
+        with pytest.raises(ValueError):
+            pool_mean(np.zeros((0, 4), dtype=np.float32))
+
+    def test_pool_sum_requires_2d(self):
+        with pytest.raises(ValueError):
+            pool_sum(np.zeros(4, dtype=np.float32))
+
+    def test_sls_empty_indices_gives_zeros(self):
+        table = EmbeddingTable("t", 10, 8)
+        assert np.array_equal(sparse_length_sum(table, []), np.zeros(8))
+
+    def test_sls_single_index_is_row(self):
+        table = EmbeddingTable("t", 10, 8)
+        assert np.array_equal(sparse_length_sum(table, [3]), table.row(3))
+
+    @given(
+        indices=st.lists(st.integers(min_value=0, max_value=49), min_size=1, max_size=40)
+    )
+    def test_sls_property_matches_gather_sum(self, indices):
+        table = EmbeddingTable("t", 50, 8, seed=3)
+        result = sparse_length_sum(table, indices)
+        expected = np.zeros(8, dtype=np.float32)
+        for i in indices:
+            expected += table.row(i)
+        assert np.array_equal(result, expected)
+
+    def test_sls_all_tables_concatenates(self):
+        tables = EmbeddingTableSet.uniform(3, 20, 4)
+        result = sls_all_tables(tables, [[0, 1], [2], [3, 4, 5]])
+        assert result.shape == (12,)
+        assert np.array_equal(result[:4], sparse_length_sum(tables[0], [0, 1]))
+
+    def test_sls_all_tables_count_mismatch(self):
+        tables = EmbeddingTableSet.uniform(2, 20, 4)
+        with pytest.raises(ValueError):
+            sls_all_tables(tables, [[0]])
+
+    def test_sls_batch_shape(self):
+        tables = EmbeddingTableSet.uniform(2, 20, 4)
+        batch = [[[0], [1]], [[2], [3]], [[4, 5], [6, 7]]]
+        assert sls_batch(tables, batch).shape == (3, 8)

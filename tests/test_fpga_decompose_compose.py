@@ -1,0 +1,149 @@
+"""Tests for intra-layer decomposition and inter-layer composition."""
+
+import numpy as np
+import pytest
+
+from repro.core.mlp_engine import dlrm_forward_decomposed
+from repro.embedding.pooling import sls_all_tables
+from repro.fpga.compose import (
+    chain_cycles,
+    pair_layers,
+    stage_times,
+    uncomposed_chain_cycles,
+)
+from repro.fpga.decompose import (
+    PLACEMENT_BRAM,
+    LayerAssignment,
+    decompose,
+    decompose_model,
+)
+from repro.fpga.kernel import KernelSize
+from repro.fpga.specs import FPGASettings
+from repro.models import build_model, get_config
+
+
+class TestDecompose:
+    def test_rmc1_topology(self):
+        model = build_model(get_config("rmc1"), rows_per_table=16)
+        dec = decompose_model(model, lookups_per_table=80)
+        # Bottom: Lb0 (128x64), Lb1 (64x32), Lb (32x256).
+        assert [l.name for l in dec.bottom] == ["Lb0", "Lb1", "Lb"]
+        assert (dec.bottom[-1].rows, dec.bottom[-1].cols) == (32, 256)
+        # Le: embedding rows of top L0 (8 tables x 32 dim = 256).
+        assert (dec.emb.rows, dec.emb.cols) == (256, 256)
+        # Top: Lt1 (256x64), Lt2 (64x1).
+        assert [l.name for l in dec.top] == ["Lt1", "Lt2"]
+        assert (dec.top[-1].rows, dec.top[-1].cols) == (64, 1)
+
+    def test_rmc3_topology(self):
+        model = build_model(get_config("rmc3"), rows_per_table=16)
+        dec = decompose_model(model, lookups_per_table=20)
+        assert [l.name for l in dec.bottom] == ["Lb0", "Lb1", "Lb2", "Lb"]
+        assert (dec.bottom[0].rows, dec.bottom[0].cols) == (2560, 1024)
+        assert (dec.emb.rows, dec.emb.cols) == (10 * 32, 512)
+        assert dec.vectors_per_inference == 200
+
+    def test_decomposition_preserves_l0_macs(self):
+        # Rb*C + Re*C == R*C: no work is lost or duplicated.
+        model = build_model(get_config("rmc2"), rows_per_table=16)
+        dec = decompose_model(model, lookups_per_table=120)
+        top0_rows, top0_cols = model.fc_shapes_top()[0]
+        split_macs = dec.bottom[-1].macs + dec.emb.macs
+        assert split_macs == top0_rows * top0_cols
+
+    def test_no_bottom_model(self):
+        model = build_model(get_config("ncf"), rows_per_table=16)
+        dec = decompose_model(model, lookups_per_table=1)
+        assert dec.bottom == []
+        assert dec.emb is not None
+
+    def test_wnd_keeps_dense_passthrough_as_lb(self):
+        model = build_model(get_config("wnd"), rows_per_table=16)
+        dec = decompose_model(model, lookups_per_table=1)
+        # Dense features (13) bypass any bottom MLP but still feed L0.
+        assert len(dec.bottom) == 1
+        assert dec.bottom[0].rows == 13
+
+    def test_embedding_wider_than_l0_rejected(self):
+        with pytest.raises(ValueError):
+            decompose("bad", [], [(64, 8)], embedding_out_dim=128,
+                      num_tables=2, lookups_per_table=1, ev_size=256)
+
+    def test_numeric_equivalence_of_decomposition(self):
+        """Fig. 8's claim: splitting L0 changes nothing numerically."""
+        model = build_model(get_config("rmc1"), rows_per_table=64, seed=3)
+        rng = np.random.default_rng(0)
+        dense = rng.standard_normal(model.dense_dim).astype(np.float32)
+        sparse = [[1, 2, 3]] * model.num_tables
+        pooled = sls_all_tables(model.tables, sparse)
+        reference = model.forward_one(dense, sparse)
+        decomposed = dlrm_forward_decomposed(model, dense, pooled)
+        np.testing.assert_allclose(decomposed, reference, rtol=1e-5, atol=1e-6)
+
+
+def _chain(shapes, kernel=KernelSize(4, 2)):
+    layers = []
+    for i, (rows, cols) in enumerate(shapes):
+        layer = LayerAssignment(f"L{i}", rows, cols, PLACEMENT_BRAM, kernel)
+        layers.append(layer)
+    return layers
+
+
+class TestCompose:
+    def test_pairing(self):
+        layers = _chain([(8, 8)] * 5)
+        pairs = pair_layers(layers)
+        assert [len(p) for p in pairs] == [2, 2, 1]
+
+    def test_chain_cycles_is_sum_of_pair_maxima(self):
+        settings = FPGASettings()
+        layers = _chain([(128, 64), (64, 32), (32, 256)])
+        t0 = 128 * 64 // 8 * 8
+        t1 = 64 * 32 // 8 * 8
+        t2 = 32 * 256 // 8 * 8
+        assert chain_cycles(layers, 1, settings) == max(t0, t1) + t2
+
+    def test_composed_no_slower_than_uncomposed(self):
+        settings = FPGASettings()
+        layers = _chain([(128, 64), (64, 32), (32, 256), (256, 64)])
+        composed = chain_cycles(layers, 1, settings)
+        uncomposed = uncomposed_chain_cycles(layers, 1, settings)
+        assert composed < uncomposed
+        # Perfectly balanced pairs halve the chain time (Section IV-C3).
+        balanced = _chain([(64, 64), (64, 64)])
+        assert chain_cycles(balanced, 1, settings) == pytest.approx(
+            uncomposed_chain_cycles(balanced, 1, settings) / 2
+        )
+
+    def test_stage_times_interval_and_latency(self):
+        model = build_model(get_config("rmc1"), rows_per_table=16)
+        dec = decompose_model(model, lookups_per_table=80)
+        for layer in dec.all_layers():
+            layer.kernel = KernelSize(4, 2)
+        times = stage_times(dec, nbatch=1, read_bandwidth_vectors_per_cycle=0.005)
+        assert times.temb >= times.flash_cycles
+        assert times.interval == max(times.temb, times.tbot, times.ttop)
+        assert times.latency == max(times.temb, times.tbot) + times.ttop
+
+    def test_throughput_qps(self):
+        model = build_model(get_config("rmc1"), rows_per_table=16)
+        dec = decompose_model(model, lookups_per_table=80)
+        for layer in dec.all_layers():
+            layer.kernel = KernelSize(4, 2)
+        times = stage_times(dec, nbatch=2, read_bandwidth_vectors_per_cycle=0.005)
+        qps = times.throughput_qps(200e6)
+        assert qps == pytest.approx(2 * 200e6 / times.interval)
+
+    def test_missing_kernel_rejected(self):
+        model = build_model(get_config("rmc1"), rows_per_table=16)
+        dec = decompose_model(model, lookups_per_table=80)
+        with pytest.raises(ValueError):
+            stage_times(dec, 1, 0.005)
+
+    def test_embedding_flash_dominates_temb_for_rmc1(self):
+        model = build_model(get_config("rmc1"), rows_per_table=16)
+        dec = decompose_model(model, lookups_per_table=80)
+        for layer in dec.all_layers():
+            layer.kernel = KernelSize(4, 2)
+        times = stage_times(dec, nbatch=1, read_bandwidth_vectors_per_cycle=0.00564)
+        assert times.temb == times.flash_cycles  # embedding-dominated

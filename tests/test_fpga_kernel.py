@@ -1,0 +1,133 @@
+"""Tests for the FC kernel timing model and specs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fpga.kernel import (
+    KernelSize,
+    adder_tree_depth,
+    batch_cycles,
+    dram_layer_kernel,
+    layer_cycles,
+)
+from repro.fpga.resources import ResourceVector
+from repro.fpga.specs import XC7A200T, XCVU9P, FPGASettings
+
+
+class TestKernelSize:
+    def test_area(self):
+        assert KernelSize(4, 2).area == 8
+
+    def test_power_of_two_enforced(self):
+        with pytest.raises(ValueError):
+            KernelSize(3, 2)
+        with pytest.raises(ValueError):
+            KernelSize(4, 6)
+
+    def test_positive_enforced(self):
+        with pytest.raises(ValueError):
+            KernelSize(0, 2)
+
+    def test_str(self):
+        assert str(KernelSize(16, 8)) == "16x8"
+
+
+class TestLayerCycles:
+    def test_paper_formula_for_divisible_shapes(self):
+        # RC / (kr*kc) * II for exactly divisible layers.
+        settings = FPGASettings()
+        assert layer_cycles(256, 256, KernelSize(4, 2), settings) == (
+            256 * 256 // 8 * 8
+        )
+
+    def test_ceiling_for_non_divisible(self):
+        settings = FPGASettings()
+        # R=5, kr=4 -> 2 row strips.
+        assert layer_cycles(5, 4, KernelSize(4, 4), settings) == 2 * 1 * 8
+
+    def test_larger_kernel_is_faster(self):
+        slow = layer_cycles(512, 256, KernelSize(2, 2))
+        fast = layer_cycles(512, 256, KernelSize(8, 8))
+        assert fast < slow
+        assert slow == 16 * fast
+
+    @given(
+        rows=st.integers(min_value=1, max_value=512),
+        cols=st.integers(min_value=1, max_value=512),
+        kr_log=st.integers(min_value=0, max_value=4),
+        kc_log=st.integers(min_value=0, max_value=4),
+    )
+    def test_cycles_bounds_property(self, rows, cols, kr_log, kc_log):
+        settings = FPGASettings()
+        kernel = KernelSize(1 << kr_log, 1 << kc_log)
+        cycles = layer_cycles(rows, cols, kernel, settings)
+        ideal = rows * cols / kernel.area * settings.ii
+        assert cycles >= ideal - 1e-9
+        # Ceiling never more than doubles each dimension's ideal count.
+        assert cycles <= (rows / kernel.kr + 1) * (cols / kernel.kc + 1) * settings.ii
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValueError):
+            layer_cycles(0, 4, KernelSize(2, 2))
+
+
+class TestBatchCycles:
+    def test_batch_free_up_to_ii(self):
+        # Up to II samples ride the pipeline at no extra cost.
+        settings = FPGASettings()
+        single = batch_cycles(128, 64, KernelSize(4, 2), 1, settings)
+        assert batch_cycles(128, 64, KernelSize(4, 2), settings.ii, settings) == single
+
+    def test_batch_steps_beyond_ii(self):
+        settings = FPGASettings()
+        single = batch_cycles(128, 64, KernelSize(4, 2), 1, settings)
+        assert batch_cycles(128, 64, KernelSize(4, 2), 9, settings) == 2 * single
+
+    def test_invalid_batch_rejected(self):
+        with pytest.raises(ValueError):
+            batch_cycles(8, 8, KernelSize(2, 2), 0)
+
+
+class TestDramKernel:
+    def test_rule_two_shape(self):
+        # 64 B DDR4 bus -> 16 fp32 words; kc = II = 8 (Table V's 16x8).
+        kernel = dram_layer_kernel(FPGASettings())
+        assert kernel.kr == 16
+        assert kernel.kc == 8
+
+    def test_dram_layer_time_is_streaming_time(self):
+        # RC / Dwidth cycles: the kernel exactly consumes the bus.
+        settings = FPGASettings()
+        kernel = dram_layer_kernel(settings)
+        cycles = layer_cycles(2560, 1024, kernel, settings)
+        assert cycles == 2560 * 1024 // settings.dram_words_per_cycle
+
+
+class TestSpecs:
+    def test_part_capacities_match_table_vi(self):
+        assert XCVU9P.luts == 1_181_768
+        assert XCVU9P.dsps == 6840
+        assert XC7A200T.brams == 365
+        assert XC7A200T.dsps == 740
+
+    def test_fits(self):
+        small = ResourceVector(lut=1000, ff=1000, bram=10, dsp=10)
+        huge = ResourceVector(lut=10**7, ff=0, bram=0, dsp=0)
+        assert XC7A200T.fits(small)
+        assert not XC7A200T.fits(huge)
+
+    def test_utilization(self):
+        usage = ResourceVector(lut=XC7A200T.luts // 2, ff=0, bram=0, dsp=0)
+        assert XC7A200T.utilization(usage)["lut"] == pytest.approx(0.5)
+
+    def test_settings_constants(self):
+        settings = FPGASettings()
+        assert settings.ii == 8
+        assert settings.cycle_ns == pytest.approx(5.0)
+        assert settings.dram_words_per_cycle == 16
+        assert settings.kmax == 16
+
+    def test_adder_tree_depth(self):
+        assert adder_tree_depth(1) == 0
+        assert adder_tree_depth(8) == 3

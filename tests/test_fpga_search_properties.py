@@ -1,0 +1,147 @@
+"""Property-based tests: kernel-search invariants on random topologies.
+
+The search must uphold its structural guarantees for *any* plausible
+recommendation-model shape, not just the Table III configurations.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fpga.decompose import PLACEMENT_BRAM, PLACEMENT_DRAM, decompose
+from repro.fpga.search import kernel_search
+from repro.fpga.specs import FPGASettings
+
+
+def random_model(draw):
+    """Draw a random DLRM-shaped topology."""
+    dim = draw(st.sampled_from([16, 32, 64]))
+    tables = draw(st.integers(min_value=1, max_value=32))
+    lookups = draw(st.integers(min_value=1, max_value=128))
+    dense = draw(st.sampled_from([13, 64, 128, 256]))
+    bottom_widths = draw(
+        st.lists(st.sampled_from([16, 32, 64, 128, 256]), min_size=1, max_size=4)
+    )
+    top_widths = draw(
+        st.lists(st.sampled_from([32, 64, 128, 256]), min_size=1, max_size=3)
+    ) + [1]
+    bottom_shapes = []
+    previous = dense
+    for width in bottom_widths:
+        bottom_shapes.append((previous, width))
+        previous = width
+    emb_out = tables * dim
+    top_shapes = []
+    previous = emb_out + bottom_widths[-1]
+    for width in top_widths:
+        top_shapes.append((previous, width))
+        previous = width
+    return decompose(
+        name="random",
+        bottom_shapes=bottom_shapes,
+        top_shapes=top_shapes,
+        embedding_out_dim=emb_out,
+        num_tables=tables,
+        lookups_per_table=lookups,
+        ev_size=dim * 4,
+    )
+
+
+model_strategy = st.builds(lambda d: d, st.data())
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data(), flash=st.integers(min_value=100, max_value=2_000_000))
+def test_search_invariants(data, flash):
+    model = random_model(data.draw)
+    result = kernel_search(model, flash)
+    settings_ = FPGASettings()
+
+    # 1. Every layer received a kernel with power-of-two sides.
+    for layer in result.model.all_layers():
+        assert layer.kernel is not None
+        assert layer.kernel.kr & (layer.kernel.kr - 1) == 0
+        assert layer.kernel.kc & (layer.kernel.kc - 1) == 0
+        assert layer.kernel.kr <= settings_.kmax or (
+            layer.placement == PLACEMENT_DRAM
+        )
+
+    # 2. DRAM layers are pinned to the Rule Two kernel.
+    for layer in result.model.all_layers():
+        if layer.placement == PLACEMENT_DRAM:
+            assert layer.kernel.kr == settings_.dram_words_per_cycle
+            assert layer.kernel.kc == settings_.ii
+
+    # 3. Eq. 3 chain constraint: kc_i >= kr_{i+1} within each chain —
+    #    except where the downstream kernel hit the per-side cap and
+    #    kr was lifted (a buffered rate mismatch, see _shape_one).
+    for chain in (result.model.bottom, result.model.top):
+        for upstream, downstream in zip(chain, chain[1:]):
+            assert (
+                upstream.kernel.kc >= downstream.kernel.kr
+                or downstream.kernel.kc == settings_.kmax
+            )
+
+    # 4. Nbatch is a power of two within the cap.
+    assert result.nbatch & (result.nbatch - 1) == 0
+    assert 1 <= result.nbatch <= 256
+
+    # 5. Feasibility flag is honest: when set, both chains hide under
+    #    the embedding stage.
+    if result.feasible:
+        assert result.times.tbot <= result.times.temb
+        assert result.times.ttop <= result.times.temb
+
+    # 6. Resources are positive and monotone with layer count.
+    assert result.resources.lut > 0
+    assert result.resources.dsp > 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_search_deterministic(data):
+    model_a = random_model(data.draw)
+    import copy
+
+    model_b = copy.deepcopy(model_a)
+    result_a = kernel_search(model_a, 10_000)
+    result_b = kernel_search(model_b, 10_000)
+    assert {n: str(k) for n, k in result_a.kernels.items()} == {
+        n: str(k) for n, k in result_b.kernels.items()
+    }
+    assert result_a.nbatch == result_b.nbatch
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    data=st.data(),
+    budget=st.integers(min_value=8, max_value=4096),
+)
+def test_bram_budget_respected(data, budget):
+    model = random_model(data.draw)
+    result = kernel_search(model, 50_000, bram_budget_tiles=budget)
+    from repro.fpga.resources import weight_bram_tiles
+
+    on_chip = sum(
+        weight_bram_tiles(layer.weight_bytes)
+        for layer in result.model.all_layers()
+        if layer.placement == PLACEMENT_BRAM
+    )
+    # Rule One: on-chip weights fit the budget, or a single layer
+    # already exceeds it and everything else was spilled.
+    bram_layers = [
+        l for l in result.model.all_layers() if l.placement == PLACEMENT_BRAM
+    ]
+    assert on_chip <= budget or len(bram_layers) == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_more_flash_time_never_needs_more_batch(data):
+    """A slower embedding stage gives the MLP more headroom."""
+    model_a = random_model(data.draw)
+    import copy
+
+    model_b = copy.deepcopy(model_a)
+    fast = kernel_search(model_a, 5_000)
+    slow = kernel_search(model_b, 500_000)
+    assert slow.nbatch <= fast.nbatch

@@ -1,0 +1,80 @@
+"""Heterogeneous table sizes.
+
+Production models mix tiny tables (countries) with enormous ones
+(users, items); only the dimension must agree.  Layout, translation,
+and the lookup engine must handle per-table row counts independently.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.lookup_engine import EmbeddingLookupEngine
+from repro.embedding.layout import EmbeddingLayout
+from repro.embedding.pooling import sls_batch
+from repro.embedding.table import EmbeddingTable, EmbeddingTableSet
+from repro.embedding.translator import EVTranslator
+from repro.sim import Simulator
+from repro.ssd.blockdev import BlockDevice
+from repro.ssd.controller import SSDController
+from repro.ssd.geometry import SSDGeometry
+
+
+def build(max_extent_pages=None):
+    geo = SSDGeometry(
+        channels=4, dies_per_channel=2, planes_per_die=2,
+        blocks_per_plane=32, pages_per_block=32,
+    )
+    tables = EmbeddingTableSet(
+        [
+            EmbeddingTable("tiny", 3, 32, seed=1),
+            EmbeddingTable("medium", 77, 32, seed=2),
+            EmbeddingTable("large", 1000, 32, seed=3),
+        ]
+    )
+    device = BlockDevice(SSDController(Simulator(), geo), max_extent_pages)
+    layout = EmbeddingLayout(device, tables)
+    layout.create_all()
+    return tables, layout, EmbeddingLookupEngine(device.controller, layout)
+
+
+class TestHeterogeneousTables:
+    def test_lookup_engine_exact(self):
+        tables, _, engine = build()
+        batch = [[[0, 2], [0, 76], [999, 500, 1]]]
+        result = engine.lookup_batch(batch)
+        np.testing.assert_array_equal(result.pooled, sls_batch(tables, batch))
+
+    def test_per_table_bounds_enforced(self):
+        tables, layout, engine = build()
+        with pytest.raises(IndexError):
+            engine.translator.translate(0, 3)  # tiny table has 3 rows
+        # ...while the same index is fine on the large table.
+        engine.translator.translate(2, 3)
+
+    def test_fragmented_heterogeneous_layout(self):
+        tables, layout, engine = build(max_extent_pages=2)
+        batch = [[[1], [50], [31, 32, 33]]]  # crosses slot boundaries
+        result = engine.lookup_batch(batch)
+        np.testing.assert_array_equal(result.pooled, sls_batch(tables, batch))
+
+    def test_file_sizes_proportional_to_rows(self):
+        tables, layout, _ = build()
+        sizes = [layout.layout_for(t).file_bytes for t in range(3)]
+        assert sizes[0] <= sizes[1] <= sizes[2]
+        # Tiny table still costs one full page.
+        assert sizes[0] == 4096
+
+    def test_metadata_hole_detected(self):
+        # A corrupted extent map (gap in the index ranges) must be
+        # surfaced, not silently mis-addressed.
+        from repro.embedding.layout import ExtentRange
+
+        translator = EVTranslator(page_size=4096)
+        holey = [
+            ExtentRange(extent_id=0, first_index=0, last_index=9, start_lba=0),
+            ExtentRange(extent_id=1, first_index=20, last_index=29, start_lba=1),
+        ]
+        translator.register_table(0, holey, ev_size=128, rows=30)
+        translator.translate(0, 5)  # inside the first extent: fine
+        with pytest.raises(RuntimeError):
+            translator.translate(0, 15)  # falls into the hole

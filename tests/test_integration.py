@@ -1,0 +1,141 @@
+"""Cross-module integration tests: the full stack working together."""
+
+import numpy as np
+import pytest
+
+from repro.core.device import RMSSD
+from repro.core.interfaces import RMRuntime
+from repro.models import MODEL_CONFIGS, build_model, get_config
+from repro.ssd.geometry import SSDGeometry
+from repro.workloads.inputs import RequestGenerator
+
+
+class TestAllModelsFullStack:
+    """Every model of the zoo runs end to end on the device with
+    numerically exact results."""
+
+    @pytest.mark.parametrize("key", sorted(MODEL_CONFIGS))
+    def test_device_matches_reference(self, key):
+        config = get_config(key)
+        rows = 128
+        model = build_model(config, rows_per_table=rows, seed=11)
+        device = RMSSD(model, lookups_per_table=min(config.lookups_per_table, 4))
+        generator = RequestGenerator(config, rows, seed=3)
+        request = generator.request(batch_size=2)
+        # Clip lookups for heavy models to keep the DES fast.
+        sparse = [
+            [lookups[:4] if config.lookups_per_table > 4 else lookups
+             for lookups in sample]
+            for sample in request.sparse
+        ]
+        outputs, timing = device.infer_batch(request.dense, sparse)
+        reference = model.forward(request.dense, sparse)
+        np.testing.assert_allclose(outputs, reference, rtol=1e-5, atol=1e-6)
+        assert timing.interval_ns > 0
+
+
+class TestFragmentedLayoutFullStack:
+    def test_fragmented_extents_end_to_end(self):
+        config = get_config("rmc1")
+        model = build_model(config, rows_per_table=96, seed=1)
+        device = RMSSD(model, lookups_per_table=4, max_extent_pages=1)
+        rng = np.random.default_rng(4)
+        sparse = [
+            [list(rng.integers(0, 96, size=4)) for _ in range(config.num_tables)]
+        ]
+        dense = rng.standard_normal((1, config.dense_dim)).astype(np.float32)
+        outputs, _ = device.infer_batch(dense, sparse)
+        np.testing.assert_allclose(
+            outputs, model.forward(dense, sparse), rtol=1e-5, atol=1e-6
+        )
+        # The layout really is fragmented.
+        assert len(device.layout.layout_for(0).handle.extents) > 1
+
+
+class TestBlockIOCoexistence:
+    """Section IV-A: block I/O and inference share the flash channels."""
+
+    def _run_once(self, background_pages):
+        config = get_config("rmc1")
+        model = build_model(config, rows_per_table=64, seed=2)
+        device = RMSSD(model, lookups_per_table=8)
+        if background_pages:
+            # Read pages from the laid-out tables' LBA range.
+            device.start_background_block_reads(list(range(background_pages)))
+        rng = np.random.default_rng(9)
+        sparse = [
+            [list(rng.integers(0, 64, size=8)) for _ in range(config.num_tables)]
+        ]
+        dense = rng.standard_normal((1, config.dense_dim)).astype(np.float32)
+        outputs, timing = device.infer_batch(dense, sparse)
+        return outputs, timing, device
+
+    def test_block_reads_complete_and_slow_inference(self):
+        clean_outputs, clean_timing, _ = self._run_once(0)
+        busy_outputs, busy_timing, device = self._run_once(64)
+        # Numerics unaffected by contention.
+        np.testing.assert_array_equal(clean_outputs, busy_outputs)
+        # Shared channels: embedding reads take longer under block load.
+        assert busy_timing.emb_ns > clean_timing.emb_ns
+        # The block reads actually happened and crossed to the host.
+        assert device.stats.flash_page_reads == 64
+        assert device.stats.host_read_bytes >= 64 * 4096
+
+    def test_inference_only_has_no_page_reads(self):
+        _, _, device = self._run_once(0)
+        assert device.stats.flash_page_reads == 0
+
+
+class TestRuntimePipelining:
+    def test_pipelined_runtime_faster_and_equal_outputs(self):
+        config = get_config("rmc1")
+        model = build_model(config, rows_per_table=64, seed=5)
+
+        def build_runtime():
+            device = RMSSD(model, lookups_per_table=4)
+            runtime = RMRuntime(device, user="it")
+            for table_id in range(config.num_tables):
+                runtime.rm_create_table(table_id)
+            fds = [runtime.rm_open_table(t) for t in range(config.num_tables)]
+            return runtime, fds
+
+        rng = np.random.default_rng(6)
+        batch = 6
+        sparse = [
+            [list(rng.integers(0, 64, size=4)) for _ in range(config.num_tables)]
+            for _ in range(batch)
+        ]
+        dense = rng.standard_normal((batch, config.dense_dim)).astype(np.float32)
+
+        runtime_a, fds_a = build_runtime()
+        out_piped, res_piped = runtime_a.rm_infer(fds_a, dense, sparse, pipelined=True)
+        runtime_b, fds_b = build_runtime()
+        out_serial, res_serial = runtime_b.rm_infer(
+            fds_b, dense, sparse, pipelined=False
+        )
+        np.testing.assert_array_equal(out_piped, out_serial)
+        assert res_piped.total_ns <= res_serial.total_ns
+
+
+class TestGeometrySensitivity:
+    def test_more_channels_speed_up_lookups(self):
+        config = get_config("rmc1")
+        model = build_model(config, rows_per_table=64, seed=7)
+        timings = {}
+        for channels in (2, 8):
+            geometry = SSDGeometry(
+                channels=channels,
+                dies_per_channel=2,
+                planes_per_die=2,
+                blocks_per_plane=64,
+                pages_per_block=64,
+            )
+            device = RMSSD(model, lookups_per_table=16, geometry=geometry)
+            rng = np.random.default_rng(1)
+            sparse = [
+                [list(rng.integers(0, 64, size=16)) for _ in range(config.num_tables)]
+            ]
+            dense = np.zeros((1, config.dense_dim), dtype=np.float32)
+            _, timing = device.infer_batch(dense, sparse)
+            timings[channels] = timing.emb_ns
+        assert timings[8] < timings[2]

@@ -1,0 +1,81 @@
+"""Tests for model serialization (save_model / load_model)."""
+
+import numpy as np
+import pytest
+
+from repro.models import build_model, get_config
+from repro.models.io import load_model, save_model
+
+
+def roundtrip(tmp_path, key, **kwargs):
+    config = get_config(key)
+    model = build_model(config, rows_per_table=32, seed=9, **kwargs)
+    path = tmp_path / f"{key}.npz"
+    save_model(model, path)
+    return config, model, load_model(path)
+
+
+class TestRoundTrip:
+    def test_dlrm_outputs_bit_exact(self, tmp_path):
+        config, model, restored = roundtrip(tmp_path, "rmc1")
+        rng = np.random.default_rng(0)
+        dense = rng.standard_normal((3, config.dense_dim)).astype(np.float32)
+        sparse = [
+            [list(rng.integers(0, 32, size=5)) for _ in range(config.num_tables)]
+            for _ in range(3)
+        ]
+        np.testing.assert_array_equal(
+            model.forward(dense, sparse), restored.forward(dense, sparse)
+        )
+
+    def test_dlrm_mean_pooling_preserved(self, tmp_path):
+        config, model, restored = roundtrip(tmp_path, "rmc1", pooling="mean")
+        assert restored.pooling == "mean"
+
+    def test_ncf_outputs_bit_exact(self, tmp_path):
+        config, model, restored = roundtrip(tmp_path, "ncf")
+        sparse = [[[3], [7], [3], [7]], [[1], [2], [1], [2]]]
+        np.testing.assert_array_equal(
+            model.forward(None, sparse), restored.forward(None, sparse)
+        )
+
+    def test_wnd_outputs_bit_exact(self, tmp_path):
+        config, model, restored = roundtrip(tmp_path, "wnd")
+        rng = np.random.default_rng(1)
+        dense = rng.standard_normal((2, config.dense_dim)).astype(np.float32)
+        sparse = [
+            [[int(rng.integers(0, 32))] for _ in range(config.num_tables)]
+            for _ in range(2)
+        ]
+        np.testing.assert_array_equal(
+            model.forward(dense, sparse), restored.forward(dense, sparse)
+        )
+
+    def test_table_contents_bit_exact(self, tmp_path):
+        config, model, restored = roundtrip(tmp_path, "rmc1")
+        for original, loaded in zip(model.tables, restored.tables):
+            assert original.name == loaded.name
+            np.testing.assert_array_equal(original.data, loaded.data)
+
+    def test_name_preserved(self, tmp_path):
+        _, model, restored = roundtrip(tmp_path, "rmc2")
+        assert restored.name == model.name
+
+
+class TestErrors:
+    def test_unknown_object_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_model(object(), tmp_path / "x.npz")
+
+    def test_version_checked(self, tmp_path):
+        import json
+
+        import numpy as np
+
+        bad = tmp_path / "bad.npz"
+        header = np.frombuffer(
+            json.dumps({"version": 99, "kind": "DLRM"}).encode(), dtype=np.uint8
+        )
+        np.savez(bad, _header=header)
+        with pytest.raises(ValueError):
+            load_model(bad)

@@ -1,0 +1,262 @@
+"""Tests for the model zoo: layers, MLP, DLRM, NCF, WnD, configs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import (
+    DLRM,
+    MLP,
+    MODEL_CONFIGS,
+    Activation,
+    FCLayer,
+    NCF,
+    WideAndDeep,
+    build_model,
+    get_config,
+)
+from repro.embedding.table import EmbeddingTableSet
+
+
+class TestFCLayer:
+    def test_forward_shape(self):
+        layer = FCLayer(8, 4)
+        assert layer(np.zeros(8, dtype=np.float32)).shape == (4,)
+        assert layer(np.zeros((3, 8), dtype=np.float32)).shape == (3, 4)
+
+    def test_relu_clamps_negative(self):
+        layer = FCLayer(2, 2, weight=-np.eye(2, dtype=np.float32))
+        out = layer(np.array([1.0, 2.0], dtype=np.float32))
+        assert np.array_equal(out, [0.0, 0.0])
+
+    def test_sigmoid_range(self):
+        layer = FCLayer(4, 1, activation=Activation.SIGMOID)
+        out = layer(np.random.default_rng(0).standard_normal(4).astype(np.float32))
+        assert 0.0 < out[0] < 1.0
+
+    def test_none_activation_is_linear(self):
+        weight = np.eye(3, dtype=np.float32)
+        layer = FCLayer(3, 3, activation=Activation.NONE, weight=weight)
+        x = np.array([-1.0, 0.0, 2.0], dtype=np.float32)
+        assert np.array_equal(layer(x), x)
+
+    def test_bias_applied(self):
+        layer = FCLayer(
+            2, 2,
+            activation=Activation.NONE,
+            weight=np.zeros((2, 2), dtype=np.float32),
+            bias=np.array([1.0, -1.0], dtype=np.float32),
+        )
+        assert np.array_equal(layer(np.zeros(2)), [1.0, -1.0])
+
+    def test_output_is_fp32(self):
+        layer = FCLayer(4, 4)
+        assert layer(np.zeros(4)).dtype == np.float32
+
+    def test_wrong_input_width_rejected(self):
+        with pytest.raises(ValueError):
+            FCLayer(4, 2)(np.zeros(5))
+
+    def test_macs_and_weight_bytes(self):
+        layer = FCLayer(10, 20)
+        assert layer.macs == 200
+        assert layer.weight_bytes == (200 + 20) * 4
+
+    def test_weight_shape_validated(self):
+        with pytest.raises(ValueError):
+            FCLayer(4, 2, weight=np.zeros((2, 4), dtype=np.float32))
+
+
+class TestMLP:
+    def test_from_widths_chain(self):
+        mlp = MLP.from_widths(288, [256, 64, 1])
+        assert mlp.shapes() == [(288, 256), (256, 64), (64, 1)]
+        assert mlp.input_dim == 288
+        assert mlp.output_dim == 1
+
+    def test_mismatched_layers_rejected(self):
+        with pytest.raises(ValueError):
+            MLP([FCLayer(4, 8), FCLayer(9, 2)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MLP([])
+        with pytest.raises(ValueError):
+            MLP.from_widths(4, [])
+
+    def test_forward_batch(self):
+        mlp = MLP.from_widths(8, [4, 2])
+        assert mlp(np.zeros((5, 8), dtype=np.float32)).shape == (5, 2)
+
+    def test_macs_sum(self):
+        mlp = MLP.from_widths(128, [64, 32])
+        assert mlp.macs == 128 * 64 + 64 * 32
+
+    def test_deterministic_seed(self):
+        a = MLP.from_widths(8, [4], seed=5)
+        b = MLP.from_widths(8, [4], seed=5)
+        x = np.ones(8, dtype=np.float32)
+        assert np.array_equal(a(x), b(x))
+
+
+class TestDLRM:
+    def _model(self):
+        return build_model(get_config("rmc1"), rows_per_table=64, seed=1)
+
+    def test_forward_one_output_in_unit_interval(self):
+        model = self._model()
+        sparse = [[0, 1, 2]] * model.num_tables
+        out = model.forward_one(np.zeros(model.dense_dim), sparse)
+        assert out.shape == (1,)
+        assert 0.0 <= out[0] <= 1.0
+
+    def test_forward_batch_shape(self):
+        model = self._model()
+        batch = 4
+        dense = np.zeros((batch, model.dense_dim), dtype=np.float32)
+        sparse = [[[i]] * model.num_tables for i in range(batch)]
+        assert model.forward(dense, sparse).shape == (batch, 1)
+
+    def test_batch_size_mismatch_rejected(self):
+        model = self._model()
+        with pytest.raises(ValueError):
+            model.forward(np.zeros((2, model.dense_dim)), [[[0]] * 8])
+
+    def test_interaction_is_concat_bottom_first(self):
+        model = self._model()
+        bottom_out = np.arange(32, dtype=np.float32)
+        pooled = np.arange(256, dtype=np.float32) + 1000
+        joined = model.interact(bottom_out, pooled)
+        assert np.array_equal(joined[:32], bottom_out)
+        assert np.array_equal(joined[32:], pooled)
+
+    def test_top_width_validated(self):
+        tables = EmbeddingTableSet.uniform(2, 16, 8)
+        bottom = MLP.from_widths(4, [8])
+        bad_top = MLP.from_widths(99, [1])
+        with pytest.raises(ValueError):
+            DLRM("bad", tables, bottom, bad_top)
+
+    def test_deterministic_given_seed(self):
+        a = build_model(get_config("rmc1"), rows_per_table=64, seed=9)
+        b = build_model(get_config("rmc1"), rows_per_table=64, seed=9)
+        sparse = [[[3, 5]] * a.num_tables]
+        dense = np.ones((1, a.dense_dim), dtype=np.float32)
+        assert np.array_equal(a(dense, sparse), b(dense, sparse))
+
+
+class TestNCF:
+    def test_forward(self):
+        model = NCF(num_users=32, num_items=32, dim=8, tower_widths=(16, 8))
+        out = model.forward(None, [[[1], [2], [1], [2]]])
+        assert out.shape == (1, 1)
+        assert 0.0 < out[0, 0] < 1.0
+
+    def test_single_lookup_enforced(self):
+        model = NCF(num_users=16, num_items=16, dim=4, tower_widths=(8,))
+        with pytest.raises(ValueError):
+            model.forward_one(None, [[1, 2], [2], [1], [2]])
+
+    def test_four_tables(self):
+        model = NCF(num_users=16, num_items=16, dim=4, tower_widths=(8,))
+        assert model.num_tables == 4
+        assert model.fc_shapes_bottom() == []
+        # tower + predict head
+        assert len(model.fc_shapes_top()) == 2
+
+    def test_gmf_contributes(self):
+        # Different GMF inputs with identical MLP inputs must change output.
+        model = NCF(num_users=16, num_items=16, dim=4, tower_widths=(8,))
+        out1 = model.forward_one(None, [[0], [0], [5], [6]])
+        out2 = model.forward_one(None, [[1], [2], [5], [6]])
+        assert out1[0] != out2[0]
+
+
+class TestWnD:
+    def _model(self):
+        tables = EmbeddingTableSet.uniform(4, 32, 8, seed=2)
+        return WideAndDeep(tables, dense_dim=5, deep_widths=(16, 8))
+
+    def test_forward(self):
+        model = self._model()
+        dense = np.ones((2, 5), dtype=np.float32)
+        sparse = [[[i]] * 4 for i in range(2)]
+        out = model.forward(dense, sparse)
+        assert out.shape == (2, 1)
+        assert np.all((out > 0) & (out < 1))
+
+    def test_wide_path_contributes(self):
+        model = self._model()
+        sparse = [[0], [0], [0], [0]]
+        out1 = model.forward_one(np.zeros(5), sparse)
+        out2 = model.forward_one(np.ones(5) * 10, sparse)
+        assert out1[0] != out2[0]
+
+    def test_single_lookup_enforced(self):
+        model = self._model()
+        with pytest.raises(ValueError):
+            model.forward_one(np.zeros(5), [[0, 1], [0], [0], [0]])
+
+    def test_table_count_enforced(self):
+        model = self._model()
+        with pytest.raises(ValueError):
+            model.forward_one(np.zeros(5), [[0]] * 3)
+
+
+class TestConfigs:
+    def test_table_iii_shapes(self):
+        rmc1 = get_config("rmc1")
+        assert rmc1.bottom_widths == (128, 64, 32)
+        assert rmc1.top_widths == (256, 64, 1)
+        assert rmc1.dim == 32 and rmc1.num_tables == 8
+        assert rmc1.lookups_per_table == 80
+
+        rmc2 = get_config("rmc2")
+        assert rmc2.dim == 64 and rmc2.num_tables == 32
+        assert rmc2.lookups_per_table == 120
+
+        rmc3 = get_config("rmc3")
+        assert rmc3.bottom_widths[0] == 2560
+        assert rmc3.lookups_per_table == 20
+
+    def test_mlp_sizes_match_table_iii(self):
+        # Paper: 0.39 / 1.23 / 12.23 MB; our reading lands within ~5%.
+        expected_mb = {"rmc1": 0.39, "rmc2": 1.23, "rmc3": 12.23}
+        for key, paper_mb in expected_mb.items():
+            model = build_model(get_config(key), rows_per_table=8)
+            built_mb = model.mlp_weight_bytes / (1 << 20)
+            assert built_mb == pytest.approx(paper_mb, rel=0.08)
+
+    def test_mlp_domination_taxonomy(self):
+        assert not get_config("rmc1").is_mlp_dominated
+        assert not get_config("rmc2").is_mlp_dominated
+        assert get_config("rmc3").is_mlp_dominated
+        assert get_config("ncf").is_mlp_dominated
+        assert get_config("wnd").is_mlp_dominated
+
+    def test_paper_rows_at_30gb(self):
+        rmc1 = get_config("rmc1")
+        rows = rmc1.paper_rows_per_table()
+        assert rows * rmc1.num_tables * rmc1.ev_size <= 30 * (1 << 30)
+        assert rows > 10_000_000  # tens of millions of rows per table
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            get_config("rmc9")
+
+    def test_build_all_kinds(self):
+        for key in MODEL_CONFIGS:
+            model = build_model(get_config(key), rows_per_table=16)
+            assert model.name == get_config(key).name
+
+    def test_lookups_per_inference(self):
+        assert get_config("rmc1").lookups_per_inference == 640
+        assert get_config("rmc2").lookups_per_inference == 3840
+        assert get_config("rmc3").lookups_per_inference == 200
+
+    @settings(max_examples=20, deadline=None)
+    @given(rows=st.integers(min_value=2, max_value=64))
+    def test_build_model_rows_respected(self, rows):
+        model = build_model(get_config("rmc1"), rows_per_table=rows)
+        assert model.tables[0].rows == rows

@@ -1,0 +1,85 @@
+"""Non-power-of-two embedding dimensions.
+
+Production tables use 64-256 B vectors, but nothing in the design
+requires the vector size to divide the page size.  With e.g. dim 24
+(96 B), a 4 KB page holds 42 vectors and 64 B of padding; the layout,
+translator, and engines must all keep vectors page-aligned and
+byte-exact through the padding.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lookup_engine import EmbeddingLookupEngine
+from repro.embedding.layout import EmbeddingLayout
+from repro.embedding.pooling import sls_batch
+from repro.embedding.table import EmbeddingTableSet
+from repro.sim import Simulator
+from repro.ssd.blockdev import BlockDevice
+from repro.ssd.controller import SSDController
+from repro.ssd.geometry import SSDGeometry
+
+
+def build_engine(dim, rows=90, num_tables=2, max_extent_pages=None):
+    geo = SSDGeometry(
+        channels=4, dies_per_channel=2, planes_per_die=2,
+        blocks_per_plane=32, pages_per_block=32,
+    )
+    device = BlockDevice(SSDController(Simulator(), geo), max_extent_pages)
+    tables = EmbeddingTableSet.uniform(num_tables, rows, dim, seed=4)
+    layout = EmbeddingLayout(device, tables)
+    layout.create_all()
+    return tables, layout, EmbeddingLookupEngine(device.controller, layout)
+
+
+class TestOddDimensions:
+    @pytest.mark.parametrize("dim", [24, 40, 100, 200])
+    def test_layout_never_straddles_pages(self, dim):
+        tables, layout, _ = build_engine(dim)
+        tl = layout.layout_for(0)
+        ev_size = dim * 4
+        for index in range(tables[0].rows):
+            offset = tl.vector_file_offset(index)
+            assert offset // 4096 == (offset + ev_size - 1) // 4096
+
+    @pytest.mark.parametrize("dim", [24, 100])
+    def test_padding_slots_computed(self, dim):
+        _, layout, _ = build_engine(dim)
+        tl = layout.layout_for(0)
+        assert tl.slots_per_page == 4096 // (dim * 4)
+        # Padding exists: slots * ev_size < page size.
+        assert tl.slots_per_page * dim * 4 < 4096
+
+    @pytest.mark.parametrize("dim", [24, 40, 200])
+    def test_lookup_engine_exact_through_padding(self, dim):
+        tables, _, engine = build_engine(dim)
+        rng = np.random.default_rng(0)
+        batch = [
+            [list(rng.integers(0, 90, size=5)) for _ in range(2)]
+            for _ in range(2)
+        ]
+        result = engine.lookup_batch(batch)
+        np.testing.assert_array_equal(result.pooled, sls_batch(tables, batch))
+
+    def test_fragmented_extents_with_odd_dim(self):
+        tables, layout, engine = build_engine(24, max_extent_pages=1)
+        batch = [[[0, 41, 42, 89], [43, 44]]]
+        result = engine.lookup_batch(batch)
+        np.testing.assert_array_equal(result.pooled, sls_batch(tables, batch))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        dim=st.integers(min_value=2, max_value=512),
+        index=st.integers(min_value=0, max_value=89),
+    )
+    def test_translation_property_any_dim(self, dim, index):
+        tables, layout, engine = build_engine(dim, rows=90, num_tables=1)
+        read = engine.translator.translate(0, index)
+        col = read.device_offset % 4096
+        assert col + read.size <= 4096
+        data = engine.controller.peek_logical(read.device_offset, read.size)
+        np.testing.assert_array_equal(
+            np.frombuffer(data, dtype=np.float32), tables[0].row(index)
+        )

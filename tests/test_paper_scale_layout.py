@@ -1,0 +1,84 @@
+"""Paper-scale addressing: 30 GB of embeddings on the 32 GB device.
+
+The performance benches run scaled-down tables, but the *addressing*
+path — extent allocation, Fig. 6 metadata, index-to-LBA translation —
+must work at the paper's full capacity.  Virtual tables carry shape
+without contents, so a 30 GB layout costs only its extent metadata.
+"""
+
+import pytest
+
+from repro.embedding.layout import EmbeddingLayout
+from repro.embedding.table import EmbeddingTable, EmbeddingTableSet
+from repro.embedding.translator import EVTranslator
+from repro.models import get_config
+from repro.sim import Simulator
+from repro.ssd.blockdev import BlockDevice
+from repro.ssd.controller import SSDController
+from repro.ssd.geometry import SSDGeometry
+
+
+@pytest.fixture(scope="module")
+def paper_layout():
+    config = get_config("rmc1")
+    rows = config.paper_rows_per_table()  # ~29 M rows per table
+    tables = EmbeddingTableSet.uniform_virtual(
+        config.num_tables, rows, config.dim
+    )
+    device = BlockDevice(SSDController(Simulator(), SSDGeometry()))
+    layout = EmbeddingLayout(device, tables)
+    layout.create_all(write_data=False)
+    return config, tables, device, layout
+
+
+class TestPaperScale:
+    def test_thirty_gb_fits_the_device(self, paper_layout):
+        config, tables, device, layout = paper_layout
+        assert tables.total_bytes == pytest.approx(30 * (1 << 30), rel=0.01)
+        allocated = sum(
+            layout.layout_for(t).file_bytes for t in range(config.num_tables)
+        )
+        assert allocated <= device.controller.geometry.capacity_bytes
+
+    def test_translation_at_full_scale(self, paper_layout):
+        config, tables, device, layout = paper_layout
+        translator = EVTranslator(page_size=4096)
+        for table_id in range(config.num_tables):
+            translator.register_table(
+                table_id,
+                layout.layout_for(table_id).extent_ranges,
+                tables.ev_size,
+                tables[table_id].rows,
+            )
+        rows = tables[0].rows
+        capacity = device.controller.geometry.capacity_bytes
+        for table_id in (0, config.num_tables - 1):
+            for index in (0, 1, rows // 2, rows - 1):
+                read = translator.translate(table_id, index)
+                assert 0 <= read.device_offset < capacity
+                assert read.device_offset == layout.device_offset(table_id, index)
+                # Page-aligned packing: never straddles a flash page.
+                col = read.device_offset % 4096
+                assert col + read.size <= 4096
+
+    def test_tables_do_not_overlap(self, paper_layout):
+        config, tables, device, layout = paper_layout
+        ranges = []
+        for table_id in range(config.num_tables):
+            handle = layout.layout_for(table_id).handle
+            for extent in handle.extents:
+                ranges.append((extent.start_lba, extent.end_lba))
+        ranges.sort()
+        for (_, end_a), (start_b, _) in zip(ranges, ranges[1:]):
+            assert end_a <= start_b
+
+    def test_virtual_rows_refuse_materialization(self, paper_layout):
+        config, tables, device, layout = paper_layout
+        with pytest.raises(RuntimeError):
+            tables[0].row(0)
+
+    def test_virtual_flag(self):
+        virtual = EmbeddingTable.virtual("v", 10, 8)
+        real = EmbeddingTable("r", 10, 8)
+        assert virtual.is_virtual and not real.is_virtual
+        assert real.row(0).shape == (8,)

@@ -1,0 +1,129 @@
+"""Tests for the DES pipeline simulator and its agreement with Eq. 1."""
+
+import pytest
+
+from repro.core.lookup_engine import flash_read_cycles
+from repro.core.pipeline_sim import PipelineSimulator
+from repro.fpga.decompose import decompose_model
+from repro.fpga.search import kernel_search
+from repro.models import build_model, get_config
+from repro.ssd.geometry import SSDGeometry
+from repro.ssd.timing import SSDTimingModel
+
+
+class TestPipelineBasics:
+    def test_single_batch_latency_is_stage_sum(self):
+        pipe = PipelineSimulator(emb_ns=100, bot_ns=60, top_ns=40)
+        result = pipe.run(1)
+        # emb || bot, then top: max(100, 60) + 40.
+        assert result.makespan_ns == pytest.approx(140)
+        assert result.records[0].latency_ns == pytest.approx(140)
+
+    def test_steady_state_interval_is_bottleneck_stage(self):
+        pipe = PipelineSimulator(emb_ns=100, bot_ns=60, top_ns=40)
+        result = pipe.run(20)
+        assert result.steady_interval_ns == pytest.approx(100, rel=0.01)
+
+    def test_top_bound_pipeline(self):
+        pipe = PipelineSimulator(emb_ns=10, bot_ns=10, top_ns=100)
+        result = pipe.run(20)
+        assert result.steady_interval_ns == pytest.approx(100, rel=0.01)
+
+    def test_zero_bottom_stage(self):
+        # NCF/WnD have no bottom chain.
+        pipe = PipelineSimulator(emb_ns=50, bot_ns=0, top_ns=20)
+        result = pipe.run(10)
+        assert result.steady_interval_ns == pytest.approx(50, rel=0.02)
+
+    def test_open_loop_arrivals_respected(self):
+        pipe = PipelineSimulator(emb_ns=10, bot_ns=0, top_ns=5)
+        result = pipe.run(5, arrival_interval_ns=100)
+        # Underloaded: completions track arrivals, not the bottleneck.
+        assert result.steady_interval_ns == pytest.approx(100, rel=0.01)
+        assert result.mean_latency_ns == pytest.approx(15, rel=0.01)
+
+    def test_jittered_service_times(self):
+        # Alternating slow/fast embedding: interval averages out.
+        pipe = PipelineSimulator(
+            emb_ns=lambda i: 150 if i % 2 else 50, bot_ns=0, top_ns=10
+        )
+        result = pipe.run(40)
+        assert result.steady_interval_ns == pytest.approx(100, rel=0.05)
+
+    def test_invalid_batches(self):
+        with pytest.raises(ValueError):
+            PipelineSimulator(1, 1, 1).run(0)
+
+    def test_ordering_preserved(self):
+        pipe = PipelineSimulator(emb_ns=10, bot_ns=5, top_ns=3)
+        result = pipe.run(8)
+        completions = [r.top_done_ns for r in result.records]
+        assert completions == sorted(completions)
+
+
+class TestAgreementWithEq1:
+    """The DES pipeline reproduces the analytic interval for the real
+    kernel-searched models."""
+
+    @pytest.mark.parametrize("key", ["rmc1", "rmc2", "rmc3", "ncf", "wnd"])
+    def test_steady_interval_matches_analytic(self, key):
+        config = get_config(key)
+        model = build_model(config, rows_per_table=32)
+        dec = decompose_model(model, config.lookups_per_table)
+        flash = flash_read_cycles(
+            dec.vectors_per_inference, SSDGeometry(), SSDTimingModel(),
+            config.ev_size,
+        )
+        result = kernel_search(dec, flash)
+        pipe = PipelineSimulator.from_stage_times(result.times)
+        run = pipe.run(16)
+        analytic_ns = result.times.interval * 5.0
+        assert run.steady_interval_ns == pytest.approx(analytic_ns, rel=0.02)
+
+    def test_des_flash_times_through_pipeline_match_device_qps(self):
+        """Feeding *measured* per-batch flash times into the pipeline
+        simulator reproduces the device's own workload throughput."""
+        import numpy as np
+
+        from repro.core.device import RMSSD
+
+        config = get_config("rmc1")
+        model = build_model(config, rows_per_table=256, seed=0)
+        device = RMSSD(model, lookups_per_table=8)
+        rng = np.random.default_rng(3)
+        emb_times = []
+        stage_bot = stage_top = 0.0
+        batches = 8
+        for _ in range(batches):
+            sparse = [
+                [list(rng.integers(0, 256, size=8))
+                 for _ in range(config.num_tables)]
+            ]
+            dense = np.zeros((1, config.dense_dim), dtype=np.float32)
+            _, timing = device.infer_batch(dense, sparse)
+            emb_times.append(timing.emb_ns)
+            stage_bot, stage_top = timing.bot_ns, timing.top_ns
+        pipe = PipelineSimulator(
+            emb_ns=lambda i: emb_times[i], bot_ns=stage_bot, top_ns=stage_top
+        )
+        run = pipe.run(batches)
+        # Embedding-bound: the pipeline's steady interval equals the
+        # mean measured flash time.
+        assert run.steady_interval_ns == pytest.approx(
+            sum(emb_times[2:]) / (batches - 2), rel=0.15
+        )
+
+    def test_latency_matches_analytic(self):
+        config = get_config("rmc1")
+        model = build_model(config, rows_per_table=32)
+        dec = decompose_model(model, config.lookups_per_table)
+        flash = flash_read_cycles(
+            dec.vectors_per_inference, SSDGeometry(), SSDTimingModel(),
+            config.ev_size,
+        )
+        result = kernel_search(dec, flash)
+        pipe = PipelineSimulator.from_stage_times(result.times)
+        run = pipe.run(1)
+        assert run.records[0].latency_ns == pytest.approx(
+            result.times.latency * 5.0, rel=0.01
+        )

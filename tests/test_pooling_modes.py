@@ -1,0 +1,96 @@
+"""Tests for mean-pooling support across the stack.
+
+The paper's embedding layer pools "via element-wise pooling operations
+(e.g., addition, average)"; both modes must agree between the host
+reference and the in-device EV Sum.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.device import RMSSD
+from repro.embedding.pooling import (
+    POOLING_MEAN,
+    POOLING_SUM,
+    pool,
+    sls_all_tables,
+    sparse_length_sum,
+)
+from repro.embedding.table import EmbeddingTable, EmbeddingTableSet
+from repro.models import build_model, get_config
+
+
+class TestPoolDispatch:
+    def test_sum_mode(self):
+        vectors = np.array([[1.0, 2.0], [3.0, 4.0]], dtype=np.float32)
+        assert np.array_equal(pool(vectors, POOLING_SUM), [4.0, 6.0])
+
+    def test_mean_mode(self):
+        vectors = np.array([[1.0, 2.0], [3.0, 4.0]], dtype=np.float32)
+        assert np.array_equal(pool(vectors, POOLING_MEAN), [2.0, 3.0])
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            pool(np.zeros((1, 2), dtype=np.float32), "max")
+
+    def test_sls_mean(self):
+        table = EmbeddingTable("t", 10, 4, seed=1)
+        result = sparse_length_sum(table, [1, 3], POOLING_MEAN)
+        expected = ((table.row(1) + table.row(3)) / np.float32(2)).astype(np.float32)
+        assert np.array_equal(result, expected)
+
+    def test_single_lookup_modes_coincide(self):
+        table = EmbeddingTable("t", 10, 4, seed=2)
+        assert np.array_equal(
+            sparse_length_sum(table, [5], POOLING_SUM),
+            sparse_length_sum(table, [5], POOLING_MEAN),
+        )
+
+
+class TestMeanPoolingEndToEnd:
+    def test_dlrm_mean_pooling_forward(self):
+        config = get_config("rmc1")
+        model = build_model(config, rows_per_table=64, seed=3, pooling="mean")
+        sparse = [[0, 1, 2, 3]] * config.num_tables
+        out = model.forward_one(np.zeros(config.dense_dim), sparse)
+        assert 0.0 <= out[0] <= 1.0
+        # Mean pooling must differ from sum pooling for multi-lookups.
+        sum_model = build_model(config, rows_per_table=64, seed=3, pooling="sum")
+        assert out[0] != sum_model.forward_one(np.zeros(config.dense_dim), sparse)[0]
+
+    def test_invalid_pooling_rejected(self):
+        config = get_config("rmc1")
+        with pytest.raises(ValueError):
+            build_model(config, rows_per_table=16, pooling="median")
+
+    def test_device_matches_reference_with_mean_pooling(self):
+        config = get_config("rmc1")
+        model = build_model(config, rows_per_table=64, seed=4, pooling="mean")
+        device = RMSSD(model, lookups_per_table=4)
+        rng = np.random.default_rng(0)
+        sparse = [
+            [list(rng.integers(0, 64, size=4)) for _ in range(config.num_tables)]
+            for _ in range(3)
+        ]
+        dense = rng.standard_normal((3, config.dense_dim)).astype(np.float32)
+        outputs, _ = device.infer_batch(dense, sparse)
+        reference = model.forward(dense, sparse)
+        np.testing.assert_allclose(outputs, reference, rtol=1e-5, atol=1e-6)
+
+    def test_engine_mean_pooling_exact(self):
+        config = get_config("rmc1")
+        model = build_model(config, rows_per_table=64, seed=5, pooling="mean")
+        device = RMSSD(model, lookups_per_table=3)
+        sparse = [[[1, 2, 4]] * config.num_tables]
+        lookup = device.lookup_engine.lookup_batch(sparse)
+        expected = sls_all_tables(model.tables, sparse[0], POOLING_MEAN)
+        np.testing.assert_array_equal(lookup.pooled[0], expected)
+
+    def test_engine_rejects_unknown_pooling(self):
+        from repro.core.lookup_engine import EmbeddingLookupEngine
+
+        config = get_config("rmc1")
+        model = build_model(config, rows_per_table=16)
+        device = RMSSD(model, lookups_per_table=1)
+        with pytest.raises(ValueError):
+            EmbeddingLookupEngine(device.controller, device.layout, pooling="max")

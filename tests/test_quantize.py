@@ -1,0 +1,118 @@
+"""Tests for the int8 quantization extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import build_model, get_config
+from repro.models.layers import FCLayer
+from repro.models.mlp import MLP
+from repro.models.quantize import (
+    QuantizationReport,
+    compare_outputs,
+    dequantize_layer,
+    int8_resource_estimate,
+    quantize_dlrm,
+    quantize_mlp,
+    quantize_weight,
+)
+
+
+class TestQuantizeWeight:
+    def test_roundtrip_error_bounded_by_half_step(self):
+        rng = np.random.default_rng(0)
+        weight = rng.standard_normal((32, 16)).astype(np.float32)
+        q, scale = quantize_weight(weight)
+        restored = q.astype(np.float32) * scale
+        assert np.max(np.abs(restored - weight)) <= scale / 2 + 1e-7
+
+    def test_zero_weight(self):
+        q, scale = quantize_weight(np.zeros((4, 4), dtype=np.float32))
+        assert np.all(q == 0)
+        assert scale == 1.0
+
+    def test_range_is_int8(self):
+        weight = np.array([[-10.0, 10.0]], dtype=np.float32)
+        q, _ = quantize_weight(weight)
+        assert q.min() == -127 and q.max() == 127
+
+    @settings(max_examples=50)
+    @given(
+        values=st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=4, max_size=64,
+        )
+    )
+    def test_quantization_error_property(self, values):
+        weight = np.array(values, dtype=np.float32).reshape(-1, 1)
+        q, scale = quantize_weight(weight)
+        restored = q.astype(np.float32) * scale
+        assert np.max(np.abs(restored - weight)) <= scale / 2 + 1e-5
+
+
+class TestQuantizeLayers:
+    def test_dequantized_layer_close_to_original(self):
+        layer = FCLayer(16, 8, seed=1)
+        q_layer = dequantize_layer(layer)
+        x = np.random.default_rng(2).standard_normal(16).astype(np.float32)
+        np.testing.assert_allclose(q_layer(x), layer(x), atol=0.05)
+
+    def test_bias_preserved_exactly(self):
+        layer = FCLayer(4, 2, bias=np.array([1.5, -2.5], dtype=np.float32))
+        assert np.array_equal(dequantize_layer(layer).bias, layer.bias)
+
+    def test_quantize_mlp_keeps_shapes(self):
+        mlp = MLP.from_widths(32, [16, 8, 1])
+        q = quantize_mlp(mlp)
+        assert q.shapes() == mlp.shapes()
+
+    def test_quantize_dlrm_shares_tables(self):
+        model = build_model(get_config("rmc1"), rows_per_table=32)
+        q = quantize_dlrm(model)
+        assert q.tables is model.tables  # embeddings stay fp32
+        assert q.name.endswith("-int8")
+        assert q.pooling == model.pooling
+
+
+class TestCompare:
+    def test_identical_outputs_zero_error(self):
+        out = np.array([0.1, 0.5, 0.9])
+        report = compare_outputs(out, out)
+        assert report.max_abs_error == 0.0
+        assert report.flipped_rankings == 0
+
+    def test_rank_flip_detected(self):
+        reference = np.array([0.3, 0.4])
+        quantized = np.array([0.4, 0.3])
+        report = compare_outputs(reference, quantized)
+        assert report.flipped_rankings == 1
+        assert report.flip_rate == 1.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            compare_outputs(np.zeros(3), np.zeros(4))
+
+    def test_dlrm_quantization_small_but_nonzero_error(self):
+        config = get_config("rmc1")
+        model = build_model(config, rows_per_table=64, seed=5)
+        quantized = quantize_dlrm(model)
+        rng = np.random.default_rng(6)
+        dense = rng.standard_normal((8, config.dense_dim)).astype(np.float32)
+        sparse = [
+            [list(rng.integers(0, 64, size=4)) for _ in range(config.num_tables)]
+            for _ in range(8)
+        ]
+        report = compare_outputs(
+            model.forward(dense, sparse), quantized.forward(dense, sparse)
+        )
+        assert 0.0 < report.max_abs_error < 0.3
+
+    def test_int8_resource_estimate_shrinks_everything(self):
+        from repro.fpga.resources import ResourceVector
+
+        fp32 = ResourceVector(lut=10000, ff=4000, bram=100, dsp=60)
+        int8 = int8_resource_estimate(fp32)
+        assert int8["lut"] < fp32.lut
+        assert int8["dsp"] < fp32.dsp
+        assert int8["bram"] < fp32.bram

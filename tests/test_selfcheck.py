@@ -1,0 +1,39 @@
+"""Tests for the installation self-check battery."""
+
+import pytest
+
+from repro.analysis.selfcheck import ALL_CHECKS, CheckResult, run_selfcheck
+from repro.cli import main
+
+
+class TestSelfcheck:
+    def test_all_checks_pass(self, capsys):
+        results = run_selfcheck(verbose=True)
+        out = capsys.readouterr().out
+        assert all(r.passed for r in results), out
+        assert f"{len(ALL_CHECKS)}/{len(ALL_CHECKS)} checks passed" in out
+
+    def test_quiet_mode(self, capsys):
+        results = run_selfcheck(verbose=False)
+        assert capsys.readouterr().out == ""
+        assert len(results) == len(ALL_CHECKS)
+
+    def test_exceptions_become_failures(self, monkeypatch, capsys):
+        import repro.analysis.selfcheck as module
+
+        def exploding():
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(module, "ALL_CHECKS", [exploding])
+        results = run_selfcheck(verbose=True)
+        assert len(results) == 1
+        assert not results[0].passed
+        assert "boom" in results[0].detail
+
+    def test_cli_exit_code(self, capsys):
+        assert main(["selfcheck"]) == 0
+        assert "checks passed" in capsys.readouterr().out
+
+    def test_result_dataclass(self):
+        result = CheckResult("x", True, "d")
+        assert result.passed and result.detail == "d"

@@ -1,0 +1,79 @@
+"""Tests for the open-loop serving / SLA simulator."""
+
+import pytest
+
+from repro.core.lookup_engine import flash_read_cycles
+from repro.fpga.compose import StageTimes
+from repro.fpga.decompose import decompose_model
+from repro.fpga.search import kernel_search
+from repro.host.serving import ServingSimulator
+from repro.models import build_model, get_config
+from repro.ssd.geometry import SSDGeometry
+from repro.ssd.timing import SSDTimingModel
+
+
+def simple_times(temb=200_000, tbot=50_000, ttop=30_000, nbatch=1):
+    return StageTimes(
+        temb=temb, tbot=tbot, ttop=ttop, nbatch=nbatch, flash_cycles=temb
+    )
+
+
+def rmc1_serving():
+    config = get_config("rmc1")
+    model = build_model(config, rows_per_table=32)
+    dec = decompose_model(model, config.lookups_per_table)
+    flash = flash_read_cycles(
+        dec.vectors_per_inference, SSDGeometry(), SSDTimingModel(), config.ev_size
+    )
+    result = kernel_search(dec, flash)
+    return ServingSimulator(result.times, nbatch=result.nbatch, seed=1)
+
+
+class TestServingSimulator:
+    def test_light_load_latency_near_service_time(self):
+        serving = ServingSimulator(simple_times(), seed=0)
+        point = serving.offered_load(serving.saturation_qps * 0.1, queries=100)
+        unloaded_ns = (200_000 + 30_000) * 5.0
+        assert point.p50_ns == pytest.approx(unloaded_ns, rel=0.1)
+
+    def test_latency_grows_with_load(self):
+        serving = ServingSimulator(simple_times(), seed=0)
+        sweep = serving.load_sweep(fractions=(0.3, 0.9), queries=150)
+        assert sweep[1].p99_ns > sweep[0].p99_ns
+        assert sweep[1].mean_ns > sweep[0].mean_ns
+
+    def test_achieved_tracks_offered_when_underloaded(self):
+        serving = ServingSimulator(simple_times(), seed=2)
+        point = serving.offered_load(serving.saturation_qps * 0.5, queries=200)
+        assert point.achieved_qps == pytest.approx(point.offered_qps, rel=0.15)
+
+    def test_invalid_load_rejected(self):
+        serving = ServingSimulator(simple_times())
+        with pytest.raises(ValueError):
+            serving.offered_load(0)
+
+    def test_sla_search_between_zero_and_saturation(self):
+        serving = ServingSimulator(simple_times(), seed=3)
+        unloaded_ns = (200_000 + 30_000) * 5.0
+        max_qps = serving.max_qps_under_sla(sla_ns=3 * unloaded_ns, queries=120)
+        assert 0.0 < max_qps <= serving.saturation_qps
+
+    def test_impossible_sla_returns_zero(self):
+        serving = ServingSimulator(simple_times(), seed=4)
+        unloaded_ns = (200_000 + 30_000) * 5.0
+        assert serving.max_qps_under_sla(sla_ns=unloaded_ns / 10) == 0.0
+
+    def test_looser_sla_allows_more_load(self):
+        serving = ServingSimulator(simple_times(), seed=5)
+        unloaded_ns = (200_000 + 30_000) * 5.0
+        tight = serving.max_qps_under_sla(sla_ns=1.3 * unloaded_ns, queries=120)
+        loose = serving.max_qps_under_sla(sla_ns=5 * unloaded_ns, queries=120)
+        assert loose >= tight
+
+    def test_rmc1_sla_study_runs(self):
+        serving = rmc1_serving()
+        point = serving.offered_load(serving.saturation_qps * 0.5, queries=64)
+        # RMC1 unloaded latency ~1.2 ms; p99 at half load stays within
+        # a small multiple of it.
+        assert point.p99_ns < 5e6
+        assert point.p50_ns > 1e6

@@ -1,0 +1,150 @@
+"""Tests for the flash array data plane and timing behaviour."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.ssd.flash import FlashArray
+from repro.ssd.geometry import SSDGeometry
+from repro.ssd.timing import SSDTimingModel
+
+
+def small_geometry(channels=4, dies=4):
+    return SSDGeometry(
+        channels=channels,
+        dies_per_channel=dies,
+        planes_per_die=2,
+        blocks_per_plane=8,
+        pages_per_block=16,
+        page_size=4096,
+    )
+
+
+@pytest.fixture
+def flash():
+    sim = Simulator()
+    return FlashArray(sim, small_geometry())
+
+
+class TestDataPlane:
+    def test_write_then_peek(self, flash):
+        flash.write_page(3, b"hello")
+        assert flash.peek(3, 0, 5) == b"hello"
+
+    def test_unwritten_page_reads_zeros(self, flash):
+        assert flash.peek(7, 0, 8) == bytes(8)
+
+    def test_write_at_offset(self, flash):
+        flash.write_page(0, b"abc", offset=100)
+        assert flash.peek(0, 100, 3) == b"abc"
+        assert flash.peek(0, 99, 1) == b"\x00"
+
+    def test_write_across_boundary_rejected(self, flash):
+        with pytest.raises(ValueError):
+            flash.write_page(0, b"x" * 10, offset=4090)
+
+    def test_peek_across_boundary_rejected(self, flash):
+        with pytest.raises(ValueError):
+            flash.peek(0, 4090, 10)
+
+    def test_sparse_backing(self, flash):
+        flash.write_page(0, b"a")
+        flash.write_page(5, b"b")
+        assert flash.written_pages == 2
+
+    def test_mismatched_page_size_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            FlashArray(
+                sim, small_geometry(), SSDTimingModel(page_size=8192)
+            )
+
+
+class TestReadTiming:
+    def test_single_page_read_latency(self, flash):
+        sim = flash.sim
+        proc = sim.process(flash.read_page_proc(0))
+        sim.run()
+        expected = (
+            flash.timing.request_overhead_ns
+            + flash.timing.flush_ns
+            + flash.timing.transfer_ns
+        )
+        assert sim.now == pytest.approx(expected)
+        assert proc.value == flash.peek(0)
+
+    def test_single_vector_read_latency(self, flash):
+        sim = flash.sim
+        sim.process(flash.read_vector_proc(0, col=128, size=128))
+        sim.run()
+        expected = flash.timing.request_overhead_ns + flash.timing.vector_read_ns(128)
+        assert sim.now == pytest.approx(expected)
+
+    def test_vector_read_returns_correct_slice(self, flash):
+        flash.write_page(2, bytes(range(200)))
+        sim = flash.sim
+        proc = sim.process(flash.read_vector_proc(2, col=50, size=20))
+        sim.run()
+        assert proc.value == bytes(range(50, 70))
+
+    def test_reads_on_different_channels_overlap(self):
+        sim = Simulator()
+        flash = FlashArray(sim, small_geometry(channels=4))
+        # Pages 0..3 land on channels 0..3.
+        elapsed = flash.run_reads([0, 1, 2, 3], vector=False)
+        single = (
+            flash.timing.request_overhead_ns
+            + flash.timing.flush_ns
+            + flash.timing.transfer_ns
+        )
+        assert elapsed == pytest.approx(single)
+
+    def test_reads_on_same_die_serialize(self):
+        sim = Simulator()
+        geo = small_geometry(channels=1, dies=1)
+        flash = FlashArray(sim, geo)
+        elapsed = flash.run_reads([0, 1], vector=False)
+        single = flash.timing.flush_ns + flash.timing.transfer_ns
+        # Two reads on the only die: flush+transfer twice, overheads overlap.
+        assert elapsed >= 2 * single
+
+    def test_flushes_overlap_across_dies_sharing_bus(self):
+        sim = Simulator()
+        geo = small_geometry(channels=1, dies=4)
+        flash = FlashArray(sim, geo)
+        # Pages 0..3 on channel 0 land on dies 0..3 (channel-major layout).
+        elapsed = flash.run_reads([0, 1, 2, 3], vector=False)
+        serial = 4 * (flash.timing.flush_ns + flash.timing.transfer_ns)
+        # Overlapped flushes should beat full serialization clearly.
+        assert elapsed < 0.6 * serial
+
+    def test_vector_reads_much_faster_in_bulk_than_page_reads(self):
+        geo = small_geometry(channels=4, dies=4)
+        requests = list(range(64))
+
+        sim_page = Simulator()
+        flash_page = FlashArray(sim_page, geo)
+        t_page = flash_page.run_reads(requests, vector=False)
+
+        sim_vec = Simulator()
+        flash_vec = FlashArray(sim_vec, geo)
+        t_vec = flash_vec.run_reads([(p, 0, 128) for p in requests], vector=True)
+
+        # Section IV-B2: vector-grained reads increase bulk throughput.
+        assert t_vec < t_page
+
+    def test_stats_accounting(self, flash):
+        sim = flash.sim
+        sim.process(flash.read_page_proc(0))
+        sim.process(flash.read_vector_proc(1, 0, 128))
+        sim.run()
+        assert flash.stats.flash_page_reads == 1
+        assert flash.stats.flash_vector_reads == 1
+        assert flash.stats.flash_bus_bytes == 4096 + 128
+        assert flash.stats.host_read_bytes == 4096  # vector read stays inside
+
+    def test_internal_page_read_does_not_cross_host(self, flash):
+        sim = flash.sim
+        sim.process(flash.read_page_proc(0, to_host=False))
+        sim.run()
+        assert flash.stats.host_read_bytes == 0
+        assert flash.stats.flash_page_reads == 1

@@ -1,0 +1,101 @@
+"""Tests for flash geometry and addressing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ssd.geometry import PhysicalAddress, SSDGeometry
+
+
+@pytest.fixture
+def geo():
+    return SSDGeometry(
+        channels=4,
+        dies_per_channel=4,
+        planes_per_die=2,
+        blocks_per_plane=8,
+        pages_per_block=16,
+        page_size=4096,
+    )
+
+
+class TestCapacity:
+    def test_total_pages(self, geo):
+        assert geo.total_pages == 4 * 4 * 2 * 8 * 16
+
+    def test_capacity_bytes(self, geo):
+        assert geo.capacity_bytes == geo.total_pages * 4096
+
+    def test_table_ii_default_capacity_is_32gb(self):
+        geo = SSDGeometry()
+        assert geo.channels == 4
+        assert geo.page_size == 4096
+        assert geo.capacity_bytes == 32 * (1 << 30)
+
+    def test_invalid_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            SSDGeometry(channels=0)
+
+
+class TestAddressing:
+    def test_consecutive_pages_stripe_over_channels(self, geo):
+        channels = [geo.page_index_to_address(i).channel for i in range(8)]
+        assert channels == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_channel_stride_rotates_dies(self, geo):
+        # After all channels are covered, the die index advances.
+        a0 = geo.page_index_to_address(0)
+        a4 = geo.page_index_to_address(4)
+        assert a0.die == 0
+        assert a4.die == 1
+        assert a4.channel == 0
+
+    def test_roundtrip_specific(self, geo):
+        for page_index in [0, 1, 5, 100, geo.total_pages - 1]:
+            addr = geo.page_index_to_address(page_index)
+            assert geo.address_to_page_index(addr) == page_index
+
+    @settings(max_examples=200)
+    @given(page_index=st.integers(min_value=0, max_value=4 * 4 * 2 * 8 * 16 - 1))
+    def test_roundtrip_property(self, page_index):
+        geo = SSDGeometry(
+            channels=4,
+            dies_per_channel=4,
+            planes_per_die=2,
+            blocks_per_plane=8,
+            pages_per_block=16,
+            page_size=4096,
+        )
+        addr = geo.page_index_to_address(page_index)
+        assert geo.address_to_page_index(addr) == page_index
+
+    def test_out_of_range_page_rejected(self, geo):
+        with pytest.raises(ValueError):
+            geo.page_index_to_address(geo.total_pages)
+        with pytest.raises(ValueError):
+            geo.page_index_to_address(-1)
+
+    def test_out_of_range_col_rejected(self, geo):
+        with pytest.raises(ValueError):
+            geo.page_index_to_address(0, col=4096)
+
+    def test_byte_to_page(self, geo):
+        assert geo.byte_to_page(0) == (0, 0)
+        assert geo.byte_to_page(4096) == (1, 0)
+        assert geo.byte_to_page(4096 + 128) == (1, 128)
+        with pytest.raises(ValueError):
+            geo.byte_to_page(-1)
+
+    def test_all_fields_within_bounds(self, geo):
+        for page_index in range(0, geo.total_pages, 97):
+            a = geo.page_index_to_address(page_index)
+            assert 0 <= a.channel < geo.channels
+            assert 0 <= a.die < geo.dies_per_channel
+            assert 0 <= a.plane < geo.planes_per_die
+            assert 0 <= a.block < geo.blocks_per_plane
+            assert 0 <= a.page < geo.pages_per_block
+
+    def test_page_key_ignores_col(self):
+        a = PhysicalAddress(0, 1, 0, 2, 3, col=128)
+        b = PhysicalAddress(0, 1, 0, 2, 3, col=256)
+        assert a.page_key() == b.page_key()

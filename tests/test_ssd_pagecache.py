@@ -1,0 +1,103 @@
+"""Tests for the LRU page cache."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ssd.pagecache import LRUPageCache
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = LRUPageCache(capacity_entries=4)
+        assert cache.access(1) is False
+        assert cache.access(1) is True
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_eviction_order_is_lru(self):
+        cache = LRUPageCache(capacity_entries=2)
+        cache.access(1)
+        cache.access(2)
+        cache.access(1)  # refresh 1; LRU is now 2
+        cache.access(3)  # evicts 2
+        assert 1 in cache
+        assert 2 not in cache
+        assert 3 in cache
+        assert cache.evictions == 1
+
+    def test_lookup_returns_value(self):
+        cache = LRUPageCache(capacity_entries=2)
+        cache.insert("k", "v")
+        hit, value = cache.lookup("k")
+        assert hit and value == "v"
+
+    def test_zero_capacity_never_hits(self):
+        cache = LRUPageCache(capacity_entries=0)
+        for _ in range(10):
+            assert cache.access(1) is False
+        assert cache.hit_ratio == 0.0
+
+    def test_byte_capacity_constructor(self):
+        cache = LRUPageCache.with_byte_capacity(1 << 20, entry_size=4096)
+        assert cache.capacity_entries == 256
+        assert cache.capacity_bytes == 1 << 20
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUPageCache(capacity_entries=-1)
+
+    def test_clear_and_reset(self):
+        cache = LRUPageCache(capacity_entries=2)
+        cache.access(1)
+        cache.access(1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 0
+
+    def test_insert_refreshes_existing(self):
+        cache = LRUPageCache(capacity_entries=2)
+        cache.insert(1, "a")
+        cache.insert(2, "b")
+        cache.insert(1, "a2")  # refresh, no eviction
+        cache.insert(3, "c")  # evicts 2
+        assert 1 in cache and 3 in cache and 2 not in cache
+        assert cache.lookup(1)[1] == "a2"
+
+
+class TestProperties:
+    @given(
+        capacity=st.integers(min_value=1, max_value=32),
+        keys=st.lists(st.integers(min_value=0, max_value=64), max_size=300),
+    )
+    def test_size_never_exceeds_capacity(self, capacity, keys):
+        cache = LRUPageCache(capacity_entries=capacity)
+        for key in keys:
+            cache.access(key)
+        assert len(cache) <= capacity
+
+    @given(keys=st.lists(st.integers(min_value=0, max_value=10), max_size=200))
+    def test_hits_plus_misses_equals_accesses(self, keys):
+        cache = LRUPageCache(capacity_entries=4)
+        for key in keys:
+            cache.access(key)
+        assert cache.hits + cache.misses == len(keys)
+
+    @given(keys=st.lists(st.integers(min_value=0, max_value=200), max_size=300))
+    def test_unbounded_cache_hit_count(self, keys):
+        # With capacity >= universe, every repeat access hits.
+        cache = LRUPageCache(capacity_entries=256)
+        for key in keys:
+            cache.access(key)
+        assert cache.misses == len(set(keys))
+        assert cache.hits == len(keys) - len(set(keys))
+
+    def test_small_cache_worse_than_big_cache(self):
+        # Locality shrinks with capacity: the SSD-S vs SSD-M effect.
+        trace = [i % 50 for i in range(1000)]
+        small = LRUPageCache(capacity_entries=10)
+        big = LRUPageCache(capacity_entries=40)
+        for key in trace:
+            small.access(key)
+            big.access(key)
+        assert small.hit_ratio <= big.hit_ratio

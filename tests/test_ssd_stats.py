@@ -1,0 +1,77 @@
+"""Tests for I/O statistics and the Table IV / Fig. 3 metrics."""
+
+import pytest
+
+from repro.ssd.stats import IOStatistics
+
+
+class TestCounters:
+    def test_page_read_to_host(self):
+        stats = IOStatistics()
+        stats.record_page_read(4096)
+        assert stats.host_read_bytes == 4096
+        assert stats.flash_bus_bytes == 4096
+        assert stats.flash_page_reads == 1
+
+    def test_page_read_internal(self):
+        stats = IOStatistics()
+        stats.record_page_read(4096, to_host=False)
+        assert stats.host_read_bytes == 0
+        assert stats.flash_bus_bytes == 4096
+
+    def test_vector_read(self):
+        stats = IOStatistics()
+        stats.record_vector_read(128)
+        assert stats.flash_vector_reads == 1
+        assert stats.flash_bus_bytes == 128
+        assert stats.host_read_bytes == 0
+
+    def test_reset(self):
+        stats = IOStatistics()
+        stats.record_page_read(4096)
+        stats.record_useful(100)
+        stats.reset()
+        assert stats.host_read_bytes == 0
+        assert stats.useful_bytes == 0
+
+
+class TestMetrics:
+    def test_read_amplification_fig3_style(self):
+        # 1 useful 128 B vector per 4 KB page -> 32x amplification.
+        stats = IOStatistics()
+        for _ in range(100):
+            stats.record_page_read(4096)
+            stats.record_useful(128)
+        assert stats.read_amplification == pytest.approx(32.0)
+
+    def test_amplification_zero_when_no_useful_bytes(self):
+        assert IOStatistics().read_amplification == 0.0
+
+    def test_flash_amplification_differs_for_vector_reads(self):
+        stats = IOStatistics()
+        stats.record_vector_read(128)
+        stats.record_useful(128)
+        assert stats.flash_amplification == pytest.approx(1.0)
+
+    def test_reduction_factor_table_iv_style(self):
+        baseline = IOStatistics()
+        baseline.record_host_transfer(read_bytes=10_000_000)
+        optimized = IOStatistics()
+        optimized.record_host_transfer(read_bytes=64)
+        assert optimized.reduction_factor_vs(baseline) == pytest.approx(156250.0)
+
+    def test_reduction_factor_infinite_when_zero_traffic(self):
+        baseline = IOStatistics()
+        baseline.record_host_transfer(read_bytes=100)
+        assert IOStatistics().reduction_factor_vs(baseline) == float("inf")
+
+    def test_cache_hit_ratio(self):
+        stats = IOStatistics()
+        stats.cache_hits = 3
+        stats.cache_misses = 1
+        assert stats.cache_hit_ratio == pytest.approx(0.75)
+
+    def test_as_dict_contains_derived(self):
+        data = IOStatistics().as_dict()
+        assert "read_amplification" in data
+        assert "cache_hit_ratio" in data

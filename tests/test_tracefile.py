@@ -1,0 +1,80 @@
+"""Tests for trace persistence."""
+
+import json
+
+import pytest
+
+from repro.workloads import TraceGenerator
+from repro.workloads.tracefile import load_trace, save_trace
+
+
+class TestRoundTrip:
+    def test_roundtrip_identical(self, tmp_path):
+        gen = TraceGenerator(4, 1000, 8, seed=3)
+        trace = gen.generate(20)
+        path = save_trace(tmp_path / "t.jsonl", trace, metadata={"seed": 3})
+        loaded, header = load_trace(path)
+        assert loaded == trace
+        assert header["tables"] == 4
+        assert header["inferences"] == 20
+        assert header["metadata"] == {"seed": 3}
+
+    def test_loaded_trace_drives_engine_identically(self, tmp_path):
+        from repro.core.device import RMSSD
+        from repro.models import build_model, get_config
+        import numpy as np
+
+        config = get_config("rmc1")
+        model = build_model(config, rows_per_table=256, seed=0)
+        gen = TraceGenerator(config.num_tables, 256, 4, seed=9)
+        trace = gen.generate(2)
+        path = save_trace(tmp_path / "t.jsonl", trace)
+        loaded, _ = load_trace(path)
+
+        device_a = RMSSD(model, lookups_per_table=4)
+        device_b = RMSSD(model, lookups_per_table=4)
+        dense = np.zeros((2, config.dense_dim), dtype=np.float32)
+        out_a, _ = device_a.infer_batch(dense, trace)
+        out_b, _ = device_b.infer_batch(dense, loaded)
+        np.testing.assert_array_equal(out_a, out_b)
+
+
+class TestValidation:
+    def test_empty_trace_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_trace(tmp_path / "t.jsonl", [])
+
+    def test_inconsistent_tables_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_trace(tmp_path / "t.jsonl", [[[1]], [[1], [2]]])
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"format": "other"}) + "\n")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        gen = TraceGenerator(2, 100, 4, seed=1)
+        path = save_trace(tmp_path / "t.jsonl", gen.generate(5))
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_table_count_mismatch_in_body(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text(
+            json.dumps({"format": "rmssd-trace-v1", "tables": 2, "inferences": 1})
+            + "\n"
+            + json.dumps([[1]])
+            + "\n"
+        )
+        with pytest.raises(ValueError):
+            load_trace(path)

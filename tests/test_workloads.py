@@ -1,0 +1,186 @@
+"""Tests for trace generation, locality control, and Fig. 4 statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    K_TO_HIT_RATIO,
+    RequestGenerator,
+    TraceGenerator,
+    TraceStatistics,
+    hit_ratio_for_k,
+    measured_cache_hit_ratio,
+)
+from repro.models import get_config
+
+
+class TestTraceGenerator:
+    def _gen(self, hot=0.65, rows=50_000, seed=0):
+        return TraceGenerator(
+            num_tables=4,
+            rows_per_table=rows,
+            lookups_per_table=20,
+            hot_access_fraction=hot,
+            seed=seed,
+        )
+
+    def test_sample_shape(self):
+        gen = self._gen()
+        sample = gen.sample()
+        assert len(sample) == 4
+        assert all(len(lookups) == 20 for lookups in sample)
+        assert all(0 <= i < 50_000 for lookups in sample for i in lookups)
+
+    def test_deterministic_for_seed(self):
+        a = self._gen(seed=3).generate(5)
+        b = self._gen(seed=3).generate(5)
+        assert a == b
+
+    def test_hot_set_receives_target_fraction(self):
+        gen = self._gen(hot=0.65)
+        trace = gen.generate(200)
+        hot_sets = [set(s.tolist()) for s in gen._hot_sets]
+        hot = total = 0
+        for sample in trace:
+            for table_id, lookups in enumerate(sample):
+                for index in lookups:
+                    total += 1
+                    hot += index in hot_sets[table_id]
+        assert hot / total == pytest.approx(0.65, abs=0.03)
+
+    def test_zero_locality_trace(self):
+        gen = self._gen(hot=0.0)
+        trace = gen.generate(50)
+        flat = gen.flat_indices(trace)
+        # Uniform draws over 50K rows: almost all distinct.
+        assert len(np.unique(flat)) > 0.9 * len(flat)
+
+    def test_full_locality_trace(self):
+        gen = self._gen(hot=1.0)
+        trace = gen.generate(50)
+        flat = gen.flat_indices(trace)
+        assert len(np.unique(flat)) <= 4 * gen.hot_set_size
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            self._gen(hot=1.5)
+        with pytest.raises(ValueError):
+            TraceGenerator(0, 10, 1)
+
+    def test_cache_hit_ratio_converges_to_hot_fraction(self):
+        # A cache holding the whole hot set hits ~ the hot fraction.
+        gen = self._gen(hot=0.65, rows=200_000)
+        trace = gen.generate(300)
+        flat = gen.flat_indices(trace)
+        ratio = measured_cache_hit_ratio(flat, capacity_entries=8 * gen.hot_set_size)
+        # Tail-of-Zipf hot entries occasionally fall out of the LRU, so
+        # the measured ratio sits a little under the configured target.
+        assert ratio == pytest.approx(0.62, abs=0.08)
+
+    def test_lower_locality_means_lower_hit_ratio(self):
+        ratios = []
+        for hot in (0.80, 0.45):
+            gen = self._gen(hot=hot, rows=200_000, seed=1)
+            flat = gen.flat_indices(gen.generate(200))
+            ratios.append(
+                measured_cache_hit_ratio(flat, capacity_entries=8 * gen.hot_set_size)
+            )
+        assert ratios[0] > ratios[1] + 0.2
+
+
+class TestLocalityMapping:
+    def test_published_points_exact(self):
+        assert hit_ratio_for_k(0) == 0.80
+        assert hit_ratio_for_k(0.3) == 0.65
+        assert hit_ratio_for_k(1) == 0.45
+        assert hit_ratio_for_k(2) == 0.30
+
+    def test_interpolation_monotone(self):
+        ks = [0, 0.1, 0.3, 0.5, 1.0, 1.5, 2.0]
+        ratios = [hit_ratio_for_k(k) for k in ks]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_clamping_beyond_range(self):
+        assert hit_ratio_for_k(5.0) == 0.30
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            hit_ratio_for_k(-1)
+
+    @given(k=st.floats(min_value=0, max_value=2))
+    def test_ratio_in_published_band(self, k):
+        assert 0.30 <= hit_ratio_for_k(k) <= 0.80
+
+
+class TestTraceStatistics:
+    def test_fig4_style_statistics(self):
+        gen = TraceGenerator(
+            num_tables=1,
+            rows_per_table=500_000,
+            lookups_per_table=50,
+            hot_access_fraction=0.60,
+            seed=2,
+        )
+        flat = gen.flat_indices(gen.generate(400))
+        stats = TraceStatistics.from_indices(flat)
+        # Fig. 4 qualitative shape: the cold tail is dominated by
+        # once-accessed indices; the hot head owns most lookups.
+        assert stats.unique_access_fraction() > 0.55
+        assert stats.top_k_share(gen.hot_set_size) > 0.50
+
+    def test_counts_consistent(self):
+        stats = TraceStatistics.from_indices([1, 1, 2, 3, 3, 3])
+        assert stats.total_lookups == 6
+        assert stats.total_indices == 3
+        assert stats.occurrence_counts == {1: 1, 2: 1, 3: 1}
+
+    def test_unique_fraction(self):
+        stats = TraceStatistics.from_indices([1, 2, 3, 3])
+        assert stats.unique_access_fraction() == pytest.approx(2 / 3)
+
+    def test_top_k_share_extremes(self):
+        stats = TraceStatistics.from_indices([7] * 99 + [1])
+        assert stats.top_k_share(1) == pytest.approx(0.99)
+        assert stats.top_k_share(2) == pytest.approx(1.0)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            TraceStatistics.from_indices([])
+
+    def test_invalid_k_rejected(self):
+        stats = TraceStatistics.from_indices([1, 2])
+        with pytest.raises(ValueError):
+            stats.top_k_share(0)
+
+    def test_summary_renders(self):
+        stats = TraceStatistics.from_indices([1, 1, 2])
+        assert "lookups=3" in stats.summary()
+
+
+class TestRequestGenerator:
+    def test_request_shapes(self):
+        config = get_config("rmc1")
+        gen = RequestGenerator(config, rows_per_table=128, seed=0)
+        request = gen.request(batch_size=4)
+        assert request.batch_size == 4
+        assert request.dense.shape == (4, config.dense_dim)
+        assert len(request.sparse[0]) == config.num_tables
+        assert len(request.sparse[0][0]) == config.lookups_per_table
+
+    def test_dense_none_for_ncf(self):
+        config = get_config("ncf")
+        gen = RequestGenerator(config, rows_per_table=64)
+        assert gen.request(2).dense is None
+
+    def test_requests_count(self):
+        config = get_config("rmc1")
+        gen = RequestGenerator(config, rows_per_table=64)
+        assert len(gen.requests(7, batch_size=2)) == 7
+
+    def test_invalid_batch(self):
+        config = get_config("rmc1")
+        gen = RequestGenerator(config, rows_per_table=64)
+        with pytest.raises(ValueError):
+            gen.request(0)
