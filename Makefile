@@ -1,0 +1,18 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: check lint compile test bench
+
+check: lint compile test
+
+lint:
+	$(PYTHON) -m tools.lint src tests benchmarks
+
+compile:
+	$(PYTHON) -m compileall -q src tools tests benchmarks
+
+test:
+	RMSSD_SANITIZE=1 $(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

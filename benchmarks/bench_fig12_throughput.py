@@ -15,7 +15,7 @@ The headline figure.  Shape checks encoded below:
 import pytest
 
 from benchmarks.conftest import make_requests
-from repro.analysis.report import Table
+from repro.analysis.report import Table, emit
 from repro.baselines import (
     DRAMBackend,
     EMBVectorSumBackend,
@@ -69,7 +69,7 @@ def test_fig12_throughput(benchmark, models):
                 *[f"{qps[(key, system, b)]:.0f}" for b in BATCHES],
             )
         table.print()
-        print(
+        emit(
             line_chart(
                 {s: [qps[(key, s, b)] for b in BATCHES] for s in SYSTEMS},
                 [str(b) for b in BATCHES],
@@ -77,7 +77,6 @@ def test_fig12_throughput(benchmark, models):
                 log=True,
             )
         )
-        print()
 
     for key in ("rmc1", "rmc2", "rmc3"):
         rm = {b: qps[(key, "RM-SSD", b)] for b in BATCHES}

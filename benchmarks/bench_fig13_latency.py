@@ -9,7 +9,7 @@ import pytest
 
 from benchmarks.conftest import make_requests, per_1k_seconds
 from repro.analysis.metrics import latency_reduction
-from repro.analysis.report import Table
+from repro.analysis.report import Table, emit
 from repro.baselines import (
     DRAMBackend,
     EMBVectorSumBackend,
@@ -75,7 +75,7 @@ def test_fig13_latency(benchmark, models):
     from repro.analysis.charts import bar_chart
 
     for key in ("rmc1", "rmc2", "rmc3"):
-        print(
+        emit(
             bar_chart(
                 list(SYSTEMS),
                 [seconds[(key, s)] for s in SYSTEMS],
@@ -84,7 +84,6 @@ def test_fig13_latency(benchmark, models):
                 log=True,
             )
         )
-        print()
 
     reductions = {}
     for key in ("rmc1", "rmc2", "rmc3"):

@@ -9,7 +9,7 @@ miss); and the gap widens at low locality.
 import pytest
 
 from benchmarks.conftest import ROWS_PER_TABLE
-from repro.analysis.report import Table
+from repro.analysis.report import Table, emit
 from repro.baselines import RMSSDBackend, RecSSDBackend
 from repro.workloads import K_TO_HIT_RATIO, hit_ratio_for_k
 from repro.workloads.inputs import RequestGenerator
@@ -52,7 +52,7 @@ def test_fig14_locality_sensitivity(benchmark, models):
         table.print()
         from repro.analysis.charts import line_chart
 
-        print(
+        emit(
             line_chart(
                 {
                     s: [qps[(key, s, k)] for k in KS]
@@ -63,7 +63,6 @@ def test_fig14_locality_sensitivity(benchmark, models):
                 title=f"Fig. 14 ({key.upper()}) shape",
             )
         )
-        print()
 
     for key in MODEL_KEYS:
         recssd = [qps[(key, "RecSSD", k)] for k in KS]

@@ -9,9 +9,15 @@ rows instead of the paper's 30 GB (DESIGN.md records the substitution);
 request counts are scaled down and reported per-1K-inference.
 """
 
+import os
+
 import pytest
 
 from repro.models import build_model, get_config
+
+# Sanitizer mode on by default, as in tests/ (observation-only; see
+# docs/correctness.md).  Opt out with RMSSD_SANITIZE=0.
+os.environ.setdefault("RMSSD_SANITIZE", "1")
 from repro.workloads.inputs import RequestGenerator
 
 #: Scaled-down table height used across the harness.

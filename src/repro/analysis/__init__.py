@@ -1,10 +1,11 @@
 """Reporting helpers used by the benchmark harness."""
 
 from repro.analysis.metrics import geometric_mean, speedup, throughput_qps
-from repro.analysis.report import Table, format_seconds, format_si
+from repro.analysis.report import Table, emit, format_seconds, format_si
 
 __all__ = [
     "Table",
+    "emit",
     "format_seconds",
     "format_si",
     "geometric_mean",

@@ -60,6 +60,18 @@ class Table:
         return "\n".join(lines)
 
     def print(self) -> None:
+        emit(self.render())
+
+
+def emit(*blocks: Any) -> None:
+    """Shared stdout sink for the benchmark harness.
+
+    Every ``bench_*`` module routes its output (tables, ASCII charts)
+    through here instead of bare ``print`` — the lint pass (rule R6)
+    enforces it — so harness output stays uniform and there is exactly
+    one place to redirect when the reports grow a file/JSON sink.
+    """
+    for block in blocks:
         print()
-        print(self.render())
-        print()
+        print(block)
+    print()

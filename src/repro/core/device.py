@@ -109,6 +109,7 @@ class RMSSD:
         use_des: bool = True,
         max_extent_pages: Optional[int] = None,
         mmio_costs: MMIOCostModel = MMIOCostModel(),
+        sanitize: Optional[bool] = None,
     ) -> None:
         if mlp_design not in (MLP_DESIGN_OPTIMIZED, MLP_DESIGN_NAIVE):
             raise ValueError(f"unknown MLP design {mlp_design!r}")
@@ -118,7 +119,10 @@ class RMSSD:
         self.mlp_design = mlp_design
         self.use_des = use_des
 
-        self.sim = Simulator()
+        # ``sanitize=None`` defers to the RMSSD_SANITIZE environment
+        # flag (see repro.sim.sanitizer); the substrate built from this
+        # simulator inherits its invariant checks.
+        self.sim = Simulator(sanitize=sanitize)
         self.controller = SSDController(self.sim, geometry, ssd_timing)
         self.blockdev = BlockDevice(self.controller, max_extent_pages=max_extent_pages)
         self.layout = EmbeddingLayout(self.blockdev, model.tables)

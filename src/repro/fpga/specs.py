@@ -25,6 +25,13 @@ class FPGAPart:
     brams: int  # BRAM36-equivalent tiles
     dsps: int
 
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("part name must be non-empty")
+        for field in ("luts", "ffs", "brams", "dsps"):
+            if getattr(self, field) < 1:
+                raise ValueError(f"{field} must be positive")
+
     def fits(self, usage: "ResourceVector") -> bool:  # noqa: F821
         """Whether a design's resource vector fits this part."""
         return (
@@ -68,6 +75,18 @@ class FPGASettings:
     dram_width_bytes: int = 64
     kmax_log2: int = 4
     mmio_width_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise ValueError("clock_hz must be positive")
+        if self.ii < 1:
+            raise ValueError("ii must be >= 1")
+        if self.dram_width_bytes < 4 or self.dram_width_bytes % 4:
+            raise ValueError("dram_width_bytes must be a positive multiple of 4")
+        if self.kmax_log2 < 0:
+            raise ValueError("kmax_log2 must be non-negative")
+        if self.mmio_width_bytes < 1:
+            raise ValueError("mmio_width_bytes must be positive")
 
     @property
     def cycle_ns(self) -> float:

@@ -9,14 +9,18 @@ this kernel; the FPGA engine models are analytic and do not need it.
 
 from repro.sim.engine import AllOf, Event, Process, Simulator, Timeout
 from repro.sim.resources import Resource, Server, Store
+from repro.sim.sanitizer import Sanitizer, SanitizerError, sanitize_from_env
 
 __all__ = [
     "AllOf",
     "Event",
     "Process",
     "Resource",
+    "Sanitizer",
+    "SanitizerError",
     "Server",
     "Simulator",
     "Store",
     "Timeout",
+    "sanitize_from_env",
 ]

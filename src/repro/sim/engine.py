@@ -8,6 +8,11 @@ resumed (with the event's ``value``) when that event succeeds.
 
 Time is unitless from the kernel's perspective.  The SSD substrate uses
 nanoseconds throughout (see :mod:`repro.ssd.timing`).
+
+The kernel's promises (single-trigger events, a monotonically
+non-decreasing clock, no resuming a terminated process) can be machine
+checked by constructing the simulator with ``sanitize=True`` (or
+setting ``RMSSD_SANITIZE=1``); see :mod:`repro.sim.sanitizer`.
 """
 
 from __future__ import annotations
@@ -44,6 +49,9 @@ class Event:
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event *now*, delivering ``value`` to callbacks."""
         if self._triggered or self._scheduled:
+            sanitizer = self.sim.sanitizer
+            if sanitizer is not None:
+                sanitizer.on_double_trigger(self)
             raise SimulationError("event already triggered")
         self._scheduled = True
         self.value = value
@@ -52,6 +60,9 @@ class Event:
 
     def _fire(self) -> None:
         if self._triggered:
+            sanitizer = self.sim.sanitizer
+            if sanitizer is not None:
+                sanitizer.on_double_trigger(self)
             return
         self._triggered = True
         callbacks, self.callbacks = self.callbacks, []
@@ -95,19 +106,26 @@ class Process(Event):
         result = yield sim.process(child())
     """
 
-    __slots__ = ("_generator",)
+    __slots__ = ("_generator", "_done")
 
     def __init__(self, sim: "Simulator", generator: Generator) -> None:
         super().__init__(sim)
         self._generator = generator
+        self._done = False
         # Kick off on the next scheduling round at the current time.
         bootstrap = Timeout(sim, 0)
         bootstrap.add_callback(self._resume)
 
     def _resume(self, event: Event) -> None:
+        if self._done:
+            sanitizer = self.sim.sanitizer
+            if sanitizer is not None:
+                sanitizer.on_dead_resume(self)
+            return
         try:
             target = self._generator.send(event.value)
         except StopIteration as stop:
+            self._done = True
             if not self._triggered:
                 self.value = stop.value
                 self.sim._schedule(self, delay=0)
@@ -162,12 +180,21 @@ class Simulator:
     5
     """
 
-    def __init__(self) -> None:
+    def __init__(self, sanitize: Optional[bool] = None) -> None:
         self.now: float = 0.0
         self._queue: List = []
         self._sequence = 0
+        # ``None`` defers to the RMSSD_SANITIZE environment flag; the
+        # import is deferred to break the engine <-> sanitizer cycle.
+        from repro.sim.sanitizer import Sanitizer, sanitize_from_env
+
+        if sanitize is None:
+            sanitize = sanitize_from_env()
+        self.sanitizer = Sanitizer(self) if sanitize else None
 
     def _schedule(self, event: Event, delay: float) -> None:
+        if self.sanitizer is not None:
+            self.sanitizer.check_schedule(delay)
         self._sequence += 1
         heapq.heappush(self._queue, (self.now + delay, self._sequence, event))
 
@@ -195,8 +222,12 @@ class Simulator:
                 self.now = until
                 return
             heapq.heappop(self._queue)
+            if self.sanitizer is not None:
+                self.sanitizer.check_clock(time)
             self.now = time
             event._fire()
+        if self.sanitizer is not None:
+            self.sanitizer.check_quiescent()
         if until is not None:
             self.now = max(self.now, until)
 

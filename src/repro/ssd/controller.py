@@ -42,6 +42,8 @@ class SSDController:
         self.timing = timing or SSDTimingModel(page_size=self.geometry.page_size)
         self.flash = FlashArray(sim, self.geometry, self.timing, self.stats)
         self.ftl = ftl or FlashTranslationLayer(self.geometry)
+        if getattr(sim, "sanitizer", None) is not None:
+            self.ftl.attach_sanitizer(sim.sanitizer)
         self.fmc = EVFlashMemoryController(sim, self.flash)
         # The MUX: block I/O and EV requests share one translation
         # pipeline; FIFO service approximates the round-robin arbiter.

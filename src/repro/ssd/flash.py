@@ -33,6 +33,7 @@ class _Channel:
 
     def __init__(self, sim: Simulator, geometry: SSDGeometry, index: int) -> None:
         self.index = index
+        self.name = f"channel{index}"
         self.bus = Server(sim, name=f"channel{index}-bus")
         self.dies: List[Resource] = [
             Resource(sim, capacity=1) for _ in range(geometry.dies_per_channel)
@@ -59,6 +60,8 @@ class FlashArray:
         self.channels = [
             _Channel(sim, self.geometry, i) for i in range(self.geometry.channels)
         ]
+        #: Sanitizer-mode invariant checks (``None`` when disabled).
+        self.sanitizer = getattr(sim, "sanitizer", None)
 
     # ------------------------------------------------------------------
     # Functional data plane (no simulated time)
@@ -92,6 +95,27 @@ class FlashArray:
     def written_pages(self) -> int:
         return len(self._pages)
 
+    def erase_block(self, page_index: int) -> None:
+        """Erase the whole block containing ``page_index`` (functional).
+
+        Real flash erases at block granularity; the sanitizer's
+        erase-before-write tracking keys off this call, so a rewrite of
+        a timed-programmed page must erase its block first.
+        """
+        address = self.geometry.page_index_to_address(page_index)
+        for page in range(self.geometry.pages_per_block):
+            erased = PhysicalAddress(
+                channel=address.channel,
+                die=address.die,
+                plane=address.plane,
+                block=address.block,
+                page=page,
+            )
+            flat = self.geometry.address_to_page_index(erased)
+            self._pages.pop(flat, None)
+            if self.sanitizer is not None:
+                self.sanitizer.on_erase(flat)
+
     # ------------------------------------------------------------------
     # Timed read operations (DES processes)
     # ------------------------------------------------------------------
@@ -123,15 +147,24 @@ class FlashArray:
         address = self.geometry.page_index_to_address(page_index)
         channel = self.channels[address.channel]
         die = channel.dies[address.die]
+        sanitizer = self.sanitizer
+        if sanitizer is not None:
+            sanitizer.on_program(page_index, component=channel.name)
+            sanitizer.channel_enqueue(channel.name)
+            sanitizer.check_latency(
+                channel.name, "page_program_ns", self.timing.page_program_ns
+            )
         yield self.sim.timeout(self.timing.request_overhead_ns)
         yield die.acquire()
         try:
             yield channel.bus.serve(self.timing.transfer_ns)
-            yield self.sim.timeout(self.timing.program_ns)
+            yield self.sim.timeout(self.timing.page_program_ns)
         finally:
             die.release()
         self.write_page(page_index, data, offset)
         self.stats.record_host_transfer(write_bytes=len(data))
+        if sanitizer is not None:
+            sanitizer.channel_complete(channel.name)
         return page_index
 
     def _read_proc(
@@ -140,6 +173,13 @@ class FlashArray:
         address = self.geometry.page_index_to_address(page_index, col)
         channel = self.channels[address.channel]
         die = channel.dies[address.die]
+        sanitizer = self.sanitizer
+        if sanitizer is not None:
+            sanitizer.channel_enqueue(channel.name)
+            sanitizer.check_latency(
+                channel.name, "request_overhead_ns", self.timing.request_overhead_ns
+            )
+            sanitizer.check_latency(channel.name, "flush_ns", self.timing.flush_ns)
         # Request decode / FTL / path-buffer handling.
         yield self.sim.timeout(self.timing.request_overhead_ns)
         # Phase 1: flush the page into the die's page buffer.
@@ -151,9 +191,13 @@ class FlashArray:
                 transfer_ns = self.timing.vector_transfer_ns(size)
             else:
                 transfer_ns = self.timing.transfer_ns
+            if sanitizer is not None:
+                sanitizer.check_latency(channel.name, "transfer_ns", transfer_ns)
             yield channel.bus.serve(transfer_ns)
         finally:
             die.release()
+        if sanitizer is not None:
+            sanitizer.channel_complete(channel.name)
         return self.peek(page_index, col, size)
 
     # ------------------------------------------------------------------

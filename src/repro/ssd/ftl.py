@@ -88,13 +88,27 @@ class FlashTranslationLayer:
         self.geometry = geometry
         self.mapping = mapping if mapping is not None else LinearMapping(geometry)
         self.lookup_cycles = lookup_cycles
+        #: Sanitizer-mode L2P checks; attached by the owning controller.
+        self.sanitizer = None
+
+    def attach_sanitizer(self, sanitizer) -> None:
+        """Enable L2P injectivity/bounds checks on every translation."""
+        self.sanitizer = sanitizer
+
+    def _check(self, lba: int, physical: int) -> int:
+        if self.sanitizer is not None:
+            self.sanitizer.on_translate(
+                lba, physical, self.geometry.total_pages,
+                component=type(self.mapping).__name__,
+            )
+        return physical
 
     def translate(self, lba: int) -> int:
         """LBA (logical page number) -> physical page index."""
-        return self.mapping.translate(lba)
+        return self._check(lba, self.mapping.translate(lba))
 
     def map_write(self, lba: int) -> int:
-        return self.mapping.map_write(lba)
+        return self._check(lba, self.mapping.map_write(lba))
 
     def translate_byte_address(self, byte_offset: int) -> tuple:
         """Byte offset in logical space -> ``(physical_page, col)``."""

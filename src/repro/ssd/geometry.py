@@ -26,6 +26,11 @@ class PhysicalAddress:
     page: int
     col: int = 0
 
+    def __post_init__(self) -> None:
+        for name in ("channel", "die", "plane", "block", "page", "col"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
     def page_key(self) -> tuple:
         """Identity of the physical page, ignoring the column offset."""
         return (self.channel, self.die, self.plane, self.block, self.page)

@@ -18,6 +18,7 @@ Timing is expressed in **nanoseconds** throughout the simulator.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 
@@ -121,9 +122,25 @@ class SSDTimingModel:
         return self.cycles_to_ns(self.request_overhead_cycles)
 
     @property
-    def program_ns(self) -> float:
+    def page_program_ns(self) -> float:
         """Page program (write) time in ns."""
         return self.page_program_us * 1e3
+
+    @property
+    def program_ns(self) -> float:
+        """Deprecated alias for :attr:`page_program_ns`.
+
+        The bare name does not say *what* is being programmed nor pair
+        with a ``*_us`` source field, so the unit-suffix lint steers
+        code to the explicit accessor.
+        """
+        warnings.warn(
+            "SSDTimingModel.program_ns is deprecated; "
+            "use page_program_ns instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.page_program_ns
 
     # ------------------------------------------------------------------
     # Derived headline numbers

@@ -1,0 +1,15 @@
+"""Tier-1 test configuration.
+
+Sanitizer mode (:mod:`repro.sim.sanitizer`) is on by default for the
+whole suite: every ``Simulator()`` constructed without an explicit
+``sanitize=`` argument runs with invariant checks enabled.  The
+sanitizer is observation-only (pinned by
+``tests/test_sanitizer_property.py``), so this changes no numbers —
+it just turns silent invariant violations into hard failures.
+
+Opt out for a single run with ``RMSSD_SANITIZE=0 pytest ...``.
+"""
+
+import os
+
+os.environ.setdefault("RMSSD_SANITIZE", "1")

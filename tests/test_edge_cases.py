@@ -78,7 +78,7 @@ class TestFMC:
 
     def test_read_request_defaults(self):
         request = ReadRequest(kind="block", physical_page=3)
-        assert request.latency_ns == 0.0
+        assert request.latency_ns == 0
 
 
 class TestBackendEdges:
@@ -116,7 +116,7 @@ class TestBackendEdges:
         backend = DRAMBackend(model)
         result = backend.run([], compute=False)
         assert result.inferences == 0
-        assert result.total_ns == 0.0
+        assert result.total_ns == 0
 
     def test_naive_ssd_invalid_fraction(self, model):
         with pytest.raises(ValueError):

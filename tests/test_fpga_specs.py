@@ -1,0 +1,51 @@
+"""Validation of FPGA part capacities and engine settings."""
+
+import pytest
+
+from repro.fpga.specs import XC7A200T, XCVU9P, FPGAPart, FPGASettings
+
+
+class TestFPGAPartValidation:
+    def test_table_vi_parts_are_valid(self):
+        # The module-level constants must pass their own validation.
+        assert XCVU9P.luts > XC7A200T.luts
+        assert XCVU9P.brams > XC7A200T.brams
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError, match="brams"):
+            FPGAPart("bad", luts=1000, ffs=1000, brams=0, dsps=10)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError, match="luts"):
+            FPGAPart("bad", luts=-1, ffs=1000, brams=10, dsps=10)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="name"):
+            FPGAPart("", luts=1, ffs=1, brams=1, dsps=1)
+
+
+class TestFPGASettingsValidation:
+    def test_defaults_are_valid(self):
+        settings = FPGASettings()
+        assert settings.cycle_ns == pytest.approx(5.0)
+        assert settings.kmax == 16
+
+    def test_zero_clock_rejected(self):
+        with pytest.raises(ValueError, match="clock_hz"):
+            FPGASettings(clock_hz=0)
+
+    def test_zero_ii_rejected(self):
+        with pytest.raises(ValueError, match="ii"):
+            FPGASettings(ii=0)
+
+    def test_unaligned_dram_width_rejected(self):
+        with pytest.raises(ValueError, match="dram_width_bytes"):
+            FPGASettings(dram_width_bytes=30)
+
+    def test_negative_kmax_log2_rejected(self):
+        with pytest.raises(ValueError, match="kmax_log2"):
+            FPGASettings(kmax_log2=-1)
+
+    def test_zero_mmio_width_rejected(self):
+        with pytest.raises(ValueError, match="mmio_width_bytes"):
+            FPGASettings(mmio_width_bytes=0)

@@ -12,8 +12,8 @@ class TestHostCostModel:
         costs = HostCostModel()
         emb = costs.sls_op_ns(tables=8, total_vectors=640)
         mlp = costs.mlp_ns(10_240, 2, 1) + costs.mlp_ns(90_176, 3, 1)
-        total_ms = (emb + mlp + costs.concat_ns()) / 1e6
-        assert 0.8 < total_ms < 2.0
+        total_ns = emb + mlp + costs.concat_ns()
+        assert 0.8e6 < total_ns < 2.0e6
 
     def test_fileio_miss_costs_more_than_hit(self):
         costs = HostCostModel()

@@ -1,0 +1,56 @@
+"""Tier-1 gate: the whole tree passes the domain lint pass.
+
+Runs the same pass as ``python -m tools.lint src tests benchmarks``;
+any new violation fails the suite, so the invariants in
+``docs/correctness.md`` cannot silently rot.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.lint import ALL_RULES, lint_paths  # noqa: E402
+from tools.lint.cli import main  # noqa: E402
+
+LINTED = [str(REPO_ROOT / d) for d in ("src", "tests", "benchmarks")]
+
+
+def test_tree_is_lint_clean():
+    violations = lint_paths(LINTED)
+    assert not violations, "lint violations:\n" + "\n".join(
+        v.render() for v in violations
+    )
+
+
+def test_cli_exits_zero_on_clean_tree(capsys):
+    assert main(LINTED) == 0
+    captured = capsys.readouterr()
+    assert "0 violations" in captured.err
+
+
+def test_cli_exits_nonzero_on_violation(tmp_path, capsys):
+    bad = tmp_path / "bench_bad.py"
+    bad.write_text("print('hello')\n")
+    assert main([str(bad)]) == 1
+    captured = capsys.readouterr()
+    assert "R6" in captured.out
+
+
+def test_cli_rejects_empty_path_set(tmp_path, capsys):
+    assert main([str(tmp_path)]) == 2
+
+
+def test_cli_lists_all_six_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    captured = capsys.readouterr()
+    for rule in ALL_RULES:
+        assert rule.id in captured.out
+    assert len(ALL_RULES) >= 6
+
+
+def test_tools_package_itself_compiles_clean():
+    violations = lint_paths([str(REPO_ROOT / "tools")])
+    assert not violations, "\n".join(v.render() for v in violations)

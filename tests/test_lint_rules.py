@@ -1,0 +1,175 @@
+"""Per-rule lint corpus: each rule fires on a known-bad fixture and
+stays silent once the allowlist pragma is added."""
+
+import sys
+import textwrap
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.lint import lint_source, parse_pragmas  # noqa: E402
+
+
+def violations(code, path="src/repro/example.py"):
+    return lint_source(textwrap.dedent(code), path=path)
+
+
+def rule_ids(code, path="src/repro/example.py"):
+    return [v.rule for v in violations(code, path)]
+
+
+class TestR1UnitSuffixes:
+    def test_banned_suffix_on_assignment_fires(self):
+        assert rule_ids("latency_ms = 5\n") == ["R1"]
+
+    def test_banned_suffix_on_parameter_fires(self):
+        assert rule_ids("def f(delay_sec):\n    return delay_sec\n") == ["R1"]
+
+    def test_banned_suffix_on_attribute_fires(self):
+        code = """
+        class C:
+            def __init__(self):
+                self.total_seconds = 0
+        """
+        assert rule_ids(code) == ["R1"]
+
+    def test_mixed_unit_addition_fires(self):
+        assert rule_ids("total = page_ns + flush_us\n") == ["R1"]
+
+    def test_mixed_unit_comparison_fires(self):
+        assert rule_ids("flag = read_ns < limit_cycles\n") == ["R1"]
+
+    def test_conversion_via_multiplication_is_allowed(self):
+        assert rule_ids("total_ns = delay_us * 1000\n") == []
+
+    def test_same_unit_arithmetic_is_allowed(self):
+        assert rule_ids("total_ns = read_ns + flush_ns\n") == []
+
+    def test_approved_suffixes_are_allowed(self):
+        assert rule_ids("a_ns = 1\nb_us = 2\nc_cycles = 3\nd_hz = 4\n") == []
+
+    def test_pragma_silences(self):
+        assert rule_ids("latency_ms = 5  # lint: ok[R1]\n") == []
+
+
+class TestR2FloatTimeEquality:
+    def test_equality_on_now_fires(self):
+        assert rule_ids("ok = sim.now == finish\n") == ["R2"]
+
+    def test_inequality_on_ns_name_fires(self):
+        assert rule_ids("ok = total_ns != expected\n") == ["R2"]
+
+    def test_integer_literal_is_allowed(self):
+        assert rule_ids("ok = sim.now == 10\n") == []
+
+    def test_pytest_approx_is_allowed(self):
+        assert rule_ids("ok = total_ns == pytest.approx(expected)\n") == []
+
+    def test_ordering_comparison_is_allowed(self):
+        assert rule_ids("ok = sim.now < deadline\n") == []
+
+    def test_pragma_silences(self):
+        assert rule_ids("ok = sim.now == finish  # lint: ok[R2]\n") == []
+
+
+class TestR3KernelEncapsulation:
+    def test_heapq_import_fires(self):
+        assert rule_ids("import heapq\n") == ["R3"]
+
+    def test_heapq_from_import_fires(self):
+        assert rule_ids("from heapq import heappush\n") == ["R3"]
+
+    def test_succeed_call_fires(self):
+        assert rule_ids("event.succeed(42)\n") == ["R3"]
+
+    def test_kernel_module_is_exempt(self):
+        path = "src/repro/sim/engine.py"
+        assert rule_ids("import heapq\nevent.succeed(1)\n", path=path) == []
+
+    def test_pragma_silences(self):
+        assert rule_ids("event.succeed(42)  # lint: ok[R3]\n") == []
+
+    def test_file_pragma_silences_whole_file(self):
+        code = "# lint: ok-file[R3]\nimport heapq\nevent.succeed(1)\n"
+        assert rule_ids(code) == []
+
+
+class TestR4FrozenConfigs:
+    def test_setattr_outside_init_hooks_fires(self):
+        code = """
+        def tweak(config):
+            object.__setattr__(config, "page_size", 8192)
+        """
+        assert rule_ids(code) == ["R4"]
+
+    def test_setattr_in_post_init_is_allowed(self):
+        code = """
+        class C:
+            def __post_init__(self):
+                object.__setattr__(self, "derived", 1)
+        """
+        assert rule_ids(code) == []
+
+    def test_pragma_silences(self):
+        code = 'object.__setattr__(c, "x", 1)  # lint: ok[R4]\n'
+        assert rule_ids(code) == []
+
+
+class TestR5FTLEncapsulation:
+    def test_l2p_table_access_fires(self):
+        assert rule_ids("pages = ftl.mapping._table\n") == ["R5"]
+
+    def test_next_free_access_fires(self):
+        assert rule_ids("ftl._next_free = 0\n") == ["R5"]
+
+    def test_ftl_module_is_exempt(self):
+        path = "src/repro/ssd/ftl.py"
+        assert rule_ids("self._table[lba] = physical\n", path=path) == []
+
+    def test_pragma_silences(self):
+        assert rule_ids("pages = ftl.mapping._table  # lint: ok[R5]\n") == []
+
+
+class TestR6BenchmarkReporting:
+    def test_print_in_benchmark_fires(self):
+        assert rule_ids("print('x')\n", path="benchmarks/bench_x.py") == ["R6"]
+
+    def test_print_outside_benchmarks_is_allowed(self):
+        assert rule_ids("print('x')\n", path="examples/demo.py") == []
+
+    def test_table_print_method_is_allowed(self):
+        assert rule_ids("table.print()\n", path="benchmarks/bench_x.py") == []
+
+    def test_emit_is_allowed(self):
+        assert rule_ids("emit(chart)\n", path="benchmarks/bench_x.py") == []
+
+    def test_pragma_silences(self):
+        code = "print('x')  # lint: ok[R6]\n"
+        assert rule_ids(code, path="benchmarks/bench_x.py") == []
+
+
+class TestEngineMechanics:
+    def test_syntax_error_reported_not_raised(self):
+        out = violations("def broken(:\n")
+        assert [v.rule for v in out] == ["E0"]
+
+    def test_pragma_parsing_line_and_file_scope(self):
+        per_line, per_file = parse_pragmas(
+            "x = 1  # lint: ok[R1,R2]\n# lint: ok-file[R6]\n"
+        )
+        assert per_line == {1: {"R1", "R2"}}
+        assert per_file == {"R6"}
+
+    def test_star_pragma_silences_everything(self):
+        assert rule_ids("import heapq  # lint: ok[*]\n") == []
+
+    def test_multiline_statement_pragma_on_any_spanned_line(self):
+        code = "total = (\n    page_ns + flush_us  # lint: ok[R1]\n)\n"
+        assert rule_ids(code) == []
+
+    def test_violation_render_format(self):
+        violation = violations("import heapq\n")[0]
+        assert violation.render().endswith("R3 " + violation.message)
+        assert "src/repro/example.py:1" in violation.render()

@@ -1,0 +1,95 @@
+"""Property: sanitizer mode is observation-only.
+
+A randomized workload (timed writes, then a mix of page- and
+vector-grained reads) run with ``sanitize=True`` must produce
+byte-identical statistics, data, and simulated clock to the same
+workload with ``sanitize=False``.  This is what lets conftest switch
+the sanitizer on for the whole suite without changing any number the
+benchmarks report.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+from repro.ssd.flash import FlashArray
+from repro.ssd.geometry import SSDGeometry
+
+
+def small_geometry():
+    return SSDGeometry(
+        channels=2,
+        dies_per_channel=2,
+        planes_per_die=1,
+        blocks_per_plane=4,
+        pages_per_block=8,
+    )
+
+
+TOTAL_PAGES = small_geometry().total_pages
+
+write_ops = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=TOTAL_PAGES - 1),
+        st.binary(min_size=1, max_size=64),
+    ),
+    max_size=8,
+    unique_by=lambda op: op[0],  # one program per page (erase-before-write)
+)
+
+read_ops = st.lists(
+    st.tuples(
+        st.booleans(),  # vector-grained?
+        st.integers(min_value=0, max_value=TOTAL_PAGES - 1),
+        st.integers(min_value=0, max_value=4096 - 64),  # col
+        st.integers(min_value=4, max_value=64),  # size
+    ),
+    max_size=16,
+)
+
+
+def run_workload(sanitize, writes, reads):
+    """Run the workload on a fresh simulator; return an observation."""
+    sim = Simulator(sanitize=sanitize)
+    flash = FlashArray(sim, small_geometry())
+    for page, data in writes:
+        sim.process(flash.write_page_proc(page, data))
+    sim.run()
+    results = []
+    for is_vector, page, col, size in reads:
+        if is_vector:
+            proc = sim.process(flash.read_vector_proc(page, col, size))
+        else:
+            proc = sim.process(flash.read_page_proc(page))
+        results.append(proc)
+    sim.run()
+    return {
+        "now": repr(sim.now),
+        "stats": repr(flash.stats.as_dict()),
+        "data": [repr(proc.value) for proc in results],
+        "bus_busy": [repr(ch.bus.busy_time) for ch in flash.channels],
+    }
+
+
+@settings(max_examples=30, deadline=None)
+@given(writes=write_ops, reads=read_ops)
+def test_sanitizer_is_observation_only(writes, reads):
+    plain = run_workload(False, writes, reads)
+    sanitized = run_workload(True, writes, reads)
+    assert plain == sanitized
+
+
+@settings(max_examples=15, deadline=None)
+@given(writes=write_ops, reads=read_ops)
+def test_sanitized_run_performs_checks(writes, reads):
+    sim = Simulator(sanitize=True)
+    flash = FlashArray(sim, small_geometry())
+    for page, data in writes:
+        sim.process(flash.write_page_proc(page, data))
+    for is_vector, page, col, size in reads:
+        if is_vector:
+            sim.process(flash.read_vector_proc(page, col, size))
+        else:
+            sim.process(flash.read_page_proc(page))
+    sim.run()
+    assert sim.sanitizer.checks > 0

@@ -99,3 +99,17 @@ class TestAddressing:
         a = PhysicalAddress(0, 1, 0, 2, 3, col=128)
         b = PhysicalAddress(0, 1, 0, 2, 3, col=256)
         assert a.page_key() == b.page_key()
+
+
+class TestValidation:
+    def test_negative_address_fields_rejected(self):
+        with pytest.raises(ValueError, match="die"):
+            PhysicalAddress(channel=0, die=-1, plane=0, block=0, page=0)
+        with pytest.raises(ValueError, match="col"):
+            PhysicalAddress(channel=0, die=0, plane=0, block=0, page=0, col=-4)
+
+    def test_zero_and_negative_geometry_rejected(self):
+        with pytest.raises(ValueError, match="channels"):
+            SSDGeometry(channels=0)
+        with pytest.raises(ValueError, match="page_size"):
+            SSDGeometry(page_size=-4096)

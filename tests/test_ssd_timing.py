@@ -89,3 +89,18 @@ class TestDerived:
     def test_invalid_flush_fraction(self):
         with pytest.raises(ValueError):
             SSDTimingModel(flush_fraction=1.5)
+
+
+class TestExplicitNsAccessors:
+    def test_page_read_ns_matches_us_field(self, timing):
+        assert timing.page_read_ns == pytest.approx(timing.page_read_us * 1e3)
+
+    def test_page_program_ns_matches_us_field(self, timing):
+        assert timing.page_program_ns == pytest.approx(
+            timing.page_program_us * 1e3
+        )
+
+    def test_program_ns_alias_is_deprecated(self, timing):
+        with pytest.warns(DeprecationWarning, match="page_program_ns"):
+            value = timing.program_ns
+        assert value == pytest.approx(timing.page_program_ns)

@@ -28,14 +28,14 @@ class TestFlashWrites:
         expected = (
             flash.timing.request_overhead_ns
             + flash.timing.transfer_ns
-            + flash.timing.program_ns
+            + flash.timing.page_program_ns
         )
         assert sim.now == pytest.approx(expected)
         assert flash.peek(0, 0, 4) == b"data"
 
     def test_program_dominates_write(self):
         timing = SSDTimingModel()
-        assert timing.program_ns > 5 * timing.page_read_ns
+        assert timing.page_program_ns > 5 * timing.page_read_ns
 
     def test_writes_on_different_channels_overlap(self):
         sim = Simulator()
@@ -46,7 +46,7 @@ class TestFlashWrites:
         single = (
             flash.timing.request_overhead_ns
             + flash.timing.transfer_ns
-            + flash.timing.program_ns
+            + flash.timing.page_program_ns
         )
         assert sim.now == pytest.approx(single)
 
@@ -60,7 +60,7 @@ class TestFlashWrites:
         sim.process(flash.write_page_proc(0, b"a"))
         sim.process(flash.write_page_proc(1, b"b"))
         sim.run()
-        single = flash.timing.transfer_ns + flash.timing.program_ns
+        single = flash.timing.transfer_ns + flash.timing.page_program_ns
         assert sim.now >= 2 * single
 
     def test_write_traffic_accounted(self):
@@ -98,5 +98,5 @@ class TestControllerWrites:
         sim.process(ctrl.write_block_proc(0, b"w"))
         read = sim.process(ctrl.read_block_proc(0))
         sim.run()
-        assert sim.now > ctrl.timing.program_ns
+        assert sim.now > ctrl.timing.page_program_ns
         assert read.value.data[:1] == b"w"

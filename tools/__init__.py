@@ -1,0 +1,1 @@
+"""Developer tooling for the RM-SSD reproduction (not shipped at runtime)."""

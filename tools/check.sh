@@ -1,0 +1,15 @@
+#!/bin/sh
+# Full correctness gate: domain lint, bytecode compile, sanitized tests.
+# Same steps as `make check`, for environments without make.
+set -e
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+echo "== lint =="
+python -m tools.lint src tests benchmarks
+
+echo "== compile =="
+python -m compileall -q src tools tests benchmarks
+
+echo "== tests (RMSSD_SANITIZE=1) =="
+RMSSD_SANITIZE=1 python -m pytest -x -q

@@ -1,0 +1,27 @@
+"""AST-based domain lint pass for the RM-SSD reproduction.
+
+Run it as ``python -m tools.lint src tests benchmarks`` (or the
+installed ``rmssd-lint`` script).  The rule catalogue and the pragma
+syntax are documented in ``docs/correctness.md``; the pass also runs as
+a tier-1 pytest test (``tests/test_lint.py``) so the tree can never
+drift out of compliance.
+"""
+
+from tools.lint.engine import (
+    Violation,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    parse_pragmas,
+)
+from tools.lint.rules import ALL_RULES, RULES_BY_ID
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_ID",
+    "Violation",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "parse_pragmas",
+]

@@ -1,0 +1,7 @@
+"""Entry point for ``python -m tools.lint``."""
+
+import sys
+
+from tools.lint.cli import main
+
+sys.exit(main())

@@ -1,0 +1,61 @@
+"""Command-line front end: ``python -m tools.lint`` / ``rmssd-lint``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from tools.lint.engine import iter_python_files, lint_paths
+from tools.lint.rules import ALL_RULES
+
+DEFAULT_PATHS = ("src", "tests", "benchmarks")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="rmssd-lint",
+        description=(
+            "Domain-specific lint pass for the RM-SSD reproduction "
+            "(unit-suffix discipline, kernel/FTL encapsulation, "
+            "benchmark reporting; see docs/correctness.md)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help="files or directories to lint (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.id}  {rule.title}")
+        return 0
+
+    files = iter_python_files(args.paths)
+    if not files:
+        print(f"rmssd-lint: no Python files under {args.paths}", file=sys.stderr)
+        return 2
+
+    violations = lint_paths(args.paths)
+    for violation in violations:
+        print(violation.render())
+    noun = "violation" if len(violations) == 1 else "violations"
+    file_noun = "file" if len(files) == 1 else "files"
+    print(
+        f"rmssd-lint: checked {len(files)} {file_noun}, "
+        f"{len(violations)} {noun}",
+        file=sys.stderr,
+    )
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,163 @@
+"""Core machinery of the domain lint pass: files, pragmas, violations.
+
+The linter parses each Python file once, hands the AST to every rule
+(:mod:`tools.lint.rules`), and filters the resulting violations through
+the allowlist pragmas:
+
+* ``# lint: ok[R1]`` / ``# lint: ok[R1,R5]`` — suppress the listed
+  rules on the line carrying the comment (attach it to the line the
+  violation is reported on);
+* ``# lint: ok-file[R3]`` — suppress the listed rules for the whole
+  file (put it anywhere, conventionally in the module docstring area);
+* ``*`` suppresses every rule (``# lint: ok[*]``).
+
+Rules are deliberately codebase-specific — see ``docs/correctness.md``
+for what each one guards and why.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+_PRAGMA_RE = re.compile(r"lint:\s*ok(?P<scope>-file)?\[(?P<rules>[^\]]*)\]")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule firing at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about the file being linted."""
+
+    path: str
+    tree: ast.AST
+    source: str
+
+    @property
+    def posix_path(self) -> str:
+        return Path(self.path).as_posix()
+
+    @property
+    def basename(self) -> str:
+        return Path(self.path).name
+
+    def in_module(self, *parts: str) -> bool:
+        """Whether the file lives under the given package directory,
+        e.g. ``ctx.in_module("repro", "sim")``."""
+        needle = "/" + "/".join(parts) + "/"
+        haystack = "/" + self.posix_path
+        return needle in haystack or haystack.endswith(needle.rstrip("/") + ".py")
+
+    def is_file(self, *parts: str) -> bool:
+        """Whether the file *is* the named module, e.g.
+        ``ctx.is_file("repro", "ssd", "ftl.py")``."""
+        return ("/" + self.posix_path).endswith("/" + "/".join(parts))
+
+
+def parse_pragmas(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """Extract ``lint: ok`` pragmas from comments.
+
+    Returns ``(line -> suppressed rules, file-wide suppressed rules)``.
+    """
+    per_line: Dict[int, Set[str]] = {}
+    per_file: Set[str] = set()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA_RE.search(token.string)
+            if not match:
+                continue
+            rules = {r.strip() for r in match.group("rules").split(",") if r.strip()}
+            if match.group("scope"):
+                per_file |= rules
+            else:
+                per_line.setdefault(token.start[0], set()).update(rules)
+    except tokenize.TokenizeError:
+        pass
+    return per_line, per_file
+
+
+def _suppressed(
+    violation: Violation,
+    node_lines: Dict[int, Set[str]],
+    file_rules: Set[str],
+) -> bool:
+    if "*" in file_rules or violation.rule in file_rules:
+        return True
+    for line, rules in node_lines.items():
+        if line == violation.line and ("*" in rules or violation.rule in rules):
+            return True
+    return False
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Sequence[object] = None,
+) -> List[Violation]:
+    """Lint one source string; returns surviving violations."""
+    from tools.lint.rules import ALL_RULES
+
+    active = list(ALL_RULES if rules is None else rules)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as err:
+        return [
+            Violation(
+                rule="E0",
+                path=path,
+                line=err.lineno or 0,
+                message=f"syntax error: {err.msg}",
+            )
+        ]
+    ctx = FileContext(path=path, tree=tree, source=source)
+    per_line, per_file = parse_pragmas(source)
+    violations: List[Violation] = []
+    for rule in active:
+        for violation in rule.check(ctx):
+            if not _suppressed(violation, per_line, per_file):
+                violations.append(violation)
+    return sorted(violations, key=lambda v: (v.path, v.line, v.rule))
+
+
+def iter_python_files(paths: Iterable[str]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.extend(
+                p
+                for p in sorted(path.rglob("*.py"))
+                if "__pycache__" not in p.parts
+            )
+        elif path.suffix == ".py":
+            out.append(path)
+    return out
+
+
+def lint_paths(paths: Iterable[str]) -> List[Violation]:
+    """Lint every Python file under ``paths``."""
+    violations: List[Violation] = []
+    for path in iter_python_files(paths):
+        source = path.read_text(encoding="utf-8")
+        violations.extend(lint_source(source, path=str(path)))
+    return violations

@@ -1,0 +1,335 @@
+"""Domain-specific lint rules for the RM-SSD reproduction.
+
+Every rule encodes an invariant of *this* codebase that generic linters
+cannot know about:
+
+* **R1  unit-suffix discipline** — durations/rates live in variables
+  whose names end in ``_ns``, ``_us``, ``_cycles`` or ``_hz``; other
+  time-unit suffixes (``_ms``, ``_sec``, ...) are banned, and ``+``/
+  ``-``/ordering between differently-suffixed names is flagged (unit
+  conversion goes through ``*``/``/`` or the timing model's helpers).
+* **R2  no float equality on simulated time** — ``==``/``!=`` against
+  ``sim.now`` or ``*_ns``/``*_us`` values invites float-rounding bugs;
+  compare against exact integers or use ``pytest.approx``.
+* **R3  kernel encapsulation** — only :mod:`repro.sim` may touch
+  ``heapq`` or call ``Event.succeed`` directly; everyone else goes
+  through the simulator's public API.
+* **R4  frozen configs stay frozen** — ``object.__setattr__`` outside
+  ``__post_init__``/``__init__``/``__setstate__`` defeats frozen
+  dataclasses.
+* **R5  FTL owns the L2P map** — the private mapping state
+  (``_table``, ``_next_free``) is only touched inside
+  ``repro/ssd/ftl.py``.
+* **R6  benchmarks report through the shared path** — ``bench_*.py``
+  emits via :mod:`repro.analysis.report` (``Table``/``emit``), never
+  bare ``print``, so harness output stays machine-comparable.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Optional, Tuple
+
+from tools.lint.engine import FileContext, Violation
+
+#: Approved duration/rate suffixes (R1).
+GOOD_UNITS = ("ns", "us", "cycles", "hz")
+
+#: Banned time-unit suffixes (R1): other units invite silent mixups
+#: with the nanosecond-based simulator clock.
+BAD_UNITS = (
+    "ms", "msec", "msecs", "millis",
+    "sec", "secs", "second", "seconds",
+    "usec", "usecs", "micros",
+    "nsec", "nsecs", "nanos",
+    "mins", "minutes", "hours",
+)
+
+_GOOD_SUFFIX_RE = re.compile(r"_(%s)$" % "|".join(GOOD_UNITS))
+_BAD_SUFFIX_RE = re.compile(r"_(%s)$" % "|".join(BAD_UNITS), re.IGNORECASE)
+
+#: FTL-private L2P state (R5).
+FTL_PRIVATE_ATTRS = ("_table", "_next_free")
+
+
+def _name_of(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _unit_of(node: ast.AST) -> Optional[str]:
+    name = _name_of(node)
+    if name is None:
+        return None
+    match = _GOOD_SUFFIX_RE.search(name)
+    return match.group(1) if match else None
+
+
+class Rule:
+    id = "R?"
+    title = ""
+
+    def violation(self, ctx: FileContext, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            rule=self.id,
+            path=ctx.path,
+            line=getattr(node, "lineno", 0),
+            message=message,
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+
+class UnitSuffixRule(Rule):
+    """R1: duration names use approved unit suffixes; no mixed-unit
+    addition/subtraction/ordering."""
+
+    id = "R1"
+    title = "unit-suffix discipline"
+
+    _ORDERING = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+
+    def _binding_targets(self, node: ast.AST) -> List[Tuple[ast.AST, str]]:
+        out: List[Tuple[ast.AST, str]] = []
+
+        def collect(target: ast.AST) -> None:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    collect(element)
+            else:
+                name = _name_of(target)
+                if name is not None:
+                    out.append((target, name))
+
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                collect(target)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            collect(node.target)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            args = node.args
+            for arg in (
+                list(args.posonlyargs)
+                + list(args.args)
+                + list(args.kwonlyargs)
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else [])
+            ):
+                out.append((arg, arg.arg))
+        return out
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            # (a) banned unit suffixes at binding sites.
+            for target, name in self._binding_targets(node):
+                match = _BAD_SUFFIX_RE.search(name)
+                if match:
+                    yield self.violation(
+                        ctx,
+                        target if hasattr(target, "lineno") else node,
+                        f"name '{name}' uses banned time suffix "
+                        f"'_{match.group(1)}'; durations end in "
+                        f"{', '.join('_' + u for u in GOOD_UNITS)}",
+                    )
+            # (b) mixed-unit arithmetic.
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                left, right = _unit_of(node.left), _unit_of(node.right)
+                if left and right and left != right:
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"arithmetic mixes '_{left}' and '_{right}' "
+                        f"operands; convert explicitly first",
+                    )
+            elif isinstance(node, ast.Compare):
+                operands = [node.left] + list(node.comparators)
+                for op, lhs, rhs in zip(node.ops, operands, operands[1:]):
+                    if not isinstance(op, self._ORDERING):
+                        continue
+                    left, right = _unit_of(lhs), _unit_of(rhs)
+                    if left and right and left != right:
+                        yield self.violation(
+                            ctx,
+                            node,
+                            f"comparison mixes '_{left}' and '_{right}' "
+                            f"operands; convert explicitly first",
+                        )
+
+
+class FloatTimeEqualityRule(Rule):
+    """R2: no ``==``/``!=`` against simulated-time values."""
+
+    id = "R2"
+    title = "no float equality on simulated time"
+
+    @staticmethod
+    def _is_time(node: ast.AST) -> bool:
+        name = _name_of(node)
+        if name == "now":
+            return True
+        return bool(name and _GOOD_SUFFIX_RE.search(name)
+                    and not name.endswith(("_cycles", "_hz")))
+
+    @staticmethod
+    def _is_exempt(node: ast.AST) -> bool:
+        # Exact integers are representable; pytest.approx is the
+        # sanctioned float comparator.
+        if isinstance(node, ast.Constant) and isinstance(node.value, int) \
+                and not isinstance(node.value, bool):
+            return True
+        if isinstance(node, ast.Call) and _name_of(node.func) == "approx":
+            return True
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, lhs, rhs in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                for timeish, other in ((lhs, rhs), (rhs, lhs)):
+                    if self._is_time(timeish) and not self._is_exempt(other):
+                        yield self.violation(
+                            ctx,
+                            node,
+                            f"float equality on simulated time "
+                            f"'{_name_of(timeish)}'; compare exact "
+                            f"integers or use pytest.approx",
+                        )
+                        break
+
+
+class KernelEncapsulationRule(Rule):
+    """R3: heapq / Event.succeed stay inside repro.sim."""
+
+    id = "R3"
+    title = "kernel encapsulation"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if ctx.in_module("repro", "sim"):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "heapq":
+                        yield self.violation(
+                            ctx, node,
+                            "direct heapq use outside repro.sim; schedule "
+                            "through Simulator events instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if (node.module or "").split(".")[0] == "heapq":
+                    yield self.violation(
+                        ctx, node,
+                        "direct heapq use outside repro.sim; schedule "
+                        "through Simulator events instead",
+                    )
+            elif isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "succeed"
+                ):
+                    yield self.violation(
+                        ctx, node,
+                        "direct Event.succeed outside repro.sim; yield "
+                        "events or use Store/Resource primitives",
+                    )
+
+
+class FrozenConfigRule(Rule):
+    """R4: no object.__setattr__ outside dataclass init hooks."""
+
+    id = "R4"
+    title = "frozen configs stay frozen"
+
+    _ALLOWED_SCOPES = ("__post_init__", "__init__", "__setstate__")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        violations: List[Violation] = []
+
+        def visit(node: ast.AST, scope: Optional[str]) -> None:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scope = node.name
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "__setattr__"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "object"
+                and scope not in self._ALLOWED_SCOPES
+            ):
+                violations.append(
+                    self.violation(
+                        ctx, node,
+                        "object.__setattr__ mutates a frozen config "
+                        "outside __post_init__; construct a new instance "
+                        "with dataclasses.replace",
+                    )
+                )
+            for child in ast.iter_child_nodes(node):
+                visit(child, scope)
+
+        visit(ctx.tree, None)
+        yield from violations
+
+
+class FTLEncapsulationRule(Rule):
+    """R5: L2P mapping state is private to repro/ssd/ftl.py."""
+
+    id = "R5"
+    title = "FTL owns the L2P map"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if ctx.is_file("repro", "ssd", "ftl.py"):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute) and node.attr in FTL_PRIVATE_ATTRS:
+                yield self.violation(
+                    ctx, node,
+                    f"bare access to FTL L2P state '.{node.attr}' outside "
+                    f"repro.ssd.ftl; use translate()/map_write()/"
+                    f"mapped_pages",
+                )
+
+
+class BenchmarkReportRule(Rule):
+    """R6: bench_*.py emits through repro.analysis.report."""
+
+    id = "R6"
+    title = "benchmarks report through the shared path"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.basename.startswith("bench_"):
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.violation(
+                    ctx, node,
+                    "ad-hoc print in a benchmark; emit through "
+                    "repro.analysis.report (Table or emit)",
+                )
+
+
+ALL_RULES = (
+    UnitSuffixRule(),
+    FloatTimeEqualityRule(),
+    KernelEncapsulationRule(),
+    FrozenConfigRule(),
+    FTLEncapsulationRule(),
+    BenchmarkReportRule(),
+)
+
+RULES_BY_ID = {rule.id: rule for rule in ALL_RULES}
