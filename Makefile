@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint compile test bench
+.PHONY: check lint compile test bench bench-fast
 
 check: lint compile test
 
@@ -16,3 +16,6 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+bench-fast:
+	$(PYTHON) -m pytest benchmarks/bench_fastpath_speedup.py -q -s

@@ -7,6 +7,8 @@ the paper side by side (EXPERIMENTS.md records that comparison).
 
 from __future__ import annotations
 
+import json
+import os
 from typing import Any, List, Sequence
 
 
@@ -75,3 +77,19 @@ def emit(*blocks: Any) -> None:
         print()
         print(block)
     print()
+
+
+def emit_json(name: str, payload: dict, directory: str = ".") -> str:
+    """Write a machine-readable result file ``BENCH_<name>.json``.
+
+    Companion to :func:`emit` for benchmarks whose numbers feed
+    automated gates (e.g. the fast-path speedup check).  Returns the
+    written path and emits a pointer line so the text output records
+    where the JSON went.
+    """
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    emit(f"wrote {path}")
+    return path

@@ -44,9 +44,12 @@ class RMSSDBackend(InferenceBackend):
         costs: HostCostModel = DEFAULT_HOST_COSTS,
         geometry: Optional[SSDGeometry] = None,
         ssd_timing: Optional[SSDTimingModel] = None,
+        fastpath: Optional[bool] = None,
     ) -> None:
         super().__init__(model, costs)
         self.name = "RM-SSD" if mlp_design == MLP_DESIGN_OPTIMIZED else "RM-SSD-Naive"
+        # ``fastpath=None`` defers to RMSSD_FASTPATH; vector reads then
+        # take the DES-equivalent vectorized path when channels are idle.
         self.device = RMSSD(
             model,
             lookups_per_table,
@@ -54,6 +57,7 @@ class RMSSDBackend(InferenceBackend):
             ssd_timing=ssd_timing,
             mlp_design=mlp_design,
             use_des=use_des,
+            fastpath=fastpath,
         )
         self.stats = self.device.stats
 

@@ -110,6 +110,7 @@ class RMSSD:
         max_extent_pages: Optional[int] = None,
         mmio_costs: MMIOCostModel = MMIOCostModel(),
         sanitize: Optional[bool] = None,
+        fastpath: Optional[bool] = None,
     ) -> None:
         if mlp_design not in (MLP_DESIGN_OPTIMIZED, MLP_DESIGN_NAIVE):
             raise ValueError(f"unknown MLP design {mlp_design!r}")
@@ -118,6 +119,10 @@ class RMSSD:
         self.settings = settings
         self.mlp_design = mlp_design
         self.use_des = use_des
+        #: ``None`` defers to the RMSSD_FASTPATH environment flag; the
+        #: lookup engine falls back to the DES whenever background
+        #: block I/O is still in flight (see repro.ssd.fastpath).
+        self.fastpath = fastpath
 
         # ``sanitize=None`` defers to the RMSSD_SANITIZE environment
         # flag (see repro.sim.sanitizer); the substrate built from this
@@ -213,7 +218,9 @@ class RMSSD:
         inference" (Section IV-A); both paths share the FTL and flash
         channels through the round-robin MUX.  The returned process
         events complete during the next inference's simulation run, and
-        the contention is visible in the embedding stage time.
+        the contention is visible in the embedding stage time.  While
+        these reads are in flight the lookup engine always takes the
+        DES path — the vectorized fast path requires idle channels.
         """
         return [
             self.sim.process(self.controller.read_block_proc(lba)) for lba in lbas
@@ -245,7 +252,7 @@ class RMSSD:
         io_ns += self.mmio.dma_to_device(self._input_bytes(sparse_batch))
 
         # Embedding Lookup Engine.
-        lookup = self.lookup_engine.lookup_batch(sparse_batch)
+        lookup = self.lookup_engine.lookup_batch(sparse_batch, fast=self.fastpath)
         if self.use_des:
             emb_ns = lookup.elapsed_ns
         else:

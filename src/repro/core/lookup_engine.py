@@ -20,12 +20,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from math import ceil
-from typing import Dict, Generator, List, Sequence
+from typing import Dict, Generator, List, Optional, Sequence
 
 import numpy as np
 
 from repro.embedding.layout import EmbeddingLayout
+from repro.embedding.pooling import segment_pool
 from repro.embedding.translator import EVTranslator
+from repro.ssd import fastpath
 from repro.ssd.controller import SSDController
 from repro.ssd.geometry import SSDGeometry
 from repro.ssd.timing import SSDTimingModel
@@ -87,11 +89,17 @@ def flash_read_cycles(
 
 @dataclass
 class LookupResult:
-    """Output of one batched lookup: pooled vectors plus timing."""
+    """Output of one batched lookup: pooled vectors plus timing.
+
+    ``path`` records which execution path produced the result:
+    ``"des"`` (per-read simulation processes) or ``"fast"`` (the
+    vectorized replay, bitwise-equal by construction and by test).
+    """
 
     pooled: np.ndarray  # batch x (tables * dim)
     elapsed_ns: float
     vectors_read: int
+    path: str = "des"
 
     def elapsed_cycles(self, cycle_ns: float) -> float:
         return self.elapsed_ns / cycle_ns
@@ -169,13 +177,39 @@ class EmbeddingLookupEngine:
         return raw
 
     def lookup_batch(
-        self, sparse_batch: Sequence[Sequence[Sequence[int]]]
+        self,
+        sparse_batch: Sequence[Sequence[Sequence[int]]],
+        fast: Optional[bool] = None,
     ) -> LookupResult:
         """Run a batched lookup to completion on the simulation clock.
 
         Pools per (sample, table) in lookup order and concatenates per
         sample — the EV Sum semantics.
+
+        ``fast=None`` defers to the ``RMSSD_FASTPATH`` flag.  The fast
+        path replays the batch without per-read processes (same elapsed
+        time, bitwise-identical pooled outputs) but requires exclusive
+        use of the flash channels: any in-flight work — concurrent
+        block I/O from :meth:`repro.core.device.RMSSD.
+        start_background_block_reads`, for example — falls back to the
+        DES, as does request-history recording on the EV-FMC.
         """
+        if fast is None:
+            fast = fastpath.enabled()
+        sim = self.controller.sim
+        if (
+            fast
+            and len(sparse_batch) > 0
+            and sim.peek() is None
+            and not self.controller.fmc.keep_history
+        ):
+            return self._lookup_batch_fast(sparse_batch)
+        return self._lookup_batch_des(sparse_batch)
+
+    def _lookup_batch_des(
+        self, sparse_batch: Sequence[Sequence[Sequence[int]]]
+    ) -> LookupResult:
+        """Reference path: one simulation process per vector read."""
         sim = self.controller.sim
         start = sim.now
         proc = sim.process(self._read_all_proc(sparse_batch))
@@ -195,9 +229,7 @@ class EmbeddingLookupEngine:
                     acc = (acc / np.float32(len(indices))).astype(np.float32)
                 per_table.append(acc)
             pooled_rows.append(np.concatenate(per_table).astype(np.float32))
-            self.controller.stats.record_useful(
-                sum(len(indices) for indices in sample) * self.tables.ev_size
-            )
+        self.controller.stats.record_useful(vectors_read * self.tables.ev_size)
         ev_sum_ns = self.controller.timing.cycles_to_ns(
             EV_SUM_CYCLES_PER_VECTOR * vectors_read
         )
@@ -205,6 +237,103 @@ class EmbeddingLookupEngine:
             pooled=np.stack(pooled_rows),
             elapsed_ns=elapsed + ev_sum_ns,
             vectors_read=vectors_read,
+            path="des",
+        )
+
+    def _lookup_batch_fast(
+        self, sparse_batch: Sequence[Sequence[Sequence[int]]]
+    ) -> LookupResult:
+        """Vectorized path: translate, replay, gather, segment-reduce.
+
+        Produces the same elapsed time and bitwise-identical pooled
+        outputs as :meth:`_lookup_batch_des`
+        (``tests/test_fastpath_equivalence.py``), in O(vectors) numpy
+        work instead of O(vectors) Python processes.
+        """
+        sim = self.controller.sim
+        start = sim.now
+        num_tables = len(self.tables)
+        # Per-(sample, table) lengths and the flat index stream, in
+        # issue order (sample-major) — the order the DES creates its
+        # read processes in, which fixes the FTL service order.
+        cells: List[Sequence[int]] = []
+        for sample_id, sample in enumerate(sparse_batch):
+            if len(sample) != num_tables:
+                raise ValueError(
+                    f"sample {sample_id}: {len(sample)} index lists for "
+                    f"{num_tables} tables"
+                )
+            cells.extend(sample)
+        lengths = np.fromiter(
+            (len(cell) for cell in cells), dtype=np.int64, count=len(cells)
+        )
+        vectors_read = int(lengths.sum())
+        ev_size = self.tables.ev_size
+        timing = self.controller.timing
+        ev_sum_ns = timing.cycles_to_ns(EV_SUM_CYCLES_PER_VECTOR * vectors_read)
+        if vectors_read == 0:
+            pooled = np.zeros(
+                (len(sparse_batch), num_tables * self.dim), dtype=np.float32
+            )
+            self.controller.stats.record_useful(0)
+            sim.run(until=start)
+            return LookupResult(
+                pooled=pooled,
+                elapsed_ns=ev_sum_ns,
+                vectors_read=0,
+                path="fast",
+            )
+        flat_indices = np.concatenate(
+            [np.asarray(cell, dtype=np.int64) for cell in cells if len(cell)]
+        )
+        table_ids = np.tile(np.arange(num_tables), len(sparse_batch))
+        flat_tables = np.repeat(table_ids, lengths)
+        # Fig. 6 translation, batched per table.
+        device_offsets = np.empty(vectors_read, dtype=np.int64)
+        for table_id in range(num_tables):
+            members = np.flatnonzero(flat_tables == table_id)
+            if members.size:
+                device_offsets[members] = self.translator.translate_array(
+                    table_id, flat_indices[members]
+                )
+        physical_pages, cols = self.controller.translate_vector_offsets(
+            device_offsets, ev_size
+        )
+        channel_ids, die_ids = self.controller.geometry.split_page_indices(
+            physical_pages
+        )
+        # Timing: serialize the shared FTL stage, then replay the
+        # two-phase flash protocol per channel.
+        enter_ns = self.controller.serve_ftl_batch(vectors_read)
+        transfer_ns = np.full(
+            vectors_read, timing.vector_transfer_ns(ev_size)
+        )
+        _, end = fastpath.replay_reads(
+            self.controller.flash,
+            enter_ns,
+            channel_ids,
+            die_ids,
+            transfer_ns,
+            staged=True,
+        )
+        self.controller.stats.record_vector_reads(
+            vectors_read, vectors_read * ev_size
+        )
+        self.controller.stats.record_useful(vectors_read * ev_size)
+        sim.run(until=end)
+        elapsed = sim.now - start
+        # EV Sum: gather rows from the flash pages, then reduce each
+        # (sample, table) segment strictly left to right.
+        rows = self.controller.flash.peek_vectors(physical_pages, cols, ev_size)
+        mode = self.pooling
+        pooled = segment_pool(rows, lengths, mode).reshape(
+            len(sparse_batch), num_tables * self.dim
+        )
+        return LookupResult(
+            pooled=pooled,
+            elapsed_ns=elapsed + ev_sum_ns,
+            vectors_read=vectors_read,
+            path="fast",
         )
 
     # ------------------------------------------------------------------

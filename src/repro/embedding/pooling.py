@@ -6,6 +6,13 @@ mean).  ``sparse_length_sum`` is the reference operator the host
 framework runs (Facebook's SLS); the in-device EV Sum unit must produce
 bit-identical results, which it does because fp32 addition is performed
 in the same left-to-right order.
+
+The vectorized operators (`pool_sum`, `segment_pool`, `sls_batch`)
+preserve that contract: they reduce strictly left to right in fp32
+(``np.add.accumulate`` and a per-position masked sweep are sequential
+by definition, unlike ``np.add.reduce``, whose pairwise summation can
+reassociate on contiguous axes), so they match the per-row loop bit
+for bit — pinned by ``tests/test_pooling_vectorized.py``.
 """
 
 from __future__ import annotations
@@ -22,6 +29,19 @@ def pool_sum(vectors: np.ndarray) -> np.ndarray:
 
     Accumulates in index order so hardware and host agree bitwise.
     """
+    vectors = np.asarray(vectors, dtype=np.float32)
+    if vectors.ndim != 2:
+        raise ValueError("expected a 2-D array of vectors")
+    if len(vectors) == 0:
+        return np.zeros(vectors.shape[1], dtype=np.float32)
+    # The trailing ``+ 0.0`` reproduces the reference loop's leading
+    # ``0.0 + row``: it only matters for the sign of zero results.
+    return np.add.accumulate(vectors, axis=0)[-1] + np.float32(0.0)
+
+
+def pool_sum_reference(vectors: np.ndarray) -> np.ndarray:
+    """The original per-row accumulation loop, kept as the bitwise
+    reference :func:`pool_sum` is tested against."""
     vectors = np.asarray(vectors, dtype=np.float32)
     if vectors.ndim != 2:
         raise ValueError("expected a 2-D array of vectors")
@@ -52,6 +72,43 @@ def pool(vectors: np.ndarray, mode: str = POOLING_SUM) -> np.ndarray:
     if mode == POOLING_MEAN:
         return pool_mean(vectors)
     raise ValueError(f"unknown pooling mode {mode!r}")
+
+
+def segment_pool(
+    rows: np.ndarray, lengths: np.ndarray, mode: str = POOLING_SUM
+) -> np.ndarray:
+    """Pool consecutive row segments, strictly left to right per segment.
+
+    ``rows`` is ``(sum(lengths), dim)``; segment ``i`` owns the next
+    ``lengths[i]`` rows.  Returns ``(len(lengths), dim)`` float32.  The
+    reduction sweeps position-by-position (all segments' row 0, then
+    row 1, ...), which performs exactly the additions of a per-segment
+    ``acc += row`` loop, in the same order — the EV Sum contract.
+    Empty segments pool to zeros; in ``"mean"`` mode non-empty segments
+    are divided by their length (empty ones stay zeros, matching
+    :func:`sparse_length_sum`).
+    """
+    if mode not in (POOLING_SUM, POOLING_MEAN):
+        raise ValueError(f"unknown pooling mode {mode!r}")
+    rows = np.asarray(rows, dtype=np.float32)
+    if rows.ndim != 2:
+        raise ValueError("expected a 2-D array of rows")
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if int(lengths.sum()) != len(rows):
+        raise ValueError(
+            f"segment lengths cover {int(lengths.sum())} rows, got {len(rows)}"
+        )
+    segments = len(lengths)
+    pooled = np.zeros((segments, rows.shape[1]), dtype=np.float32)
+    starts = np.zeros(segments, dtype=np.int64)
+    np.cumsum(lengths[:-1], out=starts[1:])
+    longest = int(lengths.max()) if segments else 0
+    for position in range(longest):
+        active = np.flatnonzero(lengths > position)
+        pooled[active] += rows[starts[active] + position]
+    if mode == POOLING_MEAN:
+        pooled /= np.maximum(lengths, 1).astype(np.float32)[:, None]
+    return pooled
 
 
 def sparse_length_sum(
@@ -91,8 +148,40 @@ def sls_batch(
 ) -> np.ndarray:
     """Batched SLS: ``batch_indices[sample][table] -> indices``.
 
-    Returns ``batch x (M * dim)``.
+    Returns ``batch x (M * dim)``.  One gather plus one segment
+    reduction per table instead of a per-sample Python loop; bitwise
+    identical to stacking :func:`sls_all_tables` over the samples.
     """
-    return np.stack(
-        [sls_all_tables(tables, sample, mode) for sample in batch_indices]
-    )
+    samples = len(batch_indices)
+    if samples == 0:
+        # Preserve np.stack's empty-batch error from the scalar path.
+        return np.stack([])
+    num_tables = len(tables)
+    for sample in batch_indices:
+        if len(sample) != num_tables:
+            raise ValueError(
+                f"{len(sample)} index lists for {num_tables} tables"
+            )
+    dim = tables.dim
+    out = np.empty((samples, num_tables * dim), dtype=np.float32)
+    for position, table in enumerate(tables):
+        lengths = np.fromiter(
+            (len(sample[position]) for sample in batch_indices),
+            dtype=np.int64,
+            count=samples,
+        )
+        if int(lengths.sum()):
+            flat = np.concatenate(
+                [
+                    np.asarray(sample[position], dtype=np.int64)
+                    for sample in batch_indices
+                    if len(sample[position])
+                ]
+            )
+            rows = table.lookup(flat)
+        else:
+            rows = np.zeros((0, table.dim), dtype=np.float32)
+        out[:, position * dim : (position + 1) * dim] = segment_pool(
+            rows, lengths, mode
+        )
+    return out

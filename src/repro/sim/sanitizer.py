@@ -34,6 +34,8 @@ import math
 import os
 from typing import TYPE_CHECKING, Dict, Optional, Set
 
+import numpy as np
+
 from repro.sim.engine import SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -205,6 +207,30 @@ class Sanitizer:
         self._l2p[lba] = physical
         self._p2l[physical] = lba
 
+    def on_translate_array(
+        self,
+        lbas,
+        physicals,
+        total_pages: int,
+        component: str = "FlashTranslationLayer",
+    ) -> None:
+        """Batched :meth:`on_translate` for the vectorized fast path.
+
+        Checks the same bounds/injectivity invariants; duplicate
+        ``(lba, physical)`` pairs within the batch are checked once.
+        """
+        pairs = np.unique(
+            np.stack(
+                [
+                    np.asarray(lbas, dtype=np.int64),
+                    np.asarray(physicals, dtype=np.int64),
+                ]
+            ),
+            axis=1,
+        )
+        for lba, physical in zip(pairs[0].tolist(), pairs[1].tolist()):
+            self.on_translate(lba, physical, total_pages, component=component)
+
     # ------------------------------------------------------------------
     # Per-channel queue conservation
     # ------------------------------------------------------------------
@@ -223,6 +249,18 @@ class Sanitizer:
                 f"completed {counters[1]} requests but only "
                 f"{counters[0]} were enqueued",
             )
+
+    def channel_batch(self, channel: str, count: int) -> None:
+        """Account an atomically-replayed fast-path batch.
+
+        The vectorized fast path completes a whole batch in one step,
+        so its requests are enqueued and completed together; queue
+        conservation still holds at every observable instant.
+        """
+        self.checks += 1
+        counters = self._channels.setdefault(channel, [0, 0])
+        counters[0] += count
+        counters[1] += count
 
     def channel_in_flight(self, channel: str) -> int:
         enqueued, completed = self._channels.get(channel, (0, 0))

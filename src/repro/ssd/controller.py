@@ -14,9 +14,12 @@ every :class:`repro.ssd.fmc.ReadRequest`.
 
 from __future__ import annotations
 
-from typing import Generator, List, Optional
+from typing import Generator, List, Optional, Tuple
+
+import numpy as np
 
 from repro.sim import Server, Simulator
+from repro.ssd import fastpath
 from repro.ssd.flash import FlashArray
 from repro.ssd.fmc import EVFlashMemoryController, ReadRequest
 from repro.ssd.ftl import FlashTranslationLayer
@@ -54,6 +57,40 @@ class SSDController:
         return self._ftl_server.serve(
             self.timing.cycles_to_ns(self.ftl.lookup_cycles)
         )
+
+    def serve_ftl_batch(self, count: int) -> np.ndarray:
+        """Fast-path replay of ``count`` FTL MUX passes issued now.
+
+        Returns the times each request leaves the shared FTL stage (in
+        issue order), updating the server's bookkeeping exactly as the
+        DES would; see :func:`repro.ssd.fastpath.serialize_server`.
+        """
+        return fastpath.serialize_server(
+            self._ftl_server,
+            count,
+            self.timing.cycles_to_ns(self.ftl.lookup_cycles),
+        )
+
+    def translate_vector_offsets(self, byte_offsets, size: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched address resolution of :meth:`read_vector_proc`.
+
+        Maps device byte offsets to ``(physical_pages, cols)`` arrays
+        with the same straddle validation, without simulated time (the
+        FTL stage's timing is replayed by :meth:`serve_ftl_batch`).
+        """
+        byte_offsets = np.asarray(byte_offsets, dtype=np.int64)
+        if byte_offsets.size and int(byte_offsets.min()) < 0:
+            raise ValueError("negative byte offset")
+        page_size = self.geometry.page_size
+        lbas = byte_offsets // page_size
+        cols = byte_offsets % page_size
+        straddlers = cols + size > page_size
+        if byte_offsets.size and bool(straddlers.any()):
+            offset = int(byte_offsets[straddlers][0])
+            raise ValueError(
+                f"vector read at offset {offset} size {size} straddles a page"
+            )
+        return self.ftl.translate_array(lbas), cols
 
     # ------------------------------------------------------------------
     # Functional writes (used to lay out embedding tables / files)

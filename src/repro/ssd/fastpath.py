@@ -1,0 +1,228 @@
+"""Vectorized replay of the two-phase flash read protocol.
+
+The DES path spawns one Python generator process per embedding vector
+read; a realistic batch costs tens of thousands of heap pushes and
+callback dispatches, so the *simulator* — not the simulated SSD —
+becomes the bottleneck.  This module replays the exact same protocol
+(request overhead -> die flush -> shared-bus transfer) without any
+processes: per channel, a small event loop over plain tuples applies
+the same greedy resource semantics as :class:`repro.sim.resources.
+Resource` (FIFO die mutex) and :class:`repro.sim.resources.Server`
+(FIFO channel bus), reproducing the DES event order *and* its float
+arithmetic bit for bit.
+
+Exactness rests on three properties of the kernel:
+
+* Events fire in ``(time, sequence)`` order and sequences are assigned
+  at scheduling time, so within one channel the relative order of the
+  replayed events equals the relative order of the DES events (channel
+  events are only ever scheduled while processing channel events; the
+  per-request entry timeouts are all scheduled up front, in issue
+  order, before any channel event exists).
+* ``Server.serve`` computes ``finish = max(now, free_at) + duration``
+  but resumes the caller at ``now + (finish - now)`` — the replay
+  tracks both quantities instead of assuming the round trip is exact.
+* Sequential float accumulation (``busy_time``, back-to-back server
+  finishes) is replayed with ``np.add.accumulate`` or an explicit
+  left-to-right loop, never with closed-form multiplication.
+
+The fast path is only entered when the event queue is idle (no
+concurrent block I/O sharing the channels); ``RMSSD_FASTPATH=0``
+disables it globally.  See ``docs/performance.md``.
+"""
+# lint: ok-file[R3]  -- this module *is* a (mini) event kernel: the
+# heapq use replays Resource/Server scheduling outside repro.sim by
+# design, with equivalence pinned by tests/test_fastpath_equivalence.
+
+from __future__ import annotations
+
+import heapq
+import os
+from collections import deque
+from typing import List, Tuple
+
+import numpy as np
+
+#: Environment variable that disables the fast path when set to a
+#: falsey value ("0", "false", "off", "no").  Unset means enabled.
+ENV_FLAG = "RMSSD_FASTPATH"
+
+_FALSEY = ("0", "false", "off", "no")
+
+
+def enabled() -> bool:
+    """Whether ``RMSSD_FASTPATH`` allows the vectorized fast path."""
+    return os.environ.get(ENV_FLAG, "1").strip().lower() not in _FALSEY
+
+
+def serialize_server(server, count: int, service_ns: float) -> np.ndarray:
+    """Replay ``count`` back-to-back ``Server.serve`` calls issued *now*.
+
+    Mirrors the DES case where every caller enqueues at the current
+    time (all FTL lookups of a batch are requested in the same
+    scheduling round): job ``i`` finishes at ``max(now, free_at) +
+    (i + 1) * service_ns`` — accumulated sequentially, because float
+    addition does not distribute — and its caller resumes at
+    ``now + (finish_i - now)``.
+
+    Updates the server's ``_free_at``/``busy_time``/``jobs_served``
+    exactly as ``count`` real calls would, and returns the resume
+    (fire) times in issue order.
+    """
+    t0 = server.sim.now
+    steps = np.empty(count + 1, dtype=np.float64)
+    steps[0] = t0 if t0 > server._free_at else server._free_at
+    steps[1:] = service_ns
+    finishes = np.add.accumulate(steps)[1:]
+    busy = np.empty(count + 1, dtype=np.float64)
+    busy[0] = server.busy_time
+    busy[1:] = service_ns
+    if count:
+        server.busy_time = float(np.add.accumulate(busy)[-1])
+        server._free_at = float(finishes[-1])
+        server.jobs_served += count
+    return t0 + (finishes - t0)
+
+
+# Replay event kinds, in the order they occur for one request.
+_ARRIVE, _GRANT, _FLUSH, _DONE = 0, 1, 2, 3
+
+
+def _replay_channel(
+    enter_ns: np.ndarray,
+    die_ids: np.ndarray,
+    transfer_ns: np.ndarray,
+    oh_ns: float,
+    flush_ns: float,
+    num_dies: int,
+    bus_free: float,
+    bus_busy: float,
+    staged: bool,
+) -> Tuple[np.ndarray, float, float, int]:
+    """Replay one channel's reads; returns completion times + bus state.
+
+    ``enter_ns`` (sorted, issue order) carries one entry per request:
+    with ``staged=True`` it is the time the request *enters* the flash
+    stage (an upstream server released it; the request-overhead wait
+    still follows), with ``staged=False`` it is the time the overhead
+    wait already elapsed (the overhead timeouts were scheduled up
+    front, as ``FlashArray.run_reads`` does).
+
+    The entry stream owns the smallest sequence numbers (its DES
+    timeouts were scheduled before any channel event), so on time ties
+    it is drained first; dynamically scheduled events get increasing
+    sequences from ``n`` — matching the kernel's global counter
+    restricted to this channel.
+    """
+    n = len(enter_ns)
+    completion = np.empty(n, dtype=np.float64)
+    heap: List[tuple] = []
+    seq = n
+    ptr = 0
+    die_busy = [False] * num_dies
+    die_waiters = [deque() for _ in range(num_dies)]
+    jobs = 0
+    while ptr < n or heap:
+        if ptr < n and (not heap or enter_ns[ptr] <= heap[0][0]):
+            t = float(enter_ns[ptr])
+            idx = ptr
+            ptr += 1
+            if staged:
+                # Entry processing schedules the overhead timeout.
+                heapq.heappush(heap, (t + oh_ns, seq, _ARRIVE, idx))
+                seq += 1
+                continue
+            kind = _ARRIVE
+        else:
+            t, _, kind, idx = heapq.heappop(heap)
+        if kind == _ARRIVE:
+            # Resource.acquire: grant immediately (a delay-0 event) or
+            # join the die's FIFO wait queue.
+            die = die_ids[idx]
+            if die_busy[die]:
+                die_waiters[die].append(idx)
+            else:
+                die_busy[die] = True
+                heapq.heappush(heap, (t, seq, _GRANT, idx))
+                seq += 1
+        elif kind == _GRANT:
+            heapq.heappush(heap, (t + flush_ns, seq, _FLUSH, idx))
+            seq += 1
+        elif kind == _FLUSH:
+            # Server.serve on the shared bus: note the fire time is
+            # now + (finish - now), not finish.
+            duration = transfer_ns[idx]
+            begin = t if t > bus_free else bus_free
+            finish = begin + duration
+            bus_free = finish
+            bus_busy = bus_busy + duration
+            jobs += 1
+            heapq.heappush(heap, (t + (finish - t), seq, _DONE, idx))
+            seq += 1
+        else:  # _DONE
+            completion[idx] = t
+            # Resource.release: hand the die to the next waiter.
+            die = die_ids[idx]
+            waiters = die_waiters[die]
+            if waiters:
+                heapq.heappush(heap, (t, seq, _GRANT, waiters.popleft()))
+                seq += 1
+            else:
+                die_busy[die] = False
+    return completion, float(bus_free), float(bus_busy), jobs
+
+
+def replay_reads(
+    flash,
+    enter_ns: np.ndarray,
+    channel_ids: np.ndarray,
+    die_ids: np.ndarray,
+    transfer_ns: np.ndarray,
+    staged: bool,
+) -> Tuple[np.ndarray, float]:
+    """Replay a batch of flash reads across channels.
+
+    All arrays are in issue order.  Channels are independent once the
+    entry times are known (the shared upstream FTL stage is serialized
+    by :func:`serialize_server` *before* this call), so each channel
+    replays on its own.  Writes the post-batch bus state back into the
+    flash array's channel servers and mirrors the sanitizer's
+    per-channel accounting; the caller is responsible for advancing
+    the simulation clock (``sim.run(until=end)``).
+
+    Returns ``(completion_ns, end_ns)`` where ``end_ns`` equals the
+    simulated time at which the DES event queue would have drained.
+    """
+    timing = flash.timing
+    sanitizer = flash.sanitizer
+    completion = np.empty(len(enter_ns), dtype=np.float64)
+    for channel in flash.channels:
+        members = np.flatnonzero(channel_ids == channel.index)
+        if members.size == 0:
+            continue
+        channel_transfers = transfer_ns[members]
+        if sanitizer is not None:
+            sanitizer.channel_batch(channel.name, int(members.size))
+            sanitizer.check_latency(
+                channel.name, "request_overhead_ns", timing.request_overhead_ns
+            )
+            sanitizer.check_latency(channel.name, "flush_ns", timing.flush_ns)
+            for value in np.unique(channel_transfers):
+                sanitizer.check_latency(channel.name, "transfer_ns", float(value))
+        done, bus_free, bus_busy, jobs = _replay_channel(
+            enter_ns[members],
+            die_ids[members],
+            channel_transfers,
+            timing.request_overhead_ns,
+            timing.flush_ns,
+            len(channel.dies),
+            channel.bus._free_at,
+            channel.bus.busy_time,
+            staged,
+        )
+        channel.bus._free_at = bus_free
+        channel.bus.busy_time = bus_busy
+        channel.bus.jobs_served += jobs
+        completion[members] = done
+    end = float(completion.max()) if len(enter_ns) else flash.sim.now
+    return completion, end

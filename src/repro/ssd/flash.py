@@ -22,7 +22,10 @@ from __future__ import annotations
 
 from typing import Dict, Generator, List, Optional
 
+import numpy as np
+
 from repro.sim import Resource, Server, Simulator
+from repro.ssd import fastpath
 from repro.ssd.geometry import PhysicalAddress, SSDGeometry
 from repro.ssd.stats import IOStatistics
 from repro.ssd.timing import SSDTimingModel
@@ -90,6 +93,39 @@ class FlashArray:
         if page is None:
             return bytes(size)
         return bytes(page[col : col + size])
+
+    def peek_vectors(self, page_indices, cols, size: int) -> np.ndarray:
+        """Batched functional read of fixed-size fp32 vectors.
+
+        Equivalent to ``np.frombuffer(peek(page, col, size), float32)``
+        per request (unwritten pages read as zeros), as one gather over
+        the touched pages.  ``size`` must be a multiple of 4.
+        """
+        page_size = self.geometry.page_size
+        if size % 4 != 0:
+            raise ValueError(f"vector size {size} is not a whole number of fp32")
+        page_indices = np.asarray(page_indices, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if cols.size and bool(((cols < 0) | (cols + size > page_size)).any()):
+            raise ValueError("read crosses the page boundary")
+        touched, inverse = np.unique(page_indices, return_inverse=True)
+        page_bytes = np.zeros((len(touched), page_size), dtype=np.uint8)
+        for position, page_index in enumerate(touched.tolist()):
+            page = self._pages.get(page_index)
+            if page is not None:
+                page_bytes[position] = np.frombuffer(bytes(page), dtype=np.uint8)
+        if cols.size == 0 or bool((cols % 4 == 0).all()):
+            # Vector-aligned columns (the layout always aligns): gather
+            # whole fp32 words instead of bytes.
+            page_words = page_bytes.view(np.float32)
+            return page_words[
+                inverse[:, None],
+                cols[:, None] // 4 + np.arange(size // 4, dtype=np.int64),
+            ]
+        gathered = page_bytes[
+            inverse[:, None], cols[:, None] + np.arange(size, dtype=np.int64)
+        ]
+        return gathered.view(np.float32)
 
     @property
     def written_pages(self) -> int:
@@ -203,13 +239,24 @@ class FlashArray:
     # ------------------------------------------------------------------
     # Convenience: run a batch of reads to completion, return elapsed ns
     # ------------------------------------------------------------------
-    def run_reads(self, requests, vector: bool) -> float:
+    def run_reads(self, requests, vector: bool, fast: Optional[bool] = None) -> float:
         """Issue ``requests`` concurrently and run the sim to completion.
 
         ``requests`` is an iterable of ``(page_index, col, size)``
         triples for vector reads or plain page indices for page reads.
         Returns elapsed simulated nanoseconds.
+
+        ``fast=None`` defers to the ``RMSSD_FASTPATH`` flag: when the
+        event queue is idle, the batch is replayed by
+        :mod:`repro.ssd.fastpath` (same elapsed time, no per-request
+        processes).  Any in-flight work — e.g. concurrent block I/O —
+        forces the DES path, which is always the reference.
         """
+        requests = list(requests)
+        if fast is None:
+            fast = fastpath.enabled()
+        if fast and requests and self.sim.peek() is None:
+            return self._run_reads_fast(requests, vector)
         start = self.sim.now
         events = []
         for request in requests:
@@ -220,6 +267,40 @@ class FlashArray:
                 events.append(self.sim.process(self.read_page_proc(request)))
         self.sim.run()
         del events
+        return self.sim.now - start
+
+    def _run_reads_fast(self, requests, vector: bool) -> float:
+        """Vectorized replay of :meth:`run_reads` (bitwise-equal time)."""
+        start = self.sim.now
+        count = len(requests)
+        page_size = self.geometry.page_size
+        if vector:
+            pages = np.fromiter((r[0] for r in requests), np.int64, count)
+            cols = np.fromiter((r[1] for r in requests), np.int64, count)
+            sizes = np.fromiter((r[2] for r in requests), np.int64, count)
+            transfer_ns = self.timing.vector_transfer_ns_array(sizes)
+        else:
+            pages = np.fromiter(requests, np.int64, count)
+            cols = np.zeros(count, dtype=np.int64)
+            sizes = np.full(count, page_size, dtype=np.int64)
+            transfer_ns = np.full(count, self.timing.transfer_ns)
+        channel_ids, die_ids = self.geometry.split_page_indices(pages)
+        if bool(((cols < 0) | (cols >= page_size)).any()):
+            bad = int(cols[(cols < 0) | (cols >= page_size)][0])
+            raise ValueError(f"column {bad} out of range [0, {page_size})")
+        if bool(((cols + sizes) > page_size).any()):
+            raise ValueError("read crosses the page boundary")
+        # All request-overhead timeouts are scheduled in the same
+        # round, so every read enters the flash stage at start + OH.
+        enter_ns = np.full(count, start + self.timing.request_overhead_ns)
+        _, end = fastpath.replay_reads(
+            self, enter_ns, channel_ids, die_ids, transfer_ns, staged=False
+        )
+        if vector:
+            self.stats.record_vector_reads(count, int(sizes.sum()))
+        else:
+            self.stats.record_page_reads(count, page_size, to_host=True)
+        self.sim.run(until=end)
         return self.sim.now - start
 
     def address_of(self, address: PhysicalAddress) -> int:

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+import numpy as np
+
 from repro.ssd.geometry import SSDGeometry
 
 
@@ -32,6 +34,15 @@ class LinearMapping:
         if not 0 <= lba < self.geometry.total_pages:
             raise ValueError(f"LBA {lba} out of device range")
         return lba
+
+    def translate_array(self, lbas) -> np.ndarray:
+        """Batched :meth:`translate` (identity after a bounds check)."""
+        lbas = np.asarray(lbas, dtype=np.int64)
+        if lbas.size:
+            bounds = (lbas < 0) | (lbas >= self.geometry.total_pages)
+            if bounds.any():
+                raise ValueError(f"LBA {int(lbas[bounds][0])} out of device range")
+        return lbas.copy()
 
     def map_write(self, lba: int) -> int:
         return self.translate(lba)
@@ -106,6 +117,32 @@ class FlashTranslationLayer:
     def translate(self, lba: int) -> int:
         """LBA (logical page number) -> physical page index."""
         return self._check(lba, self.mapping.translate(lba))
+
+    def translate_array(self, lbas) -> np.ndarray:
+        """Batched translation for the vectorized lookup fast path.
+
+        Uses the mapping's own array method when it has one (the
+        linear mapping translates in O(1) vectorized work); otherwise
+        falls back to per-LBA scalar translation, so page-mapped FTLs
+        keep their exact semantics (including ``KeyError`` on
+        never-written logical space).
+        """
+        lbas = np.asarray(lbas, dtype=np.int64)
+        mapping_batched = getattr(self.mapping, "translate_array", None)
+        if mapping_batched is not None:
+            physical = mapping_batched(lbas)
+        else:
+            physical = np.fromiter(
+                (self.mapping.translate(int(lba)) for lba in lbas),
+                dtype=np.int64,
+                count=len(lbas),
+            )
+        if self.sanitizer is not None:
+            self.sanitizer.on_translate_array(
+                lbas, physical, self.geometry.total_pages,
+                component=type(self.mapping).__name__,
+            )
+        return physical
 
     def map_write(self, lba: int) -> int:
         return self._check(lba, self.mapping.map_write(lba))

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class PhysicalAddress:
@@ -116,6 +118,25 @@ class SSDGeometry:
         rest = rest * self.planes_per_die + address.plane
         rest = rest * self.dies_per_channel + address.die
         return rest * self.channels + address.channel
+
+    def split_page_indices(self, page_indices) -> tuple:
+        """Batched channel/die decode of flat physical page numbers.
+
+        The vectorized counterpart of :meth:`page_index_to_address`
+        restricted to the two timing-relevant coordinates; returns
+        ``(channel_ids, die_ids)`` int64 arrays.
+        """
+        page_indices = np.asarray(page_indices, dtype=np.int64)
+        if page_indices.size:
+            bounds = (page_indices < 0) | (page_indices >= self.total_pages)
+            if bounds.any():
+                bad = int(page_indices[bounds][0])
+                raise ValueError(
+                    f"page index {bad} out of range [0, {self.total_pages})"
+                )
+        channel_ids = page_indices % self.channels
+        die_ids = (page_indices // self.channels) % self.dies_per_channel
+        return channel_ids, die_ids
 
     def byte_to_page(self, byte_offset: int) -> tuple:
         """Split a flat byte offset into ``(logical_page, col)``."""

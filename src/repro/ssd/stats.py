@@ -48,6 +48,18 @@ class IOStatistics:
         self.flash_vector_reads += 1
         self.flash_bus_bytes += ev_size
 
+    def record_page_reads(self, count: int, page_size: int, to_host: bool = True) -> None:
+        """Batch form of :meth:`record_page_read` (integer-exact)."""
+        self.flash_page_reads += count
+        self.flash_bus_bytes += count * page_size
+        if to_host:
+            self.host_read_bytes += count * page_size
+
+    def record_vector_reads(self, count: int, total_bytes: int) -> None:
+        """Batch form of :meth:`record_vector_read` (integer-exact)."""
+        self.flash_vector_reads += count
+        self.flash_bus_bytes += total_bytes
+
     def record_host_transfer(self, read_bytes: int = 0, write_bytes: int = 0) -> None:
         self.host_read_bytes += read_bytes
         self.host_write_bytes += write_bytes

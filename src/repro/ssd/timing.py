@@ -21,6 +21,8 @@ from __future__ import annotations
 import warnings
 from dataclasses import dataclass
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class SSDTimingModel:
@@ -116,6 +118,20 @@ class SSDTimingModel:
 
     def vector_transfer_ns(self, ev_size: int) -> float:
         return self.cycles_to_ns(self.vector_transfer_cycles(ev_size))
+
+    def vector_transfer_ns_array(self, ev_sizes) -> np.ndarray:
+        """Batched :meth:`vector_transfer_ns`.
+
+        Applies the scalar formula's float operations in the same
+        association order, so each element is bitwise identical to the
+        scalar result for that size.
+        """
+        ev_sizes = np.asarray(ev_sizes, dtype=np.float64)
+        if ev_sizes.size and not bool(
+            ((ev_sizes > 0) & (ev_sizes <= self.page_size)).all()
+        ):
+            raise ValueError("vector size out of range")
+        return ((ev_sizes / self.page_size) * self.transfer_cycles) * self.cycle_ns
 
     @property
     def request_overhead_ns(self) -> float:

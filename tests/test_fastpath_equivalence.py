@@ -1,0 +1,348 @@
+"""Differential tests: the vectorized fast path vs the DES, exactly.
+
+The fast path (:mod:`repro.ssd.fastpath` plus the batched lookup
+engine) promises *bitwise* equivalence with the discrete-event
+reference: identical elapsed times, identical pooled outputs, identical
+I/O statistics, and identical resource bookkeeping carried into the
+next batch.  These tests hold it to that promise over a grid of
+geometries, pooling modes and index distributions, plus
+property-based exploration with hypothesis.
+
+The ``smoke``-named subset is run by ``tools/check.sh`` under
+``RMSSD_SANITIZE=1``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from pytest import approx
+
+from repro.core.lookup_engine import EmbeddingLookupEngine
+from repro.embedding.layout import EmbeddingLayout
+from repro.embedding.table import EmbeddingTableSet
+from repro.sim import Simulator
+from repro.ssd import fastpath
+from repro.ssd.blockdev import BlockDevice
+from repro.ssd.controller import SSDController
+from repro.ssd.flash import FlashArray
+from repro.ssd.geometry import SSDGeometry
+
+NUM_TABLES = 3
+ROWS = 96
+DIM = 16
+
+#: Four device shapes: balanced, channel-heavy, die-heavy, and the
+#: degenerate single-channel single-die device (maximal queueing).
+GEOMETRY_SPECS = {
+    "square": dict(
+        channels=4, dies_per_channel=4, planes_per_die=2,
+        blocks_per_plane=8, pages_per_block=8,
+    ),
+    "wide": dict(
+        channels=8, dies_per_channel=2, planes_per_die=1,
+        blocks_per_plane=8, pages_per_block=8,
+    ),
+    "deep": dict(
+        channels=2, dies_per_channel=8, planes_per_die=1,
+        blocks_per_plane=8, pages_per_block=8,
+    ),
+    "single": dict(
+        channels=1, dies_per_channel=1, planes_per_die=1,
+        blocks_per_plane=16, pages_per_block=16,
+    ),
+}
+GEOMETRY_NAMES = sorted(GEOMETRY_SPECS)
+POOLING_MODES = ["sum", "mean"]
+DISTRIBUTIONS = ["uniform", "skewed"]
+
+
+def build_engine(geometry_name, pooling="sum", max_extent_pages=None, dim=DIM):
+    geo = SSDGeometry(**GEOMETRY_SPECS[geometry_name])
+    device = BlockDevice(SSDController(Simulator(), geo), max_extent_pages)
+    tables = EmbeddingTableSet.uniform(NUM_TABLES, ROWS, dim, seed=5)
+    layout = EmbeddingLayout(device, tables)
+    layout.create_all()
+    return EmbeddingLookupEngine(device.controller, layout, pooling=pooling)
+
+
+def make_batch(rng, samples, max_len, dist):
+    high = 8 if dist == "skewed" else ROWS
+    return [
+        [
+            [int(x) for x in rng.integers(0, high, size=rng.integers(0, max_len + 1))]
+            for _ in range(NUM_TABLES)
+        ]
+        for _ in range(samples)
+    ]
+
+
+def assert_equivalent(des_engine, fast_engine, des, fast):
+    """Full-state equivalence after running the same batch both ways."""
+    assert des.path == "des"
+    assert fast.vectors_read == des.vectors_read
+    assert fast.pooled.shape == des.pooled.shape
+    assert fast.pooled.dtype == des.pooled.dtype
+    assert fast.pooled.tobytes() == des.pooled.tobytes()
+    assert fast.elapsed_ns == approx(des.elapsed_ns, rel=0, abs=0)
+    des_sim, fast_sim = des_engine.controller.sim, fast_engine.controller.sim
+    assert fast_sim.now == approx(des_sim.now, rel=0, abs=0)
+    assert fast_engine.controller.stats.as_dict() == (
+        des_engine.controller.stats.as_dict()
+    )
+    # Server bookkeeping must carry into the next batch identically.
+    des_ftl = des_engine.controller._ftl_server
+    fast_ftl = fast_engine.controller._ftl_server
+    assert (fast_ftl._free_at, fast_ftl.busy_time, fast_ftl.jobs_served) == (
+        des_ftl._free_at, des_ftl.busy_time, des_ftl.jobs_served
+    )
+    channels = zip(
+        des_engine.controller.flash.channels,
+        fast_engine.controller.flash.channels,
+    )
+    for des_channel, fast_channel in channels:
+        assert (
+            fast_channel.bus._free_at,
+            fast_channel.bus.busy_time,
+            fast_channel.bus.jobs_served,
+        ) == (
+            des_channel.bus._free_at,
+            des_channel.bus.busy_time,
+            des_channel.bus.jobs_served,
+        )
+
+
+def run_pair(batches, geometry_name, pooling):
+    des_engine = build_engine(geometry_name, pooling)
+    fast_engine = build_engine(geometry_name, pooling)
+    for batch in batches:
+        des = des_engine.lookup_batch(batch, fast=False)
+        fast = fast_engine.lookup_batch(batch, fast=True)
+        assert fast.path == "fast"
+        assert_equivalent(des_engine, fast_engine, des, fast)
+
+
+# ----------------------------------------------------------------------
+# Fixed-seed grid: every geometry x pooling mode x distribution
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("dist", DISTRIBUTIONS)
+@pytest.mark.parametrize("pooling", POOLING_MODES)
+@pytest.mark.parametrize("geometry", GEOMETRY_NAMES)
+def test_grid_equivalence(geometry, pooling, dist):
+    seed = (
+        GEOMETRY_NAMES.index(geometry) * 4
+        + POOLING_MODES.index(pooling) * 2
+        + DISTRIBUTIONS.index(dist)
+    )
+    rng = np.random.default_rng(seed)
+    batches = [make_batch(rng, samples=3, max_len=6, dist=dist) for _ in range(2)]
+    run_pair(batches, geometry, pooling)
+
+
+def test_smoke_equivalence_sum():
+    rng = np.random.default_rng(42)
+    run_pair([make_batch(rng, 2, 4, "uniform")], "square", "sum")
+
+
+def test_smoke_equivalence_mean_skewed():
+    rng = np.random.default_rng(43)
+    run_pair([make_batch(rng, 2, 4, "skewed")], "deep", "mean")
+
+
+def test_smoke_fragmented_layout():
+    des_engine = build_engine("wide", "sum", max_extent_pages=1)
+    fast_engine = build_engine("wide", "sum", max_extent_pages=1)
+    batch = [[[0, 95, 7, 7], [50], list(range(10))]]
+    des = des_engine.lookup_batch(batch, fast=False)
+    fast = fast_engine.lookup_batch(batch, fast=True)
+    assert fast.path == "fast"
+    assert_equivalent(des_engine, fast_engine, des, fast)
+
+
+@pytest.mark.parametrize("dim", [1, 8, 64])
+def test_ev_size_variation_equivalent(dim):
+    """Different EV sizes change transfer times and page packing; the
+    replay and gather must stay exact for all of them."""
+    rng = np.random.default_rng(dim)
+    batch = make_batch(rng, samples=2, max_len=5, dist="uniform")
+    des_engine = build_engine("square", dim=dim)
+    fast_engine = build_engine("square", dim=dim)
+    des = des_engine.lookup_batch(batch, fast=False)
+    fast = fast_engine.lookup_batch(batch, fast=True)
+    assert fast.path == "fast"
+    assert_equivalent(des_engine, fast_engine, des, fast)
+
+
+def test_multi_batch_state_carryover():
+    """Three consecutive batches: bookkeeping from batch N must place
+    batch N+1 identically on both paths."""
+    rng = np.random.default_rng(9)
+    batches = [make_batch(rng, 2, 5, dist) for dist in ("uniform", "skewed", "uniform")]
+    run_pair(batches, "square", "sum")
+
+
+def test_all_empty_lookups_equivalent():
+    """Zero vectors read: the fast path still matches the DES."""
+    batch = [[[], [], []], [[], [], []]]
+    des_engine = build_engine("square")
+    fast_engine = build_engine("square")
+    des = des_engine.lookup_batch(batch, fast=False)
+    fast = fast_engine.lookup_batch(batch, fast=True)
+    assert fast.path == "fast"
+    assert fast.vectors_read == 0
+    assert_equivalent(des_engine, fast_engine, des, fast)
+
+
+# ----------------------------------------------------------------------
+# Property-based exploration (fixed derandomized seeds)
+# ----------------------------------------------------------------------
+def batch_strategy(index_strategy):
+    sample = st.lists(
+        st.lists(index_strategy, min_size=0, max_size=6),
+        min_size=NUM_TABLES,
+        max_size=NUM_TABLES,
+    )
+    return st.lists(sample, min_size=1, max_size=3)
+
+
+@given(
+    batch=batch_strategy(st.integers(0, ROWS - 1)),
+    geometry=st.sampled_from(GEOMETRY_NAMES),
+    pooling=st.sampled_from(POOLING_MODES),
+)
+@settings(deadline=None, max_examples=25, derandomize=True)
+def test_property_uniform_indices(batch, geometry, pooling):
+    run_pair([batch], geometry, pooling)
+
+
+@given(
+    batch=batch_strategy(st.integers(0, 3)),
+    geometry=st.sampled_from(GEOMETRY_NAMES),
+    pooling=st.sampled_from(POOLING_MODES),
+)
+@settings(deadline=None, max_examples=25, derandomize=True)
+def test_property_hot_indices(batch, geometry, pooling):
+    """All lookups hammer the same few rows (worst-case contention)."""
+    run_pair([batch], geometry, pooling)
+
+
+# ----------------------------------------------------------------------
+# Routing: when the fast path must NOT be taken
+# ----------------------------------------------------------------------
+def test_smoke_background_block_io_forces_des():
+    engine = build_engine("square")
+    controller = engine.controller
+    sim = controller.sim
+    batch = [[[0, 1], [2], [3]]]
+    controller.sim.process(controller.read_block_proc(0))
+    assert sim.peek() is not None
+    first = engine.lookup_batch(batch, fast=True)
+    assert first.path == "des"
+    # The DES run drained the queue; the next batch may go fast.
+    assert sim.peek() is None
+    second = engine.lookup_batch(batch, fast=True)
+    assert second.path == "fast"
+
+
+def test_keep_history_forces_des():
+    engine = build_engine("square")
+    engine.controller.fmc.keep_history = True
+    result = engine.lookup_batch([[[0], [1], [2]]], fast=True)
+    assert result.path == "des"
+
+
+def test_env_flag_gates_default(monkeypatch):
+    batch = [[[0], [1], [2]]]
+    monkeypatch.setenv(fastpath.ENV_FLAG, "0")
+    assert not fastpath.enabled()
+    engine = build_engine("square")
+    assert engine.lookup_batch(batch).path == "des"
+    monkeypatch.setenv(fastpath.ENV_FLAG, "off")
+    assert not fastpath.enabled()
+    monkeypatch.setenv(fastpath.ENV_FLAG, "1")
+    assert fastpath.enabled()
+    assert engine.lookup_batch(batch).path == "fast"
+    monkeypatch.delenv(fastpath.ENV_FLAG)
+    assert fastpath.enabled()
+
+
+def test_explicit_fast_argument_overrides_env(monkeypatch):
+    monkeypatch.setenv(fastpath.ENV_FLAG, "0")
+    engine = build_engine("square")
+    result = engine.lookup_batch([[[0], [1], [2]]], fast=True)
+    assert result.path == "fast"
+
+
+# ----------------------------------------------------------------------
+# FlashArray.run_reads: both request shapes
+# ----------------------------------------------------------------------
+def make_flash(geometry_name="square", written_pages=40):
+    geo = SSDGeometry(**GEOMETRY_SPECS[geometry_name])
+    flash = FlashArray(Simulator(), geo)
+    rng = np.random.default_rng(7)
+    for page in range(min(written_pages, geo.total_pages)):
+        flash.write_page(page, rng.bytes(geo.page_size))
+    return flash
+
+
+def assert_flash_equivalent(des_flash, fast_flash, t_des, t_fast):
+    assert t_fast == approx(t_des, rel=0, abs=0)
+    assert fast_flash.sim.now == approx(des_flash.sim.now, rel=0, abs=0)
+    assert fast_flash.stats.as_dict() == des_flash.stats.as_dict()
+    for des_channel, fast_channel in zip(des_flash.channels, fast_flash.channels):
+        assert (
+            fast_channel.bus._free_at,
+            fast_channel.bus.busy_time,
+            fast_channel.bus.jobs_served,
+        ) == (
+            des_channel.bus._free_at,
+            des_channel.bus.busy_time,
+            des_channel.bus.jobs_served,
+        )
+
+
+@pytest.mark.parametrize("geometry", GEOMETRY_NAMES)
+def test_run_reads_vector_equivalence(geometry):
+    des_flash = make_flash(geometry)
+    fast_flash = make_flash(geometry)
+    pages = min(40, des_flash.geometry.total_pages)
+    rng = np.random.default_rng(3)
+    requests = [
+        (int(rng.integers(0, pages)), int(rng.integers(0, 63)) * 64, 64)
+        for _ in range(50)
+    ]
+    t_des = des_flash.run_reads(requests, vector=True, fast=False)
+    t_fast = fast_flash.run_reads(list(requests), vector=True, fast=True)
+    assert_flash_equivalent(des_flash, fast_flash, t_des, t_fast)
+
+
+def test_smoke_run_reads_page_equivalence():
+    des_flash = make_flash()
+    fast_flash = make_flash()
+    rng = np.random.default_rng(4)
+    requests = [int(x) for x in rng.integers(0, 40, size=30)]
+    t_des = des_flash.run_reads(requests, vector=False, fast=False)
+    t_fast = fast_flash.run_reads(list(requests), vector=False, fast=True)
+    assert_flash_equivalent(des_flash, fast_flash, t_des, t_fast)
+
+
+def test_run_reads_consecutive_batches_equivalent():
+    des_flash = make_flash()
+    fast_flash = make_flash()
+    rng = np.random.default_rng(5)
+    for _ in range(3):
+        requests = [
+            (int(rng.integers(0, 40)), int(rng.integers(0, 31)) * 128, 128)
+            for _ in range(20)
+        ]
+        t_des = des_flash.run_reads(requests, vector=True, fast=False)
+        t_fast = fast_flash.run_reads(list(requests), vector=True, fast=True)
+        assert_flash_equivalent(des_flash, fast_flash, t_des, t_fast)
+
+
+def test_run_reads_fast_validates_bounds():
+    flash = make_flash()
+    with pytest.raises(ValueError):
+        flash.run_reads([(0, 4090, 64)], vector=True, fast=True)
+    with pytest.raises(ValueError):
+        flash.run_reads([(0, -4, 64)], vector=True, fast=True)

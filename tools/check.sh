@@ -11,5 +11,8 @@ python -m tools.lint src tests benchmarks
 echo "== compile =="
 python -m compileall -q src tools tests benchmarks
 
+echo "== fast-path differential smoke (RMSSD_SANITIZE=1) =="
+RMSSD_SANITIZE=1 python -m pytest -x -q tests/test_fastpath_equivalence.py -k smoke
+
 echo "== tests (RMSSD_SANITIZE=1) =="
 RMSSD_SANITIZE=1 python -m pytest -x -q
