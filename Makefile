@@ -1,9 +1,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint compile test bench bench-fast
+.PHONY: check lint compile test bench bench-fast trace-smoke
 
-check: lint compile test
+check: lint compile test trace-smoke
 
 lint:
 	$(PYTHON) -m tools.lint src tests benchmarks
@@ -19,3 +19,14 @@ bench:
 
 bench-fast:
 	$(PYTHON) -m pytest benchmarks/bench_fastpath_speedup.py -q -s
+
+# Tiny traced RMC1 run; validates the exported trace/metrics JSON
+# (balanced B/E, monotonic timestamps, required spans, schema).
+trace-smoke:
+	RMSSD_TRACE=1 $(PYTHON) -m repro run rmc1 --backend rm-ssd \
+		--requests 2 --rows 64 --no-compute \
+		--trace-out /tmp/rmssd_trace_smoke.json \
+		--metrics-out /tmp/rmssd_metrics_smoke.json
+	PYTHONPATH=src:. $(PYTHON) -m tools.check_trace /tmp/rmssd_trace_smoke.json \
+		--require request translate flash_read ev_sum bottom_mlp top_mlp \
+		--metrics /tmp/rmssd_metrics_smoke.json

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Any, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 
 def format_si(value: float, digits: int = 3) -> str:
@@ -23,14 +23,23 @@ def format_si(value: float, digits: int = 3) -> str:
 
 
 def format_seconds(ns: float) -> str:
-    """Nanoseconds -> human-readable duration."""
+    """Nanoseconds -> human-readable duration.
+
+    Sign-preserving, and sub-nanosecond values keep their significant
+    digits instead of rounding to ``0ns`` (per-cycle quantities at
+    multi-GHz clocks are fractions of a nanosecond).
+    """
+    if ns < 0:
+        return "-" + format_seconds(-ns)
     if ns >= 1e9:
         return f"{ns / 1e9:.2f}s"
     if ns >= 1e6:
         return f"{ns / 1e6:.2f}ms"
     if ns >= 1e3:
         return f"{ns / 1e3:.2f}us"
-    return f"{ns:.0f}ns"
+    if ns >= 1 or ns == 0:
+        return f"{ns:.0f}ns"
+    return f"{ns:.3g}ns"
 
 
 class Table:
@@ -63,6 +72,41 @@ class Table:
 
     def print(self) -> None:
         emit(self.render())
+
+
+def stage_breakdown_table(
+    title: str,
+    breakdown: Dict[str, float],
+    per_inference: Optional[int] = None,
+) -> Table:
+    """Fig. 11-style stage-time breakdown as a :class:`Table`.
+
+    ``breakdown`` maps stage name to accumulated simulated
+    nanoseconds; rows are sorted largest-first with each stage's share
+    of the stage-time sum (stages overlap under pipelining, so the sum
+    exceeds wall time — the shares say where the work went, not where
+    the wall clock went).  ``per_inference`` additionally amortizes
+    each stage over that many inferences.
+    """
+    columns = ["stage", "time", "share"]
+    if per_inference:
+        columns.append("per-inference")
+    table = Table(title, columns)
+    total = sum(breakdown.values())
+    for stage, value in sorted(breakdown.items(), key=lambda kv: (-kv[1], kv[0])):
+        row = [
+            stage,
+            format_seconds(value),
+            f"{value / total:.1%}" if total else "-",
+        ]
+        if per_inference:
+            row.append(format_seconds(value / per_inference))
+        table.add_row(*row)
+    row = ["(sum)", format_seconds(total), "100.0%" if total else "-"]
+    if per_inference:
+        row.append(format_seconds(total / per_inference))
+    table.add_row(*row)
+    return table
 
 
 def emit(*blocks: Any) -> None:

@@ -45,11 +45,15 @@ class RMSSDBackend(InferenceBackend):
         geometry: Optional[SSDGeometry] = None,
         ssd_timing: Optional[SSDTimingModel] = None,
         fastpath: Optional[bool] = None,
+        tracer=None,
+        metrics=None,
     ) -> None:
         super().__init__(model, costs)
         self.name = "RM-SSD" if mlp_design == MLP_DESIGN_OPTIMIZED else "RM-SSD-Naive"
         # ``fastpath=None`` defers to RMSSD_FASTPATH; vector reads then
         # take the DES-equivalent vectorized path when channels are idle.
+        # ``tracer``/``metrics`` flow straight to the device (see
+        # repro.obs): spans on the simulated clock, latency histograms.
         self.device = RMSSD(
             model,
             lookups_per_table,
@@ -58,6 +62,8 @@ class RMSSDBackend(InferenceBackend):
             mlp_design=mlp_design,
             use_des=use_des,
             fastpath=fastpath,
+            tracer=tracer,
+            metrics=metrics,
         )
         self.stats = self.device.stats
 

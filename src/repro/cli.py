@@ -18,7 +18,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.analysis.report import Table, format_si
+from repro.analysis.report import Table, format_si, stage_breakdown_table
 from repro.models import MODEL_CONFIGS, build_model, get_config
 from repro.workloads.inputs import RequestGenerator
 
@@ -35,7 +35,7 @@ BACKEND_CHOICES = (
 )
 
 
-def _build_backend(name: str, model, config):
+def _build_backend(name: str, model, config, tracer=None, metrics=None):
     from repro.baselines import (
         DRAMBackend,
         EMBMMIOBackend,
@@ -59,10 +59,14 @@ def _build_backend(name: str, model, config):
     if name == "recssd":
         return RecSSDBackend(model)
     if name == "rm-ssd":
-        return RMSSDBackend(model, config.lookups_per_table, use_des=False)
+        return RMSSDBackend(
+            model, config.lookups_per_table, use_des=False,
+            tracer=tracer, metrics=metrics,
+        )
     if name == "rm-ssd-naive":
         return RMSSDBackend(
-            model, config.lookups_per_table, mlp_design="naive", use_des=False
+            model, config.lookups_per_table, mlp_design="naive", use_des=False,
+            tracer=tracer, metrics=metrics,
         )
     if name == "dram":
         return DRAMBackend(model)
@@ -134,7 +138,21 @@ def cmd_search(args) -> int:
 def cmd_run(args) -> int:
     config = get_config(args.model)
     model = build_model(config, rows_per_table=args.rows)
-    backend = _build_backend(args.backend, model, config)
+    tracer = metrics = None
+    if args.trace_out:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+    if args.metrics_out:
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+    if (tracer or metrics) and args.backend not in ("rm-ssd", "rm-ssd-naive"):
+        print(f"note: backend {args.backend!r} is not instrumented; "
+              "trace/metrics cover the I/O statistics only")
+    backend = _build_backend(
+        args.backend, model, config, tracer=tracer, metrics=metrics
+    )
     generator = RequestGenerator(
         config, args.rows, hot_access_fraction=args.locality, seed=args.seed
     )
@@ -147,15 +165,25 @@ def cmd_run(args) -> int:
     print(f"throughput:     {result.qps:.0f} QPS")
     print(f"per-request:    {result.latency_per_request_ns / 1e6:.3f} ms")
     if result.breakdown:
-        parts = ", ".join(
-            f"{k}={v:.0%}" for k, v in sorted(result.breakdown_fractions().items())
-            if v > 0.005
-        )
-        print(f"breakdown:      {parts}")
+        stage_breakdown_table(
+            f"{result.system}: stage breakdown (Fig. 11)",
+            result.breakdown,
+            per_inference=result.inferences,
+        ).print()
     print(f"host traffic:   read {format_si(result.stats.host_read_bytes)}B / "
           f"write {format_si(result.stats.host_write_bytes)}B")
     if result.stats.read_amplification:
         print(f"read amp:       {result.stats.read_amplification:.1f}x")
+    if tracer is not None:
+        path = tracer.export_chrome(args.trace_out)
+        print(f"trace:          {path} ({len(tracer)} spans; "
+              "open in ui.perfetto.dev)")
+    if metrics is not None:
+        metrics.gauge("run.qps").set(result.qps)
+        metrics.counter("run.inferences").inc(result.inferences)
+        metrics.absorb_io(result.stats)
+        path = metrics.export_json(args.metrics_out)
+        print(f"metrics:        {path}")
     return 0
 
 
@@ -323,6 +351,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument("--no-compute", action="store_true",
                        help="skip numeric outputs (timing only)")
+    p_run.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="write a Chrome-trace/Perfetto JSON of the run")
+    p_run.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write latency histograms + I/O counters as JSON")
     p_run.set_defaults(func=cmd_run)
 
     p_sweep = sub.add_parser("sweep", help="batch-size sweep")

@@ -26,6 +26,7 @@ import numpy as np
 from repro.core.lookup_engine import EmbeddingLookupEngine, flash_read_cycles
 from repro.core.mlp_engine import MLPAccelerationEngine
 from repro.core.registers import MMIOCostModel, MMIOManager
+from repro.obs import resolve_tracer
 from repro.embedding.layout import EmbeddingLayout
 from repro.fpga.decompose import decompose_model
 from repro.fpga.search import kernel_search
@@ -111,6 +112,8 @@ class RMSSD:
         mmio_costs: MMIOCostModel = MMIOCostModel(),
         sanitize: Optional[bool] = None,
         fastpath: Optional[bool] = None,
+        tracer=None,
+        metrics=None,
     ) -> None:
         if mlp_design not in (MLP_DESIGN_OPTIMIZED, MLP_DESIGN_NAIVE):
             raise ValueError(f"unknown MLP design {mlp_design!r}")
@@ -124,11 +127,19 @@ class RMSSD:
         #: block I/O is still in flight (see repro.ssd.fastpath).
         self.fastpath = fastpath
 
+        # ``tracer=None`` defers to the RMSSD_TRACE environment flag
+        # (see repro.obs); ``metrics`` is an optional MetricsRegistry
+        # that accumulates latency histograms across infer_batch calls.
+        self.tracer = resolve_tracer(tracer)
+        self.metrics = metrics
+
         # ``sanitize=None`` defers to the RMSSD_SANITIZE environment
         # flag (see repro.sim.sanitizer); the substrate built from this
         # simulator inherits its invariant checks.
         self.sim = Simulator(sanitize=sanitize)
-        self.controller = SSDController(self.sim, geometry, ssd_timing)
+        self.controller = SSDController(
+            self.sim, geometry, ssd_timing, tracer=self.tracer
+        )
         self.blockdev = BlockDevice(self.controller, max_extent_pages=max_extent_pages)
         self.layout = EmbeddingLayout(self.blockdev, model.tables)
         self.layout.create_all()
@@ -245,11 +256,12 @@ class RMSSD:
         nbatch = len(sparse_batch)
         if nbatch < 1:
             raise ValueError("empty batch")
+        batch_start = self.sim.now
 
         # Host -> device: control registers + DMA of indices/dense.
-        io_ns = self.mmio.write_register("num_lookups", self.lookups_per_table)
-        io_ns += self.mmio.write_register("nbatch", nbatch)
-        io_ns += self.mmio.dma_to_device(self._input_bytes(sparse_batch))
+        send_ns = self.mmio.write_register("num_lookups", self.lookups_per_table)
+        send_ns += self.mmio.write_register("nbatch", nbatch)
+        send_ns += self.mmio.dma_to_device(self._input_bytes(sparse_batch))
 
         # Embedding Lookup Engine.
         lookup = self.lookup_engine.lookup_batch(sparse_batch, fast=self.fastpath)
@@ -277,18 +289,128 @@ class RMSSD:
             top_ns = self.settings.cycles_to_ns(max(compute, stream) * nbatch)
 
         # Device -> host: status poll + result DMA.
-        io_ns += self.mmio.poll_status()
-        io_ns += self.mmio.dma_from_device(self._output_bytes(nbatch))
+        recv_ns = self.mmio.poll_status()
+        recv_ns += self.mmio.dma_from_device(self._output_bytes(nbatch))
 
         timing = DeviceTiming(
             nbatch=nbatch,
             emb_ns=emb_ns,
             bot_ns=bot_ns,
             top_ns=top_ns,
-            io_ns=io_ns,
+            io_ns=send_ns + recv_ns,
             serialized=self.mlp_design == MLP_DESIGN_NAIVE,
         )
+        if self.tracer.enabled:
+            self._emit_request_spans(
+                batch_start, timing, send_ns, recv_ns, lookup.path
+            )
+        if self.metrics is not None:
+            self._observe_metrics(timing)
         return outputs, timing
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def _emit_request_spans(
+        self,
+        batch_start: float,
+        timing: DeviceTiming,
+        send_ns: float,
+        recv_ns: float,
+        lookup_path: str,
+    ) -> None:
+        """Span tree of one device batch.
+
+        The root ``request`` span covers the batch's unpipelined
+        latency on a lane of the ``host`` track group (concurrent
+        requests render side by side); ``io_send``/``io_recv`` nest at
+        its edges.  The MLP chains get their own ``mlp`` track group so
+        they can overlap the embedding spans (which live on ``emb``,
+        emitted by the lookup engine) without breaking track nesting.
+        """
+        tracer = self.tracer
+        end = batch_start + timing.latency_ns
+        track = tracer.lane_track("host", batch_start, end)
+        tracer.add_span(
+            "request",
+            batch_start,
+            end,
+            cat="host",
+            track=track,
+            args={
+                "nbatch": timing.nbatch,
+                "design": self.mlp_design,
+                "lookup_path": lookup_path,
+            },
+        )
+        tracer.add_span(
+            "io_send", batch_start, batch_start + send_ns, cat="io", track=track
+        )
+        tracer.add_span("io_recv", end - recv_ns, end, cat="io", track=track)
+        if timing.serialized:
+            # The naive shared-GEMM design runs after the embedding
+            # stage drains; there is no per-layer decomposition to show.
+            mlp_start = batch_start + timing.emb_ns
+            mlp_end = mlp_start + timing.top_ns
+            mlp_track = tracer.lane_track("mlp", mlp_start, mlp_end)
+            tracer.add_span(
+                "top_mlp",
+                mlp_start,
+                mlp_end,
+                cat="mlp",
+                track=mlp_track,
+                args={"design": MLP_DESIGN_NAIVE},
+            )
+            return
+        self._emit_chain_spans("bottom_mlp", "bottom", batch_start, timing.nbatch)
+        top_start = batch_start + max(timing.emb_ns, timing.bot_ns)
+        self._emit_chain_spans("top_mlp", "top", top_start, timing.nbatch)
+
+    def _emit_chain_spans(
+        self, name: str, chain: str, chain_start: float, nbatch: int
+    ) -> None:
+        """One FC chain: pairs laid end to end, members overlaid.
+
+        A composition pair advances in the time of its slower member
+        (Fig. 9b), so both members start together and the shorter one
+        nests inside the longer — the trace shows exactly where the
+        scan-direction composition saves time.
+        """
+        pairs = self.mlp_engine.layer_intervals(chain, nbatch)
+        if not pairs:
+            return
+        total = sum(max(d for _, d in pair) for pair in pairs)
+        tracer = self.tracer
+        track = tracer.lane_track("mlp", chain_start, chain_start + total)
+        tracer.add_span(
+            name,
+            chain_start,
+            chain_start + total,
+            cat="mlp",
+            track=track,
+            args={"pairs": len(pairs)},
+        )
+        cursor = chain_start
+        for pair in pairs:
+            for layer_name, duration in pair:
+                tracer.add_span(
+                    f"fc:{layer_name}",
+                    cursor,
+                    cursor + duration,
+                    cat="mlp",
+                    track=track,
+                )
+            cursor += max(d for _, d in pair)
+
+    def _observe_metrics(self, timing: DeviceTiming) -> None:
+        metrics = self.metrics
+        metrics.counter("device.batches").inc()
+        metrics.counter("device.inferences").inc(timing.nbatch)
+        metrics.histogram("request_latency_ns").observe(timing.latency_ns)
+        metrics.histogram("stage.emb_ns").observe(timing.emb_ns)
+        metrics.histogram("stage.bot_ns").observe(timing.bot_ns)
+        metrics.histogram("stage.top_ns").observe(timing.top_ns)
+        metrics.histogram("stage.io_ns").observe(timing.io_ns)
 
     def run_workload(
         self,

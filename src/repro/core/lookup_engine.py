@@ -206,12 +206,62 @@ class EmbeddingLookupEngine:
             return self._lookup_batch_fast(sparse_batch)
         return self._lookup_batch_des(sparse_batch)
 
+    def _emit_lookup_spans(
+        self,
+        start: float,
+        elapsed: float,
+        ev_sum_ns: float,
+        vectors_read: int,
+        nbatch: int,
+        path: str,
+        mark,
+    ) -> None:
+        """Span tree of one batched lookup, identical for both paths.
+
+        Every quantity here — ``start``, ``elapsed``, ``ev_sum_ns`` and
+        the server states behind ``emit_batch_spans`` — is bitwise
+        equal between the DES and the fast path (the PR 2 equivalence
+        contract), so the emitted trees match exactly; pinned by
+        ``tests/test_obs_span_equivalence.py``.
+        """
+        tracer = self.controller.tracer
+        end = start + elapsed + ev_sum_ns
+        track = tracer.lane_track("emb", start, end)
+        tracer.add_span(
+            "lookup_batch",
+            start,
+            end,
+            cat="emb",
+            track=track,
+            args={"vectors": vectors_read, "samples": nbatch, "path": path},
+        )
+        tracer.add_span(
+            "translate",
+            start,
+            start,
+            cat="emb",
+            track=track,
+            args={"vectors": vectors_read},
+        )
+        tracer.add_span("flash_read", start, start + elapsed, cat="emb", track=track)
+        tracer.add_span(
+            "ev_sum",
+            start + elapsed,
+            end,
+            cat="emb",
+            track=track,
+            args={"vectors": vectors_read},
+        )
+        self.controller.emit_batch_spans(start, mark)
+
     def _lookup_batch_des(
         self, sparse_batch: Sequence[Sequence[Sequence[int]]]
     ) -> LookupResult:
         """Reference path: one simulation process per vector read."""
         sim = self.controller.sim
         start = sim.now
+        tracer = self.controller.tracer
+        mark = self.controller.batch_mark() if tracer.enabled else None
         proc = sim.process(self._read_all_proc(sparse_batch))
         sim.run()
         raw = proc.value
@@ -233,6 +283,11 @@ class EmbeddingLookupEngine:
         ev_sum_ns = self.controller.timing.cycles_to_ns(
             EV_SUM_CYCLES_PER_VECTOR * vectors_read
         )
+        if tracer.enabled:
+            self._emit_lookup_spans(
+                start, elapsed, ev_sum_ns, vectors_read,
+                len(sparse_batch), "des", mark,
+            )
         return LookupResult(
             pooled=np.stack(pooled_rows),
             elapsed_ns=elapsed + ev_sum_ns,
@@ -252,6 +307,8 @@ class EmbeddingLookupEngine:
         """
         sim = self.controller.sim
         start = sim.now
+        tracer = self.controller.tracer
+        mark = self.controller.batch_mark() if tracer.enabled else None
         num_tables = len(self.tables)
         # Per-(sample, table) lengths and the flat index stream, in
         # issue order (sample-major) — the order the DES creates its
@@ -277,6 +334,10 @@ class EmbeddingLookupEngine:
             )
             self.controller.stats.record_useful(0)
             sim.run(until=start)
+            if tracer.enabled:
+                self._emit_lookup_spans(
+                    start, 0.0, ev_sum_ns, 0, len(sparse_batch), "fast", mark
+                )
             return LookupResult(
                 pooled=pooled,
                 elapsed_ns=ev_sum_ns,
@@ -329,6 +390,11 @@ class EmbeddingLookupEngine:
         pooled = segment_pool(rows, lengths, mode).reshape(
             len(sparse_batch), num_tables * self.dim
         )
+        if tracer.enabled:
+            self._emit_lookup_spans(
+                start, elapsed, ev_sum_ns, vectors_read,
+                len(sparse_batch), "fast", mark,
+            )
         return LookupResult(
             pooled=pooled,
             elapsed_ns=elapsed + ev_sum_ns,

@@ -13,11 +13,12 @@ model zoo (:mod:`repro.models`):
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.fpga.compose import StageTimes, stage_times
+from repro.fpga.compose import StageTimes, pair_layers, stage_times
+from repro.fpga.kernel import batch_cycles
 from repro.fpga.search import KernelSearchResult
 from repro.fpga.specs import FPGASettings
 from repro.models.dlrm import DLRM
@@ -122,3 +123,38 @@ class MLPAccelerationEngine:
 
     def latency_ns(self, nbatch: int) -> float:
         return self.settings.cycles_to_ns(self.stage_times_for(nbatch).latency)
+
+    def layer_intervals(
+        self, chain: str, nbatch: int
+    ) -> List[List[Tuple[str, float]]]:
+        """Composed per-FC-layer times of one chain (``"bottom"``/``"top"``).
+
+        Returns the chain's composition pairs in order; each pair is a
+        list of ``(layer_name, duration_ns)`` members.  A pair occupies
+        the max of its members (Eq. 1b/1c), so summing the pair maxima
+        reproduces the chain stage time — the span emitter in
+        :mod:`repro.core.device` lays pairs end to end and overlays the
+        members, making the scan-direction composition visible in the
+        trace.
+        """
+        if chain not in ("bottom", "top"):
+            raise ValueError(f"unknown FC chain {chain!r}")
+        layers = getattr(self.search.model, chain)
+        return [
+            [
+                (
+                    layer.name,
+                    self.settings.cycles_to_ns(
+                        batch_cycles(
+                            layer.rows,
+                            layer.cols,
+                            layer.kernel,
+                            nbatch,
+                            self.settings,
+                        )
+                    ),
+                )
+                for layer in pair
+            ]
+            for pair in pair_layers(layers)
+        ]

@@ -18,22 +18,37 @@ from dataclasses import dataclass
 from typing import Callable, Generator, List, Optional, Sequence
 
 from repro.fpga.compose import StageTimes
+from repro.obs import resolve_tracer
 from repro.sim import Server, Simulator
 
 
 @dataclass
 class BatchRecord:
-    """Timeline of one batch through the pipeline (ns)."""
+    """Timeline of one batch through the pipeline (ns).
+
+    The ``*_start_ns`` fields record when each stage's *service*
+    began (after any wait for the stage server), so queueing and
+    service time separate cleanly: the queue wait is
+    ``emb_start_ns - arrival_ns``.
+    """
 
     index: int
     arrival_ns: float
+    emb_start_ns: float = 0.0
     emb_done_ns: float = 0.0
+    bot_start_ns: float = 0.0
     bot_done_ns: float = 0.0
+    top_start_ns: float = 0.0
     top_done_ns: float = 0.0
 
     @property
     def latency_ns(self) -> float:
         return self.top_done_ns - self.arrival_ns
+
+    @property
+    def queue_ns(self) -> float:
+        """Time spent waiting before the embedding stage started."""
+        return self.emb_start_ns - self.arrival_ns
 
 
 @dataclass
@@ -78,10 +93,12 @@ class PipelineSimulator:
         emb_ns,
         bot_ns,
         top_ns,
+        tracer=None,
     ) -> None:
         self._emb = self._as_fn(emb_ns)
         self._bot = self._as_fn(bot_ns)
         self._top = self._as_fn(top_ns)
+        self.tracer = resolve_tracer(tracer)
 
     @staticmethod
     def _as_fn(value) -> Callable[[int], float]:
@@ -91,12 +108,13 @@ class PipelineSimulator:
 
     @classmethod
     def from_stage_times(
-        cls, times: StageTimes, cycle_ns: float = 5.0
+        cls, times: StageTimes, cycle_ns: float = 5.0, tracer=None
     ) -> "PipelineSimulator":
         return cls(
             emb_ns=times.temb * cycle_ns,
             bot_ns=times.tbot * cycle_ns,
             top_ns=times.ttop * cycle_ns,
+            tracer=tracer,
         )
 
     def run(
@@ -135,22 +153,80 @@ class PipelineSimulator:
                 yield sim.timeout(record.arrival_ns - sim.now)
 
             def emb_stage() -> Generator:
+                record.emb_start_ns = max(sim.now, emb_server.free_at)
                 yield emb_server.serve(self._emb(record.index))
                 record.emb_done_ns = sim.now
 
             def bot_stage() -> Generator:
                 bot_time = self._bot(record.index)
+                record.bot_start_ns = max(sim.now, bot_server.free_at)
                 if bot_time > 0:
                     yield bot_server.serve(bot_time)
+                else:
+                    record.bot_start_ns = sim.now
                 record.bot_done_ns = sim.now
 
             yield sim.all_of([sim.process(emb_stage()), sim.process(bot_stage())])
             top_time = self._top(record.index)
+            record.top_start_ns = max(sim.now, top_server.free_at)
             if top_time > 0:
                 yield top_server.serve(top_time)
+            else:
+                record.top_start_ns = sim.now
             record.top_done_ns = sim.now
 
         for record in records:
             sim.process(flow(record))
         sim.run()
+        if self.tracer.enabled:
+            self._emit_spans(records)
         return PipelineRunResult(records=records, makespan_ns=sim.now)
+
+    def _emit_spans(self, records: Sequence[BatchRecord]) -> None:
+        """Span tree per batch: queue wait, then the three stages.
+
+        Concurrent in-flight batches land on separate ``serve.req``
+        lanes; the bottom-MLP stage overlaps the embedding stage, so
+        it lives on its own ``serve.bot`` lane group.
+        """
+        tracer = self.tracer
+        for record in records:
+            track = tracer.lane_track(
+                "serve.req", record.arrival_ns, record.top_done_ns
+            )
+            tracer.add_span(
+                "batch",
+                record.arrival_ns,
+                record.top_done_ns,
+                cat="serve",
+                track=track,
+                args={"index": record.index},
+            )
+            if record.emb_start_ns > record.arrival_ns:
+                tracer.add_span(
+                    "queue",
+                    record.arrival_ns,
+                    record.emb_start_ns,
+                    cat="serve",
+                    track=track,
+                )
+            tracer.add_span(
+                "emb", record.emb_start_ns, record.emb_done_ns,
+                cat="serve", track=track,
+            )
+            tracer.add_span(
+                "top", record.top_start_ns, record.top_done_ns,
+                cat="serve", track=track,
+            )
+            if record.bot_done_ns > record.bot_start_ns:
+                bot_track = tracer.lane_track(
+                    "serve.bot", record.bot_start_ns, record.bot_done_ns
+                )
+                tracer.add_span(
+                    "bot",
+                    record.bot_start_ns,
+                    record.bot_done_ns,
+                    cat="serve",
+                    track=bot_track,
+                    args={"index": record.index},
+                )

@@ -67,3 +67,37 @@ class HostPipeline:
         serial = sum(cost.serial_ns for cost in self._costs)
         piped = self.total_ns()
         return serial / piped if piped else 1.0
+
+    def emit_trace(self, tracer, base_ns: float = 0.0) -> float:
+        """Replay the stream as spans on three host-pipeline tracks.
+
+        Each stage is one FIFO resource: pipelined, request *i+1*'s
+        send starts as soon as the send stage frees (the Section IV-D
+        pre-send); serial, it waits for request *i*'s receive.  Spans
+        land on ``host.send`` / ``host.device`` / ``host.recv``
+        starting at ``base_ns``; returns when the last receive ends.
+        """
+        send_free = device_free = recv_free = base_ns
+        for index, cost in enumerate(self._costs):
+            send_start = send_free if self.pipelined else max(send_free, recv_free)
+            send_end = send_start + cost.send_ns
+            device_start = max(send_end, device_free)
+            device_end = device_start + cost.device_ns
+            recv_start = max(device_end, recv_free)
+            recv_end = recv_start + cost.receive_ns
+            if tracer.enabled:
+                args = {"request": index}
+                tracer.add_span(
+                    "send", send_start, send_end,
+                    cat="host", track="host.send", args=args,
+                )
+                tracer.add_span(
+                    "device", device_start, device_end,
+                    cat="host", track="host.device", args=args,
+                )
+                tracer.add_span(
+                    "recv", recv_start, recv_end,
+                    cat="host", track="host.recv", args=args,
+                )
+            send_free, device_free, recv_free = send_end, device_end, recv_end
+        return recv_free

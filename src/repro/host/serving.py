@@ -31,6 +31,9 @@ class LoadPoint:
     p95_ns: float
     p99_ns: float
     mean_ns: float
+    #: Mean wait before the embedding stage started serving — the
+    #: queueing component of the latency (service time is the rest).
+    mean_queue_ns: float = 0.0
 
     def meets_sla(self, sla_ns: float, quantile: float = 99.0) -> bool:
         value = {50.0: self.p50_ns, 95.0: self.p95_ns, 99.0: self.p99_ns}[quantile]
@@ -46,11 +49,18 @@ class ServingSimulator:
         cycle_ns: float = 5.0,
         nbatch: int = 1,
         seed: int = 0,
+        tracer=None,
+        metrics=None,
     ) -> None:
-        self.pipeline = PipelineSimulator.from_stage_times(times, cycle_ns)
+        self.pipeline = PipelineSimulator.from_stage_times(
+            times, cycle_ns, tracer=tracer
+        )
         self.nbatch = max(1, nbatch)
         self.saturation_qps = times.throughput_qps(1e9 / cycle_ns)
         self._seed = seed
+        #: Optional MetricsRegistry: every offered_load() feeds the
+        #: ``serving.latency_ns`` / ``serving.queue_ns`` histograms.
+        self.metrics = metrics
 
     def offered_load(self, qps: float, queries: int = 200) -> LoadPoint:
         """Latency distribution at an offered Poisson load of ``qps``.
@@ -69,6 +79,14 @@ class ServingSimulator:
         arrivals = np.cumsum(gaps) - gaps[0]
         result = self.pipeline.run(batches, arrival_times_ns=list(arrivals))
         latencies = [r.latency_ns for r in result.records]
+        queue_waits = [r.queue_ns for r in result.records]
+        if self.metrics is not None:
+            latency_histogram = self.metrics.histogram("serving.latency_ns")
+            queue_histogram = self.metrics.histogram("serving.queue_ns")
+            for latency, wait in zip(latencies, queue_waits):
+                latency_histogram.observe(latency)
+                queue_histogram.observe(wait)
+            self.metrics.counter("serving.batches").inc(batches)
         elapsed_s = result.makespan_ns / 1e9
         return LoadPoint(
             offered_qps=qps,
@@ -77,6 +95,7 @@ class ServingSimulator:
             p95_ns=percentile(latencies, 95),
             p99_ns=percentile(latencies, 99),
             mean_ns=sum(latencies) / len(latencies),
+            mean_queue_ns=sum(queue_waits) / len(queue_waits),
         )
 
     def load_sweep(

@@ -1,0 +1,50 @@
+"""Observability for the simulated device: span tracing + metrics.
+
+Two pieces, both keyed to the *simulated* clock:
+
+* :mod:`repro.obs.tracer` — nested spans with category/args, exported
+  as Chrome-trace/Perfetto JSON (``trace.json``).  Enabled via the
+  ``RMSSD_TRACE=1`` environment flag or an explicit ``tracer=`` kwarg;
+  the :data:`NULL_TRACER` makes disabled runs free.
+* :mod:`repro.obs.metrics` — named counters, gauges, and fixed-bucket
+  latency histograms (p50/p95/p99/max), absorbing
+  :class:`repro.ssd.stats.IOStatistics` snapshots so device traffic
+  and latency export as one ``metrics.json``.
+
+See ``docs/observability.md`` for the API tour, the span taxonomy, and
+how to open traces in Perfetto.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BOUNDS_NS,
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    MetricsRegistry,
+)
+from repro.obs.tracer import (
+    ENV_FLAG,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    global_tracer,
+    resolve_tracer,
+    tracing_from_env,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BOUNDS_NS",
+    "ENV_FLAG",
+    "Gauge",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "global_tracer",
+    "resolve_tracer",
+    "tracing_from_env",
+]

@@ -1,0 +1,238 @@
+"""Metrics registry: named counters, gauges, latency histograms.
+
+Companion to the span tracer: where the tracer answers "where did this
+*one* request's simulated time go", the registry answers "what is the
+*distribution*" — p50/p95/p99/max request latency, per-stage time
+histograms, and device-traffic counters — in one exportable structure.
+:class:`repro.ssd.stats.IOStatistics` snapshots are absorbed whole
+(:meth:`MetricsRegistry.absorb_io`), so device traffic and latency
+live side by side in ``metrics.json``.
+
+Histograms use *fixed* bucket boundaries (upper-inclusive, like
+Prometheus ``le`` buckets) so observation cost is one bisect plus two
+integer increments, independent of how many values arrive.  Quantiles
+interpolate linearly inside the bucket that crosses the target rank,
+with the edge buckets tightened to the observed min/max — exact for
+single-bucket data, conservative otherwise.  The boundary semantics
+are pinned by ``tests/test_obs_metrics.py``.
+
+All durations are simulated nanoseconds, matching the tracer and the
+SSD substrate.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence
+
+
+def _default_bounds_ns() -> List[float]:
+    """1-2-5 series from 100 ns to 10 s — wide enough for any stage
+    time the simulator produces at either end."""
+    bounds: List[float] = []
+    decade = 100.0
+    while decade <= 1e10:
+        for mantissa in (1.0, 2.0, 5.0):
+            bounds.append(decade * mantissa)
+        decade *= 10.0
+    return bounds
+
+
+#: Default histogram boundaries (ns), shared by every latency metric.
+DEFAULT_BOUNDS_NS: Sequence[float] = tuple(_default_bounds_ns())
+
+
+class Counter:
+    """Monotonic named counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins named value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with interpolated quantiles.
+
+    Bucket ``i`` covers ``(bounds[i-1], bounds[i]]`` (bucket 0 starts
+    at 0), plus one overflow bucket above ``bounds[-1]``.
+    """
+
+    def __init__(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> None:
+        self.name = name
+        chosen = list(DEFAULT_BOUNDS_NS if bounds is None else bounds)
+        if not chosen:
+            raise ValueError("histogram needs at least one bucket bound")
+        if chosen != sorted(chosen) or len(set(chosen)) != len(chosen):
+            raise ValueError("bucket bounds must be strictly increasing")
+        if chosen[0] <= 0:
+            raise ValueError("bucket bounds must be positive")
+        self.bounds: List[float] = chosen
+        self.counts: List[int] = [0] * (len(chosen) + 1)
+        self.count = 0
+        self.total_ns = 0.0
+        self.min_ns = float("inf")
+        self.max_ns = 0.0
+
+    def observe(self, value_ns: float) -> None:
+        """Record one latency observation (simulated ns, >= 0)."""
+        if value_ns < 0:
+            raise ValueError(f"negative latency {value_ns}")
+        self.counts[bisect_left(self.bounds, value_ns)] += 1
+        self.count += 1
+        self.total_ns += value_ns
+        if value_ns < self.min_ns:
+            self.min_ns = value_ns
+        if value_ns > self.max_ns:
+            self.max_ns = value_ns
+
+    @property
+    def mean_ns(self) -> float:
+        return self.total_ns / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (0-100) by in-bucket interpolation.
+
+        Returns 0.0 for an empty histogram.  The first and last
+        non-empty buckets are tightened to the observed min/max, so a
+        distribution confined to one bucket reports exact quantiles.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        if self.count == 0:
+            return 0.0
+        target = q / 100.0 * self.count
+        if target <= 0:
+            return self.min_ns
+        first_nonempty = next(
+            i for i, c in enumerate(self.counts) if c
+        )
+        last_nonempty = max(i for i, c in enumerate(self.counts) if c)
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= target:
+                lower = self.bounds[index - 1] if index > 0 else 0.0
+                upper = (
+                    self.bounds[index]
+                    if index < len(self.bounds)
+                    else self.max_ns
+                )
+                if index == first_nonempty:
+                    lower = max(lower, self.min_ns)
+                if index == last_nonempty:
+                    upper = min(upper, self.max_ns)
+                fraction = (target - cumulative) / bucket_count
+                return lower + fraction * (upper - lower)
+            cumulative += bucket_count
+        return self.max_ns  # unreachable; defensive
+
+    def summary(self) -> dict:
+        """The export payload: count, mean, quantiles, extremes."""
+        return {
+            "count": self.count,
+            "mean_ns": self.mean_ns,
+            "p50_ns": self.percentile(50.0),
+            "p95_ns": self.percentile(95.0),
+            "p99_ns": self.percentile(99.0),
+            "min_ns": self.min_ns if self.count else 0.0,
+            "max_ns": self.max_ns,
+        }
+
+    def as_dict(self) -> dict:
+        data = self.summary()
+        data["buckets"] = [
+            {"le_ns": bound, "count": count}
+            for bound, count in zip(self.bounds, self.counts)
+            if count
+        ]
+        overflow = self.counts[-1]
+        if overflow:
+            data["buckets"].append({"le_ns": None, "count": overflow})
+        return data
+
+
+class MetricsRegistry:
+    """Named metrics, get-or-create, exported as one JSON document."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, LatencyHistogram] = {}
+        self._snapshots: Dict[str, dict] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name)
+        return gauge
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> LatencyHistogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = LatencyHistogram(name, bounds)
+        return histogram
+
+    def absorb(self, name: str, payload: dict) -> None:
+        """Attach a point-in-time snapshot dict (e.g. I/O counters)."""
+        self._snapshots[name] = dict(payload)
+
+    def absorb_io(self, stats, name: str = "io") -> None:
+        """Absorb an :class:`~repro.ssd.stats.IOStatistics` (or one of
+        its frozen snapshots) under ``snapshots[name]``."""
+        self.absorb(name, stats.as_dict())
+
+    def as_dict(self) -> dict:
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: gauge.value
+                for name, gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: histogram.as_dict()
+                for name, histogram in sorted(self._histograms.items())
+            },
+            "snapshots": dict(sorted(self._snapshots.items())),
+        }
+
+    def export_json(self, path: str) -> str:
+        """Write the registry as ``metrics.json``; returns the path."""
+        with open(path, "w") as handle:
+            json.dump(self.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path

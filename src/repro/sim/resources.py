@@ -72,6 +72,16 @@ class Server:
         self.busy_time = 0.0
         self.jobs_served = 0
 
+    @property
+    def free_at(self) -> float:
+        """When the server finishes its last accepted job (read-only).
+
+        A job offered now starts at ``max(now, free_at)`` — the
+        observability layer uses this to separate queueing from
+        service time without re-deriving server state.
+        """
+        return self._free_at
+
     def serve(self, duration: float) -> Event:
         """Enqueue a job of ``duration``; event fires at completion."""
         if duration < 0:

@@ -13,13 +13,14 @@ from repro.ssd.flash import FlashArray
 from repro.ssd.ftl import FlashTranslationLayer, LinearMapping, PageMapping
 from repro.ssd.geometry import PhysicalAddress, SSDGeometry
 from repro.ssd.pagecache import LRUPageCache
-from repro.ssd.stats import IOStatistics
+from repro.ssd.stats import IOSnapshot, IOStatistics
 from repro.ssd.timing import SSDTimingModel
 
 __all__ = [
     "BlockDevice",
     "FlashArray",
     "FlashTranslationLayer",
+    "IOSnapshot",
     "IOStatistics",
     "LRUPageCache",
     "LinearMapping",

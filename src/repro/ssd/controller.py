@@ -18,6 +18,7 @@ from typing import Generator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs import resolve_tracer
 from repro.sim import Server, Simulator
 from repro.ssd import fastpath
 from repro.ssd.flash import FlashArray
@@ -38,10 +39,14 @@ class SSDController:
         timing: Optional[SSDTimingModel] = None,
         ftl: Optional[FlashTranslationLayer] = None,
         stats: Optional[IOStatistics] = None,
+        tracer=None,
     ) -> None:
         self.sim = sim
         self.geometry = geometry or SSDGeometry()
         self.stats = stats if stats is not None else IOStatistics()
+        #: Span tracer (``None`` defers to the RMSSD_TRACE flag via
+        #: :func:`repro.obs.resolve_tracer`; disabled -> no-op tracer).
+        self.tracer = resolve_tracer(tracer)
         self.timing = timing or SSDTimingModel(page_size=self.geometry.page_size)
         self.flash = FlashArray(sim, self.geometry, self.timing, self.stats)
         self.ftl = ftl or FlashTranslationLayer(self.geometry)
@@ -70,6 +75,60 @@ class SSDController:
             count,
             self.timing.cycles_to_ns(self.ftl.lookup_cycles),
         )
+
+    # ------------------------------------------------------------------
+    # Observability: FTL / channel spans for one batch
+    # ------------------------------------------------------------------
+    def batch_mark(self) -> Tuple[int, Tuple[int, ...]]:
+        """Bookkeeping mark taken before a batch, for span emission.
+
+        Captures job counts only; the corresponding *times* are read
+        from the servers' ``free_at`` after the batch, which the fast
+        path writes back bitwise-identically to the DES (PR 2's
+        equivalence contract) — so the spans derived from a mark are
+        identical on both paths by construction.
+        """
+        return (
+            self._ftl_server.jobs_served,
+            tuple(channel.bus.jobs_served for channel in self.flash.channels),
+        )
+
+    def emit_batch_spans(self, start_ns: float, mark) -> None:
+        """Emit ``ftl`` and per-channel spans for work since ``mark``.
+
+        The FTL span covers the shared MUX stage from batch issue to
+        its last job's departure; each channel span covers that
+        channel's bus from issue to its final transfer, with the job
+        count and accumulated bus busy time as arguments.  Channels
+        are concurrent, so each lives on its own track.
+        """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return
+        ftl_jobs_before, channel_jobs_before = mark
+        ftl_jobs = self._ftl_server.jobs_served - ftl_jobs_before
+        if ftl_jobs > 0:
+            tracer.add_span(
+                "ftl",
+                start_ns,
+                self._ftl_server.free_at,
+                cat="ssd",
+                track="ssd.ftl",
+                args={"jobs": ftl_jobs},
+            )
+        for channel, jobs_before in zip(
+            self.flash.channels, channel_jobs_before
+        ):
+            jobs = channel.bus.jobs_served - jobs_before
+            if jobs > 0:
+                tracer.add_span(
+                    channel.name,
+                    start_ns,
+                    channel.bus.free_at,
+                    cat="ssd",
+                    track=f"ssd.{channel.name}",
+                    args={"jobs": jobs},
+                )
 
     def translate_vector_offsets(self, byte_offsets, size: int) -> Tuple[np.ndarray, np.ndarray]:
         """Batched address resolution of :meth:`read_vector_proc`.

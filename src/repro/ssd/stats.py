@@ -15,9 +15,78 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+#: The raw counters, in declaration order (shared by the live
+#: :class:`IOStatistics` and the frozen :class:`IOSnapshot`).
+COUNTER_FIELDS = (
+    "host_read_bytes",
+    "host_write_bytes",
+    "flash_page_reads",
+    "flash_vector_reads",
+    "flash_bus_bytes",
+    "useful_bytes",
+    "cache_hits",
+    "cache_misses",
+)
+
+
+class IOView:
+    """Derived traffic metrics over the raw counters.
+
+    Mixed into both the live mutable counters and their frozen
+    snapshots, so a measurement window (``stats.diff(before)``) answers
+    the same questions as the running totals.
+    """
+
+    @property
+    def read_amplification(self) -> float:
+        """Host-observed read traffic / useful bytes (Fig. 3 metric)."""
+        if self.useful_bytes == 0:
+            return 0.0
+        return self.host_read_bytes / self.useful_bytes
+
+    @property
+    def flash_amplification(self) -> float:
+        """Channel-bus traffic / useful bytes (device-internal view)."""
+        if self.useful_bytes == 0:
+            return 0.0
+        return self.flash_bus_bytes / self.useful_bytes
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def reduction_factor_vs(self, baseline: "IOView") -> float:
+        """Table IV metric: baseline host traffic / this host traffic."""
+        own = self.host_read_bytes
+        if own == 0:
+            return float("inf")
+        return baseline.host_read_bytes / own
+
+    def as_dict(self) -> dict:
+        data = {name: getattr(self, name) for name in COUNTER_FIELDS}
+        data["read_amplification"] = self.read_amplification
+        data["flash_amplification"] = self.flash_amplification
+        data["cache_hit_ratio"] = self.cache_hit_ratio
+        return data
+
+
+@dataclass(frozen=True)
+class IOSnapshot(IOView):
+    """Immutable point-in-time (or interval) copy of the counters."""
+
+    host_read_bytes: int = 0
+    host_write_bytes: int = 0
+    flash_page_reads: int = 0
+    flash_vector_reads: int = 0
+    flash_bus_bytes: int = 0
+    useful_bytes: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
 
 @dataclass
-class IOStatistics:
+class IOStatistics(IOView):
     """Mutable counter bundle shared by a device and its host model."""
 
     #: Bytes moved from the SSD to the host (page reads, DMA results).
@@ -68,41 +137,24 @@ class IOStatistics:
         self.useful_bytes += nbytes
 
     # ------------------------------------------------------------------
-    # Derived metrics
+    # Snapshots (derived metrics live on the shared IOView mixin)
     # ------------------------------------------------------------------
-    @property
-    def read_amplification(self) -> float:
-        """Host-observed read traffic / useful bytes (Fig. 3 metric)."""
-        if self.useful_bytes == 0:
-            return 0.0
-        return self.host_read_bytes / self.useful_bytes
+    def snapshot(self) -> IOSnapshot:
+        """Frozen copy of the counters as they stand now."""
+        return IOSnapshot(
+            **{name: getattr(self, name) for name in COUNTER_FIELDS}
+        )
 
-    @property
-    def flash_amplification(self) -> float:
-        """Channel-bus traffic / useful bytes (device-internal view)."""
-        if self.useful_bytes == 0:
-            return 0.0
-        return self.flash_bus_bytes / self.useful_bytes
-
-    @property
-    def cache_hit_ratio(self) -> float:
-        total = self.cache_hits + self.cache_misses
-        return self.cache_hits / total if total else 0.0
-
-    def reduction_factor_vs(self, baseline: "IOStatistics") -> float:
-        """Table IV metric: baseline host traffic / this host traffic."""
-        own = self.host_read_bytes
-        if own == 0:
-            return float("inf")
-        return baseline.host_read_bytes / own
+    def diff(self, earlier: IOView) -> IOSnapshot:
+        """Counters accumulated since ``earlier`` (a snapshot taken
+        from this bundle), as a frozen measurement window."""
+        return IOSnapshot(
+            **{
+                name: getattr(self, name) - getattr(earlier, name)
+                for name in COUNTER_FIELDS
+            }
+        )
 
     def reset(self) -> None:
-        for name in vars(self):
+        for name in COUNTER_FIELDS:
             setattr(self, name, 0)
-
-    def as_dict(self) -> dict:
-        data = dict(vars(self))
-        data["read_amplification"] = self.read_amplification
-        data["flash_amplification"] = self.flash_amplification
-        data["cache_hit_ratio"] = self.cache_hit_ratio
-        return data

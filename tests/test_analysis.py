@@ -15,7 +15,12 @@ from repro.analysis.metrics import (
     speedup,
     throughput_qps,
 )
-from repro.analysis.report import Table, format_seconds, format_si
+from repro.analysis.report import (
+    Table,
+    format_seconds,
+    format_si,
+    stage_breakdown_table,
+)
 
 
 class TestMetrics:
@@ -77,6 +82,17 @@ class TestReport:
         assert format_seconds(4.7e3) == "4.70us"
         assert format_seconds(500) == "500ns"
 
+    def test_format_seconds_sub_nanosecond(self):
+        # Per-cycle quantities at multi-GHz clocks are fractions of a
+        # nanosecond; they must not round to "0ns".
+        assert format_seconds(0.5) == "0.5ns"
+        assert format_seconds(0.3125) == "0.312ns"
+        assert format_seconds(0) == "0ns"
+
+    def test_format_seconds_negative(self):
+        assert format_seconds(-4.7e3) == "-4.70us"
+        assert format_seconds(-0.5) == "-0.5ns"
+
     def test_table_renders_aligned(self):
         table = Table("Title", ["a", "bb"])
         table.add_row(1, "x")
@@ -96,6 +112,28 @@ class TestReport:
         table.add_row("v")
         table.print()
         assert "col" in capsys.readouterr().out
+
+    def test_stage_breakdown_sorted_with_shares(self):
+        table = stage_breakdown_table(
+            "t", {"emb": 3000.0, "top": 1000.0, "bot": 0.0}
+        )
+        rows = table.rows
+        assert [row[0] for row in rows] == ["emb", "top", "bot", "(sum)"]
+        assert rows[0][1:] == ["3.00us", "75.0%"]
+        assert rows[1][2] == "25.0%"
+        assert rows[-1] == ["(sum)", "4.00us", "100.0%"]
+
+    def test_stage_breakdown_per_inference_column(self):
+        table = stage_breakdown_table(
+            "t", {"emb": 2000.0}, per_inference=4
+        )
+        assert table.columns == ["stage", "time", "share", "per-inference"]
+        assert table.rows[0][3] == "500ns"
+
+    def test_stage_breakdown_empty_total(self):
+        table = stage_breakdown_table("t", {"emb": 0.0})
+        assert table.rows[0][2] == "-"
+        assert table.rows[-1][2] == "-"
 
 
 class TestEnergy:

@@ -150,6 +150,44 @@ class TestR6BenchmarkReporting:
         assert rule_ids(code, path="benchmarks/bench_x.py") == []
 
 
+class TestR7WallClock:
+    def test_time_import_in_core_fires(self):
+        assert rule_ids("import time\n", path="src/repro/core/x.py") == ["R7"]
+
+    def test_datetime_from_import_fires(self):
+        code = "from datetime import datetime\n"
+        assert rule_ids(code, path="src/repro/ssd/x.py") == ["R7"]
+
+    def test_wall_clock_call_fires(self):
+        assert rule_ids("t = time.time()\n", path="src/repro/sim/x.py") == ["R7"]
+
+    def test_monotonic_call_fires_in_obs(self):
+        code = "t0 = time.monotonic_ns()\n"
+        assert rule_ids(code, path="src/repro/obs/x.py") == ["R7"]
+
+    def test_datetime_now_fires(self):
+        code = "stamp = datetime.now()\n"
+        assert rule_ids(code, path="src/repro/core/x.py") == ["R7"]
+
+    def test_outside_sim_packages_is_allowed(self):
+        assert rule_ids("import time\n", path="src/repro/analysis/x.py") == []
+        assert rule_ids("import time\n", path="benchmarks/bench_x.py") == []
+
+    def test_simulated_time_attributes_are_allowed(self):
+        code = "elapsed_ns = sim.now - start_ns\n"
+        assert rule_ids(code, path="src/repro/core/x.py") == []
+
+    def test_unrelated_now_attribute_is_allowed(self):
+        # Only the wall-clock modules' namespaces are banned; sim.now
+        # and arbitrary .now attributes on other objects are the point.
+        code = "t = clock.now()\n"
+        assert rule_ids(code, path="src/repro/core/x.py") == []
+
+    def test_pragma_silences(self):
+        code = "import time  # lint: ok[R7]\n"
+        assert rule_ids(code, path="src/repro/core/x.py") == []
+
+
 class TestEngineMechanics:
     def test_syntax_error_reported_not_raised(self):
         out = violations("def broken(:\n")

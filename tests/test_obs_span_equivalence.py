@@ -1,0 +1,111 @@
+"""Differential span-tree tests: fast path vs DES traces, exactly.
+
+PR 2's equivalence contract says the vectorized lookup fast path is
+undetectable apart from wall-clock time.  Observability extends that
+contract: with tracing on, both paths must emit *identical* span trees
+— same names, same tracks, same simulated timestamps — because every
+span endpoint is derived only from quantities the contract already
+guarantees bitwise-equal (batch start, elapsed, the EV-Sum tail, and
+the FTL/channel server states).  ``Tracer.as_tuples()`` is the
+exact-equality currency.
+"""
+
+import numpy as np
+import pytest
+
+from repro.obs.tracer import Tracer
+from tests.test_fastpath_equivalence import (
+    GEOMETRY_NAMES,
+    build_engine,
+    make_batch,
+)
+
+LOOKUP_SPAN_NAMES = ("lookup_batch", "translate", "flash_read", "ev_sum")
+
+
+def traced_engine(geometry_name, pooling="sum"):
+    engine = build_engine(geometry_name, pooling)
+    # build_engine constructs the controller without a tracer kwarg;
+    # emission reads controller.tracer dynamically, so attach one here.
+    engine.controller.tracer = Tracer()
+    return engine
+
+
+def run_traced_pair(batches, geometry_name, pooling="sum"):
+    des_engine = traced_engine(geometry_name, pooling)
+    fast_engine = traced_engine(geometry_name, pooling)
+    for batch in batches:
+        des = des_engine.lookup_batch(batch, fast=False)
+        fast = fast_engine.lookup_batch(batch, fast=True)
+        assert des.path == "des" and fast.path == "fast"
+    return des_engine.controller.tracer, fast_engine.controller.tracer
+
+
+@pytest.mark.parametrize("geometry_name", GEOMETRY_NAMES)
+def test_span_trees_identical_smoke(geometry_name):
+    rng = np.random.default_rng(11)
+    batches = [make_batch(rng, samples=4, max_len=6, dist="uniform")]
+    des_tracer, fast_tracer = run_traced_pair(batches, geometry_name)
+    assert len(des_tracer) > 0
+    assert fast_tracer.as_tuples() == des_tracer.as_tuples()
+
+
+@pytest.mark.parametrize("dist", ["uniform", "skewed"])
+def test_span_trees_identical_across_consecutive_batches(dist):
+    # Server free_at carries between batches; spans of batch N+1 depend
+    # on batch N leaving identical state on both paths.
+    rng = np.random.default_rng(23)
+    batches = [make_batch(rng, samples=3, max_len=5, dist=dist) for _ in range(3)]
+    des_tracer, fast_tracer = run_traced_pair(batches, "square")
+    assert fast_tracer.as_tuples() == des_tracer.as_tuples()
+
+
+def test_expected_lookup_spans_present():
+    rng = np.random.default_rng(7)
+    des_tracer, _ = run_traced_pair(
+        [make_batch(rng, samples=2, max_len=4, dist="uniform")], "square"
+    )
+    names = {span.name for span in des_tracer.spans}
+    for required in LOOKUP_SPAN_NAMES:
+        assert required in names
+    assert "ftl" in names
+
+
+def test_only_path_arg_differs():
+    rng = np.random.default_rng(3)
+    batches = [make_batch(rng, samples=2, max_len=4, dist="uniform")]
+    des_tracer, fast_tracer = run_traced_pair(batches, "wide")
+    assert len(des_tracer) == len(fast_tracer)
+    for des_span, fast_span in zip(des_tracer.spans, fast_tracer.spans):
+        assert des_span.key() == fast_span.key()
+        assert des_span.cat == fast_span.cat
+        des_args = dict(des_span.args or {})
+        fast_args = dict(fast_span.args or {})
+        assert des_args.pop("path", None) in (None, "des")
+        assert fast_args.pop("path", None) in (None, "fast")
+        assert des_args == fast_args
+
+
+def test_span_nesting_is_exportable(tmp_path):
+    # The emitted tree must satisfy the chrome exporter's proper-nesting
+    # check on every track — partial overlap would raise here.
+    rng = np.random.default_rng(5)
+    des_tracer, fast_tracer = run_traced_pair(
+        [make_batch(rng, samples=3, max_len=5, dist="skewed") for _ in range(2)],
+        "deep",
+    )
+    for label, tracer in (("des", des_tracer), ("fast", fast_tracer)):
+        path = tracer.export_chrome(str(tmp_path / f"{label}.json"))
+        events = tracer.chrome_events()
+        begins = sum(1 for e in events if e["ph"] == "B")
+        ends = sum(1 for e in events if e["ph"] == "E")
+        assert begins == ends > 0, label
+        assert path
+
+
+def test_empty_batch_emits_identical_spans():
+    # The fast path falls back to DES error behaviour for empty
+    # batches, but an all-empty-sample batch traces on both paths.
+    empty = [[[] for _ in range(3)]]
+    des_tracer, fast_tracer = run_traced_pair([empty], "single")
+    assert fast_tracer.as_tuples() == des_tracer.as_tuples()

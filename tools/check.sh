@@ -14,5 +14,14 @@ python -m compileall -q src tools tests benchmarks
 echo "== fast-path differential smoke (RMSSD_SANITIZE=1) =="
 RMSSD_SANITIZE=1 python -m pytest -x -q tests/test_fastpath_equivalence.py -k smoke
 
+echo "== trace smoke (RMSSD_TRACE=1) =="
+RMSSD_TRACE=1 python -m repro run rmc1 --backend rm-ssd \
+    --requests 2 --rows 64 --no-compute \
+    --trace-out /tmp/rmssd_trace_smoke.json \
+    --metrics-out /tmp/rmssd_metrics_smoke.json
+PYTHONPATH=src:. python -m tools.check_trace /tmp/rmssd_trace_smoke.json \
+    --require request translate flash_read ev_sum bottom_mlp top_mlp \
+    --metrics /tmp/rmssd_metrics_smoke.json
+
 echo "== tests (RMSSD_SANITIZE=1) =="
 RMSSD_SANITIZE=1 python -m pytest -x -q

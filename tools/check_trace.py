@@ -1,0 +1,148 @@
+"""Validate a Chrome-trace JSON file (and optionally a metrics file).
+
+The ``trace-smoke`` gate runs a tiny traced inference and pipes the
+resulting ``trace.json`` through this checker:
+
+* the document is valid JSON with a ``traceEvents`` list;
+* every track (pid, tid) has balanced ``B``/``E`` events with
+  non-decreasing timestamps and proper nesting (an ``E`` always closes
+  the most recent open ``B`` of the same name);
+* required span names (``--require``) all appear;
+* with ``--metrics``, the metrics JSON has the registry schema
+  (counters/gauges/histograms/snapshots) and every histogram carries
+  the quantile summary fields.
+
+Exit status 0 on success; 1 with a diagnostic on the first failure.
+
+Usage::
+
+    python -m tools.check_trace trace.json \
+        --require translate flash_read ev_sum \
+        --metrics metrics.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+HISTOGRAM_FIELDS = (
+    "count", "mean_ns", "p50_ns", "p95_ns", "p99_ns", "min_ns", "max_ns",
+)
+
+
+def check_trace(path: str, require: List[str]) -> List[str]:
+    """Returns a list of problems (empty = valid)."""
+    problems: List[str] = []
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as error:
+        return [f"{path}: cannot load: {error}"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return [f"{path}: no traceEvents list"]
+
+    stacks: dict = {}
+    last_ts: dict = {}
+    spans = 0
+    seen_names = set()
+    for index, event in enumerate(events):
+        phase = event.get("ph")
+        if phase == "M":
+            continue
+        if phase not in ("B", "E"):
+            problems.append(f"event {index}: unexpected phase {phase!r}")
+            continue
+        track = (event.get("pid"), event.get("tid"))
+        ts = event.get("ts")
+        name = event.get("name")
+        if not isinstance(ts, (int, float)):
+            problems.append(f"event {index}: missing/invalid ts")
+            continue
+        if ts < last_ts.get(track, float("-inf")):
+            problems.append(
+                f"event {index} ({name!r}): ts {ts} goes backwards on "
+                f"track {track}"
+            )
+        last_ts[track] = ts
+        stack = stacks.setdefault(track, [])
+        if phase == "B":
+            stack.append(name)
+            seen_names.add(name)
+            spans += 1
+        else:
+            if not stack:
+                problems.append(
+                    f"event {index}: E for {name!r} with no open span "
+                    f"on track {track}"
+                )
+            elif stack[-1] != name:
+                problems.append(
+                    f"event {index}: E for {name!r} but innermost open "
+                    f"span is {stack[-1]!r} (track {track})"
+                )
+                stack.pop()
+            else:
+                stack.pop()
+    for track, stack in stacks.items():
+        if stack:
+            problems.append(
+                f"track {track}: {len(stack)} span(s) never closed: {stack}"
+            )
+    if spans == 0:
+        problems.append("trace contains no spans")
+    for name in require:
+        if name not in seen_names:
+            problems.append(f"required span {name!r} missing from trace")
+    return problems
+
+
+def check_metrics(path: str) -> List[str]:
+    problems: List[str] = []
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as error:
+        return [f"{path}: cannot load: {error}"]
+    for section in ("counters", "gauges", "histograms", "snapshots"):
+        if not isinstance(document.get(section), dict):
+            problems.append(f"{path}: missing section {section!r}")
+    for name, histogram in document.get("histograms", {}).items():
+        for field in HISTOGRAM_FIELDS:
+            if field not in histogram:
+                problems.append(
+                    f"{path}: histogram {name!r} missing {field!r}"
+                )
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="check_trace", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("trace", help="Chrome-trace JSON file")
+    parser.add_argument(
+        "--require", nargs="*", default=[],
+        help="span names that must appear in the trace",
+    )
+    parser.add_argument(
+        "--metrics", default=None,
+        help="also validate a metrics JSON export",
+    )
+    args = parser.parse_args(argv)
+    problems = check_trace(args.trace, args.require)
+    if args.metrics:
+        problems += check_metrics(args.metrics)
+    if problems:
+        for problem in problems:
+            print(f"check_trace: {problem}", file=sys.stderr)
+        return 1
+    print(f"check_trace: {args.trace} OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,12 @@ cannot know about:
 * **R6  benchmarks report through the shared path** — ``bench_*.py``
   emits via :mod:`repro.analysis.report` (``Table``/``emit``), never
   bare ``print``, so harness output stays machine-comparable.
+* **R7  no wall clock in simulated-time code** — ``repro.core``,
+  ``repro.ssd``, ``repro.sim`` and ``repro.obs`` model *simulated*
+  nanoseconds; importing ``time``/``datetime`` or calling
+  ``time.time()`` there would leak wall-clock values into results
+  (and silently break trace determinism and the fastpath/DES
+  equivalence).  The clock is ``sim.now``, full stop.
 """
 
 from __future__ import annotations
@@ -323,6 +329,65 @@ class BenchmarkReportRule(Rule):
                 )
 
 
+class WallClockRule(Rule):
+    """R7: simulated-time packages never consult the wall clock."""
+
+    id = "R7"
+    title = "no wall clock in simulated-time code"
+
+    #: Packages whose results must be pure functions of the simulated
+    #: clock (determinism + fastpath/DES equivalence depend on it).
+    SIM_PACKAGES = (
+        ("repro", "core"),
+        ("repro", "ssd"),
+        ("repro", "sim"),
+        ("repro", "obs"),
+    )
+    _BANNED_MODULES = ("time", "datetime")
+    _BANNED_CALLS = (
+        "time", "time_ns",
+        "monotonic", "monotonic_ns",
+        "perf_counter", "perf_counter_ns",
+        "process_time", "process_time_ns",
+        "now", "utcnow", "today",
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not any(ctx.in_module(*parts) for parts in self.SIM_PACKAGES):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    module = alias.name.split(".")[0]
+                    if module in self._BANNED_MODULES:
+                        yield self.violation(
+                            ctx, node,
+                            f"wall-clock module '{module}' imported in "
+                            f"simulated-time code; the clock is sim.now",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                module = (node.module or "").split(".")[0]
+                if module in self._BANNED_MODULES:
+                    yield self.violation(
+                        ctx, node,
+                        f"wall-clock module '{module}' imported in "
+                        f"simulated-time code; the clock is sim.now",
+                    )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._BANNED_CALLS
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in ("time", "datetime", "date")
+            ):
+                yield self.violation(
+                    ctx, node,
+                    f"wall-clock call '{node.func.value.id}."
+                    f"{node.func.attr}()' in simulated-time code; "
+                    f"the clock is sim.now",
+                )
+
+
 ALL_RULES = (
     UnitSuffixRule(),
     FloatTimeEqualityRule(),
@@ -330,6 +395,7 @@ ALL_RULES = (
     FrozenConfigRule(),
     FTLEncapsulationRule(),
     BenchmarkReportRule(),
+    WallClockRule(),
 )
 
 RULES_BY_ID = {rule.id: rule for rule in ALL_RULES}
