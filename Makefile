@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint compile test bench bench-fast trace-smoke
+.PHONY: check lint compile test bench bench-fast bench-vcache trace-smoke
 
 check: lint compile test trace-smoke
 
@@ -19,6 +19,9 @@ bench:
 
 bench-fast:
 	$(PYTHON) -m pytest benchmarks/bench_fastpath_speedup.py -q -s
+
+bench-vcache:
+	$(PYTHON) -m pytest benchmarks/bench_vcache_locality.py -q -s
 
 # Tiny traced RMC1 run; validates the exported trace/metrics JSON
 # (balanced B/E, monotonic timestamps, required spans, schema).

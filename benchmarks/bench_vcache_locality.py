@@ -1,0 +1,123 @@
+"""Fig. 14 companion — the controller-DRAM vector cache under locality.
+
+Stock RM-SSD is locality-invariant (every lookup walks FTL + flash),
+which Fig. 14 shows as a flat line.  The optional hot-vector cache
+(``repro.ssd.vcache``) re-introduces locality sensitivity on the
+*winning* side: hits are served from controller DRAM and skip flash
+entirely, so throughput now rises as the trace gets hotter (low K)
+while never dropping below the stock device.  RecSSD is re-measured as
+the host/SSD-cache reference point.
+
+Shape checks: RM-SSD+cache degrades monotonically toward stock RM-SSD
+as locality drops; stock RM-SSD stays flat; the cache never hurts.
+
+Results land in ``BENCH_vcache.json``.  Not part of ``make bench`` (no
+``benchmark`` fixture); run via ``make bench-vcache``.
+"""
+
+from pytest import approx
+
+from benchmarks.conftest import ROWS_PER_TABLE
+from repro.analysis.charts import line_chart
+from repro.analysis.report import Table, emit, emit_json
+from repro.baselines import RMSSDBackend, RecSSDBackend
+from repro.ssd.vcache import VectorCache
+from repro.workloads import hit_ratio_for_k
+from repro.workloads.inputs import RequestGenerator
+
+KS = (0.0, 0.3, 1.0, 2.0)
+MODEL_KEYS = ("rmc1", "rmc2", "rmc3")
+SYSTEMS = ("RecSSD", "RM-SSD", "RM-SSD+cache")
+#: Same 1%-of-rows sizing rule as RecSSD's host cache, for a fair fight.
+CACHE_FRACTION = 100
+
+
+def _measure(models):
+    qps = {}
+    hit_ratios = {}
+    for key in MODEL_KEYS:
+        config, model = models[key]
+        capacity = max(1, sum(t.rows for t in model.tables) // CACHE_FRACTION)
+        for k in KS:
+            gen = RequestGenerator(
+                config, ROWS_PER_TABLE, hot_access_fraction=hit_ratio_for_k(k), seed=5
+            )
+            requests = gen.requests(5, batch_size=4)
+
+            recssd = RecSSDBackend(model)
+            qps[(key, "RecSSD", k)] = recssd.run(requests, compute=False).qps
+
+            stock = RMSSDBackend(model, config.lookups_per_table, use_des=False)
+            qps[(key, "RM-SSD", k)] = stock.run(requests, compute=False).qps
+
+            cached = RMSSDBackend(
+                model,
+                config.lookups_per_table,
+                use_des=False,
+                vcache=VectorCache(capacity, policy="lru"),
+            )
+            cached.run(requests, compute=False)  # warm the hot set
+            cached.vcache.reset_stats()
+            qps[(key, "RM-SSD+cache", k)] = cached.run(requests, compute=False).qps
+            hit_ratios[(key, k)] = cached.vcache.hit_ratio
+    return qps, hit_ratios
+
+
+def test_vcache_locality_sweep(models):
+    qps, hit_ratios = _measure(models)
+
+    for key in MODEL_KEYS:
+        table = Table(
+            f"Vector cache ({key.upper()}): QPS vs locality K "
+            f"(1% capacity, lru)",
+            ["system", *[f"K={k}" for k in KS]],
+        )
+        for system in SYSTEMS:
+            table.add_row(system, *[f"{qps[(key, system, k)]:.0f}" for k in KS])
+        table.add_row(
+            "cache hit ratio", *[f"{hit_ratios[(key, k)]:.0%}" for k in KS]
+        )
+        table.print()
+        emit(
+            line_chart(
+                {s: [qps[(key, s, k)] for k in KS] for s in SYSTEMS},
+                [f"K={k}" for k in KS],
+                height=8,
+                title=f"Vector cache ({key.upper()}) shape",
+            )
+        )
+
+    for key in MODEL_KEYS:
+        stock = [qps[(key, "RM-SSD", k)] for k in KS]
+        cached = [qps[(key, "RM-SSD+cache", k)] for k in KS]
+        ratios = [hit_ratios[(key, k)] for k in KS]
+        # Stock RM-SSD stays locality-invariant (Fig. 14's flat line).
+        assert max(stock) == approx(min(stock), rel=0.05), key
+        # The cache sees more hits as the trace gets hotter...
+        for hotter, colder in zip(ratios, ratios[1:]):
+            assert hotter >= colder, key
+        # ...and turns them into throughput: rises with locality, and
+        # never drops below the cache-free device.
+        assert cached[0] > cached[-1] * 1.02, key
+        for hotter, colder in zip(cached, cached[1:]):
+            assert hotter >= colder * 0.98, key
+        for with_cache, without in zip(cached, stock):
+            assert with_cache >= without * 0.98, key
+
+    emit_json(
+        "vcache",
+        {
+            "ks": list(KS),
+            "capacity_rule": f"total_rows / {CACHE_FRACTION}",
+            "policy": "lru",
+            "rows_per_table": ROWS_PER_TABLE,
+            "qps": {
+                f"{key}/{system}": [qps[(key, system, k)] for k in KS]
+                for key in MODEL_KEYS
+                for system in SYSTEMS
+            },
+            "hit_ratios": {
+                key: [hit_ratios[(key, k)] for k in KS] for key in MODEL_KEYS
+            },
+        },
+    )

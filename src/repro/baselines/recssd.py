@@ -56,8 +56,10 @@ class RecSSDBackend(InferenceBackend):
         if cache_vectors is None:
             # RecSSD statically partitions its host cache from history;
             # default to ~1% of the index space, enough for the hot set.
+            # Tables may have different row counts, so size from the
+            # actual total rather than extrapolating table 0.
             cache_vectors = max(
-                1, len(model.tables) * model.tables[0].rows // 100
+                1, sum(table.rows for table in model.tables) // 100
             )
         self.host_cache = LRUPageCache(cache_vectors, model.tables.ev_size)
         # RecSSD's optional SSD-side cache (original paper; the RM-SSD
@@ -99,10 +101,12 @@ class RecSSDBackend(InferenceBackend):
             + self.ssd_cache_hit_cycles * ssd_hits
         )
         device_ns = self.ssd_timing.cycles_to_ns(device_cycles)
-        # Host: probe the cache for every lookup, then merge cached
-        # vectors into the returned partial sums.
+        # Host: probe the cache for every lookup — including the ones
+        # the SSD-side cache later absorbs, which still miss the host
+        # cache and pay the probe — then merge cached vectors into the
+        # returned partial sums.
         merge_ns = (
-            (hits + misses) * HOST_PROBE_PER_LOOKUP_NS
+            (hits + ssd_hits + misses) * HOST_PROBE_PER_LOOKUP_NS
             + hits * HOST_MERGE_PER_VECTOR_NS
             + len(self.model.tables) * self.costs.framework_op_ns
         )

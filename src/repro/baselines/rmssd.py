@@ -29,6 +29,7 @@ from repro.core.device import (
 from repro.host.costs import DEFAULT_HOST_COSTS, HostCostModel
 from repro.ssd.geometry import SSDGeometry
 from repro.ssd.timing import SSDTimingModel
+from repro.ssd.vcache import VectorCache
 from repro.workloads.inputs import InferenceRequest
 
 
@@ -47,6 +48,7 @@ class RMSSDBackend(InferenceBackend):
         fastpath: Optional[bool] = None,
         tracer=None,
         metrics=None,
+        vcache: Optional[VectorCache] = None,
     ) -> None:
         super().__init__(model, costs)
         self.name = "RM-SSD" if mlp_design == MLP_DESIGN_OPTIMIZED else "RM-SSD-Naive"
@@ -54,6 +56,9 @@ class RMSSDBackend(InferenceBackend):
         # take the DES-equivalent vectorized path when channels are idle.
         # ``tracer``/``metrics`` flow straight to the device (see
         # repro.obs): spans on the simulated clock, latency histograms.
+        # ``vcache`` enables the optional controller-DRAM hot-vector
+        # cache (repro.ssd.vcache); ``None`` keeps the paper's
+        # cache-free lookup path.
         self.device = RMSSD(
             model,
             lookups_per_table,
@@ -64,8 +69,13 @@ class RMSSDBackend(InferenceBackend):
             fastpath=fastpath,
             tracer=tracer,
             metrics=metrics,
+            vcache=vcache,
         )
         self.stats = self.device.stats
+
+    @property
+    def vcache(self) -> Optional[VectorCache]:
+        return self.device.vcache
 
     @property
     def supported_nbatch(self) -> int:

@@ -35,7 +35,8 @@ BACKEND_CHOICES = (
 )
 
 
-def _build_backend(name: str, model, config, tracer=None, metrics=None):
+def _build_backend(name: str, model, config, tracer=None, metrics=None,
+                   vcache=None):
     from repro.baselines import (
         DRAMBackend,
         EMBMMIOBackend,
@@ -61,12 +62,12 @@ def _build_backend(name: str, model, config, tracer=None, metrics=None):
     if name == "rm-ssd":
         return RMSSDBackend(
             model, config.lookups_per_table, use_des=False,
-            tracer=tracer, metrics=metrics,
+            tracer=tracer, metrics=metrics, vcache=vcache,
         )
     if name == "rm-ssd-naive":
         return RMSSDBackend(
             model, config.lookups_per_table, mlp_design="naive", use_des=False,
-            tracer=tracer, metrics=metrics,
+            tracer=tracer, metrics=metrics, vcache=vcache,
         )
     if name == "dram":
         return DRAMBackend(model)
@@ -150,8 +151,20 @@ def cmd_run(args) -> int:
     if (tracer or metrics) and args.backend not in ("rm-ssd", "rm-ssd-naive"):
         print(f"note: backend {args.backend!r} is not instrumented; "
               "trace/metrics cover the I/O statistics only")
+    vcache = None
+    if args.vcache_vectors > 0:
+        if args.backend in ("rm-ssd", "rm-ssd-naive"):
+            from repro.ssd.vcache import VectorCache
+
+            vcache = VectorCache(
+                args.vcache_vectors, policy=args.vcache_policy
+            )
+        else:
+            print(f"note: backend {args.backend!r} has no controller DRAM; "
+                  "--vcache-vectors ignored")
     backend = _build_backend(
-        args.backend, model, config, tracer=tracer, metrics=metrics
+        args.backend, model, config, tracer=tracer, metrics=metrics,
+        vcache=vcache,
     )
     generator = RequestGenerator(
         config, args.rows, hot_access_fraction=args.locality, seed=args.seed
@@ -174,6 +187,11 @@ def cmd_run(args) -> int:
           f"write {format_si(result.stats.host_write_bytes)}B")
     if result.stats.read_amplification:
         print(f"read amp:       {result.stats.read_amplification:.1f}x")
+    if vcache is not None:
+        print(f"vcache:         {vcache.policy} x{vcache.capacity_vectors} "
+              f"vectors; hit ratio {vcache.hit_ratio:.1%} "
+              f"({vcache.hits} hits / {vcache.misses} misses / "
+              f"{vcache.evictions} evictions)")
     if tracer is not None:
         path = tracer.export_chrome(args.trace_out)
         print(f"trace:          {path} ({len(tracer)} spans; "
@@ -355,6 +373,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a Chrome-trace/Perfetto JSON of the run")
     p_run.add_argument("--metrics-out", default=None, metavar="PATH",
                        help="write latency histograms + I/O counters as JSON")
+    p_run.add_argument("--vcache-vectors", type=int, default=0,
+                       help="controller-DRAM hot-vector cache capacity in "
+                            "vectors (0 = disabled, the paper's design)")
+    p_run.add_argument("--vcache-policy", default="lru",
+                       choices=("lru", "freq", "static"),
+                       help="vector-cache admission/eviction policy")
     p_run.set_defaults(func=cmd_run)
 
     p_sweep = sub.add_parser("sweep", help="batch-size sweep")

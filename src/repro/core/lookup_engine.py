@@ -20,14 +20,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from math import ceil
-from typing import Dict, Generator, List, Optional, Sequence
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.embedding.layout import EmbeddingLayout
 from repro.embedding.pooling import segment_pool
 from repro.embedding.translator import EVTranslator
-from repro.ssd import fastpath
+from repro.ssd import fastpath, vcache as vcache_model
 from repro.ssd.controller import SSDController
 from repro.ssd.geometry import SSDGeometry
 from repro.ssd.timing import SSDTimingModel
@@ -94,12 +94,24 @@ class LookupResult:
     ``path`` records which execution path produced the result:
     ``"des"`` (per-read simulation processes) or ``"fast"`` (the
     vectorized replay, bitwise-equal by construction and by test).
+
+    ``vectors_read`` counts vectors *read from flash*; with a
+    controller-DRAM vector cache configured, ``vcache_hits`` of the
+    batch's lookups were absorbed before translation and fetched from
+    DRAM in ``vcache_ns`` instead (both zero without a cache).
     """
 
     pooled: np.ndarray  # batch x (tables * dim)
     elapsed_ns: float
     vectors_read: int
     path: str = "des"
+    vcache_hits: int = 0
+    vcache_ns: float = 0.0
+
+    @property
+    def total_vectors(self) -> int:
+        """All embedding vectors the batch consumed (flash + cache)."""
+        return self.vectors_read + self.vcache_hits
 
     def elapsed_cycles(self, cycle_ns: float) -> float:
         return self.elapsed_ns / cycle_ns
@@ -139,6 +151,82 @@ class EmbeddingLookupEngine:
         return self.tables.dim
 
     # ------------------------------------------------------------------
+    # Controller-DRAM vector cache (optional; see repro.ssd.vcache)
+    # ------------------------------------------------------------------
+    def _load_vector(self, table_id: int, index: int) -> np.ndarray:
+        """Functional fetch of one embedding vector (no simulated time).
+
+        Used to fill the vector cache on admitted misses: the bytes are
+        identical to what the timed flash read of the same row returns,
+        so cache hits are bit-exact substitutes for flash reads.
+        """
+        read = self.translator.translate(table_id, index)
+        data = self.controller.peek_logical(read.device_offset, read.size)
+        return np.frombuffer(data, dtype=np.float32)
+
+    def _probe_vcache(
+        self, sparse_batch: Sequence[Sequence[Sequence[int]]]
+    ) -> Tuple[Dict[tuple, np.ndarray], List[tuple], int]:
+        """Probe the cache once per lookup, in issue order.
+
+        Returns ``(raw_hits, misses, total)``: hit vectors keyed by
+        ``(sample, table, position)``, the missed lookups as
+        ``(slot, table_id, index)`` in issue order, and the total
+        probe count.  Cache state advances deterministically with the
+        probe sequence, so the DES and fast paths — which call this
+        with identical sequences — observe identical hit sets.
+        """
+        num_tables = len(self.tables)
+        for sample_id, sample in enumerate(sparse_batch):
+            if len(sample) != num_tables:
+                raise ValueError(
+                    f"sample {sample_id}: {len(sample)} index lists for "
+                    f"{num_tables} tables"
+                )
+        cache = self.controller.vcache
+        raw_hits: Dict[tuple, np.ndarray] = {}
+        misses: List[tuple] = []
+        total = 0
+        for sample_id, sample in enumerate(sparse_batch):
+            for table_id, indices in enumerate(sample):
+                for position, index in enumerate(indices):
+                    total += 1
+                    row = int(index)
+                    value = cache.access(
+                        (table_id, row),
+                        lambda t=table_id, r=row: self._load_vector(t, r),
+                    )
+                    if value is not None:
+                        raw_hits[(sample_id, table_id, position)] = value
+                    else:
+                        misses.append(((sample_id, table_id, position), table_id, row))
+        return raw_hits, misses, total
+
+    def _account_vcache(self, hits: int, total: int) -> float:
+        """Record one batch's probe outcome; returns the DRAM fetch ns."""
+        self.controller.stats.record_vcache(hits, total - hits)
+        sanitizer = self.controller.flash.sanitizer
+        if sanitizer is not None:
+            sanitizer.vcache_batch(hits, total)
+        return self.controller.timing.cycles_to_ns(
+            vcache_model.fetch_cycles(hits, self.tables.ev_size)
+        )
+
+    def warm_vcache(self, keys: Sequence[Tuple[int, int]]) -> int:
+        """Pre-fill the vector cache with ``(table_id, index)`` keys.
+
+        The static-hot workflow (RecFlash): profile the trace, pin the
+        hot set, serve.  Returns the resident vector count.
+        """
+        cache = self.controller.vcache
+        if cache is None:
+            raise ValueError("no vector cache configured on this device")
+        return cache.warm(
+            ((int(t), int(i)), self._load_vector(int(t), int(i)))
+            for t, i in keys
+        )
+
+    # ------------------------------------------------------------------
     # Discrete-event execution
     # ------------------------------------------------------------------
     def _read_all_proc(
@@ -176,6 +264,32 @@ class EmbeddingLookupEngine:
             raw[slot] = np.frombuffer(request.data, dtype=np.float32)
         return raw
 
+    def _read_misses_proc(self, misses: Sequence[tuple]) -> Generator:
+        """Process: issue the cache-missed vector reads concurrently.
+
+        ``misses`` is the probe's miss list — ``(slot, table_id, row)``
+        in issue order, so the FTL MUX serves the flash reads in the
+        same order the cache-free DES would serve them.
+        """
+        sim = self.controller.sim
+        events = []
+        slots = []
+        for slot, table_id, row in misses:
+            read = self.translator.translate(table_id, row)
+            events.append(
+                sim.process(
+                    self.controller.read_vector_proc(
+                        read.device_offset, read.size
+                    )
+                )
+            )
+            slots.append(slot)
+        results = yield sim.all_of(events)
+        raw: Dict[tuple, np.ndarray] = {}
+        for slot, request in zip(slots, results):
+            raw[slot] = np.frombuffer(request.data, dtype=np.float32)
+        return raw
+
     def lookup_batch(
         self,
         sparse_batch: Sequence[Sequence[Sequence[int]]],
@@ -203,6 +317,8 @@ class EmbeddingLookupEngine:
             and sim.peek() is None
             and not self.controller.fmc.keep_history
         ):
+            if self.controller.vcache is not None:
+                return self._lookup_batch_fast_vcache(sparse_batch)
             return self._lookup_batch_fast(sparse_batch)
         return self._lookup_batch_des(sparse_batch)
 
@@ -215,6 +331,9 @@ class EmbeddingLookupEngine:
         nbatch: int,
         path: str,
         mark,
+        vcache_hits: int = 0,
+        vcache_ns: float = 0.0,
+        vcache_enabled: bool = False,
     ) -> None:
         """Span tree of one batched lookup, identical for both paths.
 
@@ -223,17 +342,27 @@ class EmbeddingLookupEngine:
         equal between the DES and the fast path (the PR 2 equivalence
         contract), so the emitted trees match exactly; pinned by
         ``tests/test_obs_span_equivalence.py``.
+
+        With the vector cache enabled, a ``vcache`` span covers the
+        DRAM fetch of the hit vectors (overlapping ``flash_read``) and
+        ``ev_sum`` starts when the slower of the two streams drains;
+        with it disabled the tree is byte-identical to the cache-free
+        build.
         """
         tracer = self.controller.tracer
-        end = start + elapsed + ev_sum_ns
+        stage_ns = max(elapsed, vcache_ns) if vcache_enabled else elapsed
+        end = start + stage_ns + ev_sum_ns
         track = tracer.lane_track("emb", start, end)
+        batch_args = {"vectors": vectors_read, "samples": nbatch, "path": path}
+        if vcache_enabled:
+            batch_args["vcache_hits"] = vcache_hits
         tracer.add_span(
             "lookup_batch",
             start,
             end,
             cat="emb",
             track=track,
-            args={"vectors": vectors_read, "samples": nbatch, "path": path},
+            args=batch_args,
         )
         tracer.add_span(
             "translate",
@@ -244,29 +373,56 @@ class EmbeddingLookupEngine:
             args={"vectors": vectors_read},
         )
         tracer.add_span("flash_read", start, start + elapsed, cat="emb", track=track)
+        if vcache_enabled:
+            tracer.add_span(
+                "vcache",
+                start,
+                start + vcache_ns,
+                cat="emb",
+                track=track,
+                args={"hits": vcache_hits},
+            )
         tracer.add_span(
             "ev_sum",
-            start + elapsed,
+            start + stage_ns,
             end,
             cat="emb",
             track=track,
-            args={"vectors": vectors_read},
+            args={"vectors": vectors_read + vcache_hits},
         )
         self.controller.emit_batch_spans(start, mark)
 
     def _lookup_batch_des(
         self, sparse_batch: Sequence[Sequence[Sequence[int]]]
     ) -> LookupResult:
-        """Reference path: one simulation process per vector read."""
+        """Reference path: one simulation process per vector read.
+
+        With a vector cache configured, the batch is probed first (in
+        issue order) and only the misses become read processes; hit
+        vectors are merged back by slot before EV Sum, so pooling still
+        accumulates in lookup order.
+        """
         sim = self.controller.sim
         start = sim.now
         tracer = self.controller.tracer
         mark = self.controller.batch_mark() if tracer.enabled else None
-        proc = sim.process(self._read_all_proc(sparse_batch))
-        sim.run()
-        raw = proc.value
+        vcache = self.controller.vcache
+        if vcache is None:
+            proc = sim.process(self._read_all_proc(sparse_batch))
+            sim.run()
+            raw = proc.value
+            vcache_hits = 0
+            vcache_ns = 0.0
+        else:
+            raw, misses, total = self._probe_vcache(sparse_batch)
+            proc = sim.process(self._read_misses_proc(misses))
+            sim.run()
+            raw.update(proc.value)
+            vcache_hits = total - len(misses)
+            vcache_ns = self._account_vcache(vcache_hits, total)
         elapsed = sim.now - start
-        vectors_read = len(raw)
+        total_vectors = len(raw)
+        vectors_read = total_vectors - vcache_hits
         # EV Sum: accumulate in lookup order for bitwise-stable fp32.
         pooled_rows: List[np.ndarray] = []
         for sample_id, sample in enumerate(sparse_batch):
@@ -279,20 +435,26 @@ class EmbeddingLookupEngine:
                     acc = (acc / np.float32(len(indices))).astype(np.float32)
                 per_table.append(acc)
             pooled_rows.append(np.concatenate(per_table).astype(np.float32))
-        self.controller.stats.record_useful(vectors_read * self.tables.ev_size)
+        self.controller.stats.record_useful(total_vectors * self.tables.ev_size)
         ev_sum_ns = self.controller.timing.cycles_to_ns(
-            EV_SUM_CYCLES_PER_VECTOR * vectors_read
+            EV_SUM_CYCLES_PER_VECTOR * total_vectors
         )
+        stage_ns = elapsed if vcache is None else max(elapsed, vcache_ns)
         if tracer.enabled:
             self._emit_lookup_spans(
                 start, elapsed, ev_sum_ns, vectors_read,
                 len(sparse_batch), "des", mark,
+                vcache_hits=vcache_hits,
+                vcache_ns=vcache_ns,
+                vcache_enabled=vcache is not None,
             )
         return LookupResult(
             pooled=np.stack(pooled_rows),
-            elapsed_ns=elapsed + ev_sum_ns,
+            elapsed_ns=stage_ns + ev_sum_ns,
             vectors_read=vectors_read,
             path="des",
+            vcache_hits=vcache_hits,
+            vcache_ns=vcache_ns,
         )
 
     def _lookup_batch_fast(
@@ -400,6 +562,133 @@ class EmbeddingLookupEngine:
             elapsed_ns=elapsed + ev_sum_ns,
             vectors_read=vectors_read,
             path="fast",
+        )
+
+    def _lookup_batch_fast_vcache(
+        self, sparse_batch: Sequence[Sequence[Sequence[int]]]
+    ) -> LookupResult:
+        """Vectorized path with the controller-DRAM cache enabled.
+
+        Probes the cache in the same issue order as the DES (so both
+        paths observe identical hit sets and cache states), replays
+        only the missed reads through the PR 2 machinery, and fills
+        the hit rows from cached DRAM copies — bitwise-equal pooled
+        outputs, elapsed times, and span trees
+        (``tests/test_vcache_equivalence.py``).
+        """
+        sim = self.controller.sim
+        start = sim.now
+        tracer = self.controller.tracer
+        mark = self.controller.batch_mark() if tracer.enabled else None
+        num_tables = len(self.tables)
+        raw_hits, misses, total = self._probe_vcache(sparse_batch)
+        vectors_read = len(misses)
+        vcache_hits = total - vectors_read
+        ev_size = self.tables.ev_size
+        timing = self.controller.timing
+        ev_sum_ns = timing.cycles_to_ns(EV_SUM_CYCLES_PER_VECTOR * total)
+        vcache_ns = self._account_vcache(vcache_hits, total)
+        if total == 0:
+            pooled = np.zeros(
+                (len(sparse_batch), num_tables * self.dim), dtype=np.float32
+            )
+            self.controller.stats.record_useful(0)
+            sim.run(until=start)
+            if tracer.enabled:
+                self._emit_lookup_spans(
+                    start, 0.0, ev_sum_ns, 0, len(sparse_batch), "fast", mark,
+                    vcache_hits=0, vcache_ns=vcache_ns, vcache_enabled=True,
+                )
+            return LookupResult(
+                pooled=pooled,
+                elapsed_ns=ev_sum_ns,
+                vectors_read=0,
+                path="fast",
+                vcache_hits=0,
+                vcache_ns=vcache_ns,
+            )
+        # Flat row slots in issue order: lookup (sample, table, position)
+        # lands at cell_offset + position, matching both the probe order
+        # and the DES's read-process creation order.
+        lengths = np.fromiter(
+            (len(indices) for sample in sparse_batch for indices in sample),
+            dtype=np.int64,
+            count=len(sparse_batch) * num_tables,
+        )
+        offsets = np.zeros(len(lengths), dtype=np.int64)
+        np.cumsum(lengths[:-1], out=offsets[1:])
+        rows = np.empty((total, self.dim), dtype=np.float32)
+        for (sample_id, table_id, position), vector in raw_hits.items():
+            rows[offsets[sample_id * num_tables + table_id] + position] = vector
+        if vectors_read:
+            miss_tables = np.fromiter(
+                (miss[1] for miss in misses), dtype=np.int64, count=vectors_read
+            )
+            miss_rows = np.fromiter(
+                (miss[2] for miss in misses), dtype=np.int64, count=vectors_read
+            )
+            device_offsets = np.empty(vectors_read, dtype=np.int64)
+            for table_id in range(num_tables):
+                members = np.flatnonzero(miss_tables == table_id)
+                if members.size:
+                    device_offsets[members] = self.translator.translate_array(
+                        table_id, miss_rows[members]
+                    )
+            physical_pages, cols = self.controller.translate_vector_offsets(
+                device_offsets, ev_size
+            )
+            channel_ids, die_ids = self.controller.geometry.split_page_indices(
+                physical_pages
+            )
+            enter_ns = self.controller.serve_ftl_batch(vectors_read)
+            transfer_ns = np.full(
+                vectors_read, timing.vector_transfer_ns(ev_size)
+            )
+            _, end = fastpath.replay_reads(
+                self.controller.flash,
+                enter_ns,
+                channel_ids,
+                die_ids,
+                transfer_ns,
+                staged=True,
+            )
+            self.controller.stats.record_vector_reads(
+                vectors_read, vectors_read * ev_size
+            )
+            sim.run(until=end)
+            miss_slots = np.fromiter(
+                (
+                    offsets[miss[0][0] * num_tables + miss[0][1]] + miss[0][2]
+                    for miss in misses
+                ),
+                dtype=np.int64,
+                count=vectors_read,
+            )
+            rows[miss_slots] = self.controller.flash.peek_vectors(
+                physical_pages, cols, ev_size
+            )
+        else:
+            sim.run(until=start)
+        elapsed = sim.now - start
+        self.controller.stats.record_useful(total * ev_size)
+        pooled = segment_pool(rows, lengths, self.pooling).reshape(
+            len(sparse_batch), num_tables * self.dim
+        )
+        if tracer.enabled:
+            self._emit_lookup_spans(
+                start, elapsed, ev_sum_ns, vectors_read,
+                len(sparse_batch), "fast", mark,
+                vcache_hits=vcache_hits,
+                vcache_ns=vcache_ns,
+                vcache_enabled=True,
+            )
+        return LookupResult(
+            pooled=pooled,
+            elapsed_ns=max(elapsed, vcache_ns) + ev_sum_ns,
+            vectors_read=vectors_read,
+            path="fast",
+            vcache_hits=vcache_hits,
+            vcache_ns=vcache_ns,
         )
 
     # ------------------------------------------------------------------

@@ -34,9 +34,32 @@ class LoadPoint:
     #: Mean wait before the embedding stage started serving — the
     #: queueing component of the latency (service time is the rest).
     mean_queue_ns: float = 0.0
+    #: Raw per-batch latencies behind the pinned percentiles, so SLA
+    #: checks can use any quantile (empty for hand-built points).
+    latencies_ns: tuple = ()
 
     def meets_sla(self, sla_ns: float, quantile: float = 99.0) -> bool:
-        value = {50.0: self.p50_ns, 95.0: self.p95_ns, 99.0: self.p99_ns}[quantile]
+        """Whether the ``quantile``-th latency percentile is within SLA.
+
+        Any quantile in [0, 100] works: 50/95/99 read the pinned
+        fields, others are computed from :attr:`latencies_ns` when
+        present and interpolated over the pinned points otherwise.
+        """
+        if not 0.0 <= quantile <= 100.0:
+            raise ValueError("quantile must be in [0, 100]")
+        pinned = {50.0: self.p50_ns, 95.0: self.p95_ns, 99.0: self.p99_ns}
+        value = pinned.get(float(quantile))
+        if value is None:
+            if self.latencies_ns:
+                value = percentile(self.latencies_ns, quantile)
+            else:
+                value = float(
+                    np.interp(
+                        quantile,
+                        (50.0, 95.0, 99.0),
+                        (self.p50_ns, self.p95_ns, self.p99_ns),
+                    )
+                )
         return value <= sla_ns
 
 
@@ -72,12 +95,20 @@ class ServingSimulator:
         """
         if qps <= 0:
             raise ValueError("offered load must be positive")
+        if queries < 1:
+            raise ValueError("need at least one query")
         rng = np.random.default_rng(self._seed)
-        batches = max(2, queries // self.nbatch)
-        # Inter-arrival of the nbatch-th query: Erlang(nbatch, qps).
-        gaps = rng.gamma(shape=self.nbatch, scale=1e9 / qps, size=batches)
+        # Serve every offered query: full batches plus one short batch
+        # for the remainder, so the achieved total equals ``queries``.
+        full, remainder = divmod(queries, self.nbatch)
+        sizes = [self.nbatch] * full
+        if remainder:
+            sizes.append(remainder)
+        # Inter-arrival of a size-k batch: Erlang(k, qps) — the k-fold
+        # thinning of the Poisson query process.
+        gaps = rng.gamma(shape=np.asarray(sizes, dtype=float), scale=1e9 / qps)
         arrivals = np.cumsum(gaps) - gaps[0]
-        result = self.pipeline.run(batches, arrival_times_ns=list(arrivals))
+        result = self.pipeline.run(len(sizes), arrival_times_ns=list(arrivals))
         latencies = [r.latency_ns for r in result.records]
         queue_waits = [r.queue_ns for r in result.records]
         if self.metrics is not None:
@@ -86,16 +117,17 @@ class ServingSimulator:
             for latency, wait in zip(latencies, queue_waits):
                 latency_histogram.observe(latency)
                 queue_histogram.observe(wait)
-            self.metrics.counter("serving.batches").inc(batches)
+            self.metrics.counter("serving.batches").inc(len(sizes))
         elapsed_s = result.makespan_ns / 1e9
         return LoadPoint(
             offered_qps=qps,
-            achieved_qps=batches * self.nbatch / elapsed_s if elapsed_s else 0.0,
+            achieved_qps=queries / elapsed_s if elapsed_s else 0.0,
             p50_ns=percentile(latencies, 50),
             p95_ns=percentile(latencies, 95),
             p99_ns=percentile(latencies, 99),
             mean_ns=sum(latencies) / len(latencies),
             mean_queue_ns=sum(queue_waits) / len(queue_waits),
+            latencies_ns=tuple(latencies),
         )
 
     def load_sweep(

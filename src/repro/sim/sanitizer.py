@@ -232,6 +232,27 @@ class Sanitizer:
             self.on_translate(lba, physical, total_pages, component=component)
 
     # ------------------------------------------------------------------
+    # Vector-cache invariants
+    # ------------------------------------------------------------------
+    def vcache_batch(
+        self, hits: int, lookups: int, component: str = "VectorCache"
+    ) -> None:
+        """A batch can never hit the vector cache more than it probes.
+
+        The lookup engine probes the controller-DRAM cache once per
+        embedding lookup; ``hits > lookups`` (or a negative count)
+        means the cache double-counted a probe, which would silently
+        understate flash load in the Fig. 14 comparison.
+        """
+        self.checks += 1
+        if hits < 0 or lookups < 0 or hits > lookups:
+            self.error(
+                "vcache-hit-bound",
+                component,
+                f"batch reported {hits} cache hit(s) over {lookups} lookup(s)",
+            )
+
+    # ------------------------------------------------------------------
     # Per-channel queue conservation
     # ------------------------------------------------------------------
     def channel_enqueue(self, channel: str) -> None:

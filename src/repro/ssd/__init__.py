@@ -15,6 +15,7 @@ from repro.ssd.geometry import PhysicalAddress, SSDGeometry
 from repro.ssd.pagecache import LRUPageCache
 from repro.ssd.stats import IOSnapshot, IOStatistics
 from repro.ssd.timing import SSDTimingModel
+from repro.ssd.vcache import VectorCache
 
 __all__ = [
     "BlockDevice",
@@ -29,4 +30,5 @@ __all__ = [
     "SSDController",
     "SSDGeometry",
     "SSDTimingModel",
+    "VectorCache",
 ]

@@ -27,6 +27,7 @@ from repro.ssd.ftl import FlashTranslationLayer
 from repro.ssd.geometry import SSDGeometry
 from repro.ssd.stats import IOStatistics
 from repro.ssd.timing import SSDTimingModel
+from repro.ssd.vcache import VectorCache
 
 
 class SSDController:
@@ -40,10 +41,15 @@ class SSDController:
         ftl: Optional[FlashTranslationLayer] = None,
         stats: Optional[IOStatistics] = None,
         tracer=None,
+        vcache: Optional[VectorCache] = None,
     ) -> None:
         self.sim = sim
         self.geometry = geometry or SSDGeometry()
         self.stats = stats if stats is not None else IOStatistics()
+        #: Optional controller-DRAM hot-vector cache consulted by the
+        #: Embedding Lookup Engine before EV translation; ``None`` (the
+        #: default) reproduces the paper's cache-free critical path.
+        self.vcache = vcache
         #: Span tracer (``None`` defers to the RMSSD_TRACE flag via
         #: :func:`repro.obs.resolve_tracer`; disabled -> no-op tracer).
         self.tracer = resolve_tracer(tracer)

@@ -26,6 +26,8 @@ COUNTER_FIELDS = (
     "useful_bytes",
     "cache_hits",
     "cache_misses",
+    "vcache_hits",
+    "vcache_misses",
 )
 
 
@@ -56,6 +58,12 @@ class IOView:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
 
+    @property
+    def vcache_hit_ratio(self) -> float:
+        """Controller-DRAM vector-cache hit ratio (Fig. 14 metric)."""
+        total = self.vcache_hits + self.vcache_misses
+        return self.vcache_hits / total if total else 0.0
+
     def reduction_factor_vs(self, baseline: "IOView") -> float:
         """Table IV metric: baseline host traffic / this host traffic."""
         own = self.host_read_bytes
@@ -68,6 +76,7 @@ class IOView:
         data["read_amplification"] = self.read_amplification
         data["flash_amplification"] = self.flash_amplification
         data["cache_hit_ratio"] = self.cache_hit_ratio
+        data["vcache_hit_ratio"] = self.vcache_hit_ratio
         return data
 
 
@@ -83,6 +92,8 @@ class IOSnapshot(IOView):
     useful_bytes: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    vcache_hits: int = 0
+    vcache_misses: int = 0
 
 
 @dataclass
@@ -104,6 +115,10 @@ class IOStatistics(IOView):
     #: Page-cache hits/misses observed on the host path (if any).
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Controller-DRAM vector-cache hits/misses on the device lookup
+    #: path (zero unless an RM-SSD ``vcache`` is configured).
+    vcache_hits: int = 0
+    vcache_misses: int = 0
 
     def record_page_read(self, page_size: int, to_host: bool = True) -> None:
         """A full flash page read; optionally also crossing to the host."""
@@ -135,6 +150,11 @@ class IOStatistics(IOView):
 
     def record_useful(self, nbytes: int) -> None:
         self.useful_bytes += nbytes
+
+    def record_vcache(self, hits: int, misses: int) -> None:
+        """One batch's controller-DRAM vector-cache probe outcome."""
+        self.vcache_hits += hits
+        self.vcache_misses += misses
 
     # ------------------------------------------------------------------
     # Snapshots (derived metrics live on the shared IOView mixin)

@@ -1,0 +1,219 @@
+"""Controller-DRAM hot-vector cache for the RM-SSD lookup path.
+
+The paper argues RM-SSD wins over RecSSD partly because it keeps *no*
+cache on the critical path (Section VI-C, Fig. 14): its throughput is
+locality-invariant by construction.  RecSSD (Wilkening et al.) and
+RecFlash make the opposite bet — skewed embedding access patterns let a
+small cache of hot vectors absorb most flash reads.  This module makes
+that trade-off *measurable* instead of asserted: an optional cache of
+embedding vectors held in controller DRAM, consulted by the Embedding
+Lookup Engine **before** EV translation.  A hit skips the FTL pass and
+the flash read entirely and is handed straight to the EV Sum unit after
+a short DRAM fetch; only misses reach the flash channels, so absorbed
+reads decrement per-channel load one for one.
+
+Three admission policies cover the design space the related systems
+explore:
+
+* ``"lru"`` — classic probe-and-fill with LRU eviction (RecSSD's
+  host-cache discipline, moved into the device);
+* ``"freq"`` — frequency-gated admission: a vector is only admitted
+  after it has missed ``admit_after`` times (TinyLFU-style doorkeeper),
+  which keeps the cold tail of Fig. 4's access pattern from flushing
+  the hot set;
+* ``"static"`` — static-hot (RecFlash): the cache fills once — either
+  explicitly via :meth:`VectorCache.warm` with a profiled hot set, or
+  lazily on first misses — and is never evicted afterwards.
+
+Cache decisions are pure functions of the probe sequence, so the DES
+path and the vectorized fast path — which probe in the same issue
+order — produce identical hit sets, identical timing, and identical
+span trees (the PR 2 bitwise-equivalence contract, extended by
+``tests/test_vcache_equivalence.py``).
+
+Timing model: cached vectors stream from controller DRAM at
+:data:`DRAM_BYTES_PER_CYCLE` (a conservative single-channel DDR share
+at the 200 MHz controller clock), overlapping the flash reads of the
+same batch; the embedding stage ends when the slower of the two
+streams drains.  Capacity is counted in *vectors* — the unit the EV
+Sum consumes — so ``--vcache-vectors`` maps directly onto controller
+DRAM bytes via ``capacity * EVsize``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Hashable, Iterable, Optional, Tuple
+
+import numpy as np
+
+#: Admission policies understood by :class:`VectorCache`.
+POLICIES = ("lru", "freq", "static")
+
+#: Controller-DRAM streaming bandwidth seen by the EV Sum unit, in
+#: bytes per controller cycle (64-bit interface at the 200 MHz clock).
+#: A 64 B vector costs 8 cycles — far below its ~2800-cycle flash read.
+DRAM_BYTES_PER_CYCLE = 8.0
+
+#: Default miss count before ``"freq"`` admits a vector.
+DEFAULT_ADMIT_AFTER = 2
+
+
+def fetch_cycles(vectors: int, ev_size: int) -> float:
+    """Controller cycles to stream ``vectors`` cached EVs from DRAM.
+
+    The fetches of one batch are serialized on the DRAM interface but
+    overlap the flash reads of the same batch's misses; the lookup
+    engine charges ``max(flash, dram)`` for the combined stage.
+    """
+    if vectors <= 0:
+        return 0.0
+    return vectors * (ev_size / DRAM_BYTES_PER_CYCLE)
+
+
+class VectorCache:
+    """Fixed-capacity cache of embedding vectors in controller DRAM.
+
+    Keys are ``(table_id, row_index)`` pairs; values are the vector's
+    fp32 contents (so a hit returns bit-identical data to the flash
+    read it absorbs).  All statistics are cumulative across batches;
+    :attr:`hit_ratio` is the replayable Fig. 14 metric.
+    """
+
+    def __init__(
+        self,
+        capacity_vectors: int,
+        policy: str = "lru",
+        admit_after: int = DEFAULT_ADMIT_AFTER,
+        ev_size: int = 0,
+    ) -> None:
+        if capacity_vectors < 0:
+            raise ValueError("capacity must be non-negative")
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown vcache policy {policy!r}; expected one of {POLICIES}"
+            )
+        if admit_after < 1:
+            raise ValueError("admit_after must be >= 1")
+        self.capacity_vectors = capacity_vectors
+        self.policy = policy
+        self.admit_after = admit_after
+        #: Bytes per cached vector (0 when unknown; set by the engine).
+        self.ev_size = ev_size
+        self._entries: "OrderedDict[Hashable, np.ndarray]" = OrderedDict()
+        # Doorkeeper miss counts for the "freq" policy.
+        self._freq: Dict[Hashable, int] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.fills = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.capacity_vectors * self.ev_size
+
+    @property
+    def lookups(self) -> int:
+        """Total probes observed (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"VectorCache(capacity={self.capacity_vectors}, "
+            f"policy={self.policy!r}, size={len(self)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+    # ------------------------------------------------------------------
+    # The probe-and-fill step (one per lookup, in issue order)
+    # ------------------------------------------------------------------
+    def access(
+        self, key: Hashable, loader: Callable[[], np.ndarray]
+    ) -> Optional[np.ndarray]:
+        """Probe the cache for ``key``; fill per policy on a miss.
+
+        Returns the cached vector on a hit (refreshing recency) or
+        ``None`` on a miss.  ``loader`` is only called when the policy
+        admits the vector — it fetches the fp32 contents functionally
+        (no simulated time; the *timed* read of the same data is issued
+        by the caller for every miss).
+        """
+        entries = self._entries
+        cached = entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            entries.move_to_end(key)
+            return cached
+        self.misses += 1
+        if self.capacity_vectors == 0:
+            return None
+        if self.policy == "static":
+            if len(entries) < self.capacity_vectors:
+                self._fill(key, loader())
+            return None
+        if self.policy == "freq":
+            seen = self._freq.get(key, 0) + 1
+            self._freq[key] = seen
+            if seen < self.admit_after:
+                return None
+        self._fill(key, loader())
+        return None
+
+    def _fill(self, key: Hashable, value: np.ndarray) -> None:
+        entries = self._entries
+        if len(entries) >= self.capacity_vectors:
+            entries.popitem(last=False)
+            self.evictions += 1
+        entries[key] = value
+        self.fills += 1
+
+    # ------------------------------------------------------------------
+    # Warming (static-hot pinning; usable by any policy)
+    # ------------------------------------------------------------------
+    def warm(
+        self, items: Iterable[Tuple[Hashable, np.ndarray]]
+    ) -> int:
+        """Pre-fill with ``(key, vector)`` pairs, oldest first.
+
+        Stops at capacity; already-present keys are refreshed without
+        consuming a slot.  Does not touch the hit/miss statistics.
+        Returns the number of vectors now resident.
+        """
+        for key, value in items:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = value
+                continue
+            if len(self._entries) >= self.capacity_vectors:
+                break
+            self._entries[key] = value
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.fills = 0
+
+    def clear(self) -> None:
+        """Drop all entries, doorkeeper state, and statistics."""
+        self._entries.clear()
+        self._freq.clear()
+        self.reset_stats()

@@ -18,7 +18,7 @@ from repro.baselines import (
     RecSSDBackend,
 )
 from repro.models import build_model, get_config
-from repro.workloads.inputs import RequestGenerator
+from repro.workloads.inputs import InferenceRequest, RequestGenerator
 
 ROWS = 8192
 
@@ -211,6 +211,85 @@ class TestFig14Locality:
             ).qps
         assert recssd_qps[0.80] > 1.15 * recssd_qps[0.30]
         assert rmssd_qps[0.80] == pytest.approx(rmssd_qps[0.30], rel=0.05)
+
+
+class TestRecSSDCostModel:
+    """Regressions for the RecSSD host cost accounting.
+
+    The userspace layer probes its cache for *every* lookup — host
+    hits, SSD-cache hits, and flash misses alike — and the default
+    cache sizing covers 1% of the actual index space even when tables
+    have different row counts.
+    """
+
+    def make_request(self, model, per_table_lookups):
+        num_tables = len(model.tables)
+        sparse = [[
+            list(per_table_lookups) if table_id == 0 else []
+            for table_id in range(num_tables)
+        ]]
+        return InferenceRequest(dense=None, sparse=sparse)
+
+    def test_probe_term_counts_all_three_outcomes(self, rmc1):
+        config, model, _ = rmc1
+        from repro.baselines.recssd import (
+            HOST_MERGE_PER_VECTOR_NS,
+            HOST_PROBE_PER_LOOKUP_NS,
+        )
+
+        backend = RecSSDBackend(model, cache_vectors=1, ssd_cache_vectors=2)
+        # Host cache holds 1 entry, SSD cache holds 2: alternating keys
+        # give host misses that the SSD cache absorbs.
+        #   7 -> miss, 8 -> miss, 7 -> ssd hit, 8 -> ssd hit, 8 -> hit
+        request = self.make_request(model, [7, 8, 7, 8, 8])
+        breakdown = backend.request_cost_ns(request)
+        hits, ssd_hits, misses = 1, 2, 2
+        assert backend.stats.cache_hits == hits
+        assert backend.stats.cache_misses == misses + ssd_hits
+        expected_op = (
+            (hits + ssd_hits + misses) * HOST_PROBE_PER_LOOKUP_NS
+            + hits * HOST_MERGE_PER_VECTOR_NS
+            + len(model.tables) * backend.costs.framework_op_ns
+        )
+        assert breakdown["emb-op"] == pytest.approx(expected_op, rel=0, abs=0)
+
+    def test_every_lookup_pays_the_probe(self, rmc1):
+        """Same lookup count => same probe cost, whatever the hit mix."""
+        config, model, _ = rmc1
+        from repro.baselines.recssd import HOST_PROBE_PER_LOOKUP_NS
+
+        hot = RecSSDBackend(model, cache_vectors=64, ssd_cache_vectors=64)
+        cold = RecSSDBackend(model, cache_vectors=1, ssd_cache_vectors=1)
+        lookups = [1, 2, 3, 1, 2, 3, 1, 2, 3]
+        op_cost = {}
+        for name, backend in (("hot", hot), ("cold", cold)):
+            backend.request_cost_ns(self.make_request(model, lookups))
+            breakdown = backend.request_cost_ns(
+                self.make_request(model, lookups)
+            )
+            merge = breakdown["emb-op"] - len(lookups) * HOST_PROBE_PER_LOOKUP_NS
+            op_cost[name] = (breakdown["emb-op"], merge)
+        # The probe floor is identical; only the merge term differs.
+        assert op_cost["hot"][1] >= op_cost["cold"][1]
+        assert op_cost["hot"][0] - op_cost["hot"][1] == pytest.approx(
+            op_cost["cold"][0] - op_cost["cold"][1]
+        )
+
+    def test_default_sizing_uses_actual_total_rows(self):
+        from types import SimpleNamespace
+
+        from repro.embedding.table import EmbeddingTable, EmbeddingTableSet
+
+        tables = EmbeddingTableSet(
+            [
+                EmbeddingTable("tiny", 10, 16, seed=1),
+                EmbeddingTable("large", 9990, 16, seed=2),
+            ]
+        )
+        backend = RecSSDBackend(SimpleNamespace(tables=tables))
+        # 1% of the actual 10_000 rows — not of 2 * 10 (extrapolating
+        # table 0 would size the cache at a single vector).
+        assert backend.host_cache.capacity_entries == 100
 
 
 class TestRunResult:

@@ -57,9 +57,12 @@ POOLING_MODES = ["sum", "mean"]
 DISTRIBUTIONS = ["uniform", "skewed"]
 
 
-def build_engine(geometry_name, pooling="sum", max_extent_pages=None, dim=DIM):
+def build_engine(geometry_name, pooling="sum", max_extent_pages=None, dim=DIM,
+                 vcache=None):
     geo = SSDGeometry(**GEOMETRY_SPECS[geometry_name])
-    device = BlockDevice(SSDController(Simulator(), geo), max_extent_pages)
+    device = BlockDevice(
+        SSDController(Simulator(), geo, vcache=vcache), max_extent_pages
+    )
     tables = EmbeddingTableSet.uniform(NUM_TABLES, ROWS, dim, seed=5)
     layout = EmbeddingLayout(device, tables)
     layout.create_all()
@@ -179,6 +182,31 @@ def test_multi_batch_state_carryover():
     rng = np.random.default_rng(9)
     batches = [make_batch(rng, 2, 5, dist) for dist in ("uniform", "skewed", "uniform")]
     run_pair(batches, "square", "sum")
+
+
+def test_smoke_equivalence_with_vcache():
+    """The contract extends to the controller-DRAM vector cache: both
+    paths probe in the same issue order, so hit sets, elapsed times,
+    statistics and server bookkeeping stay bitwise-equal (the full
+    grid lives in ``tests/test_vcache_equivalence.py``)."""
+    from repro.ssd.vcache import VectorCache
+
+    rng = np.random.default_rng(44)
+    batches = [make_batch(rng, 2, 5, "skewed") for _ in range(3)]
+    des_engine = build_engine("square", vcache=VectorCache(16))
+    fast_engine = build_engine("square", vcache=VectorCache(16))
+    for batch in batches:
+        des = des_engine.lookup_batch(batch, fast=False)
+        fast = fast_engine.lookup_batch(batch, fast=True)
+        assert fast.path == "fast"
+        assert fast.vcache_hits == des.vcache_hits
+        # The vcache contract is exact bitwise equality.
+        assert fast.vcache_ns == des.vcache_ns  # lint: ok[R2]
+        assert_equivalent(des_engine, fast_engine, des, fast)
+    assert des_engine.controller.vcache.hits > 0
+    assert (
+        fast_engine.controller.vcache.hits == des_engine.controller.vcache.hits
+    )
 
 
 def test_all_empty_lookups_equivalent():

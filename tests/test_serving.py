@@ -52,6 +52,75 @@ class TestServingSimulator:
         with pytest.raises(ValueError):
             serving.offered_load(0)
 
+    def test_zero_queries_rejected(self):
+        serving = ServingSimulator(simple_times())
+        with pytest.raises(ValueError):
+            serving.offered_load(1000.0, queries=0)
+
+    def test_remainder_queries_served_as_short_batch(self):
+        """queries % nbatch must not be dropped: 10 queries at nbatch=4
+        are served as batches of 4+4+2, and the achieved total is the
+        offered total."""
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        serving = ServingSimulator(
+            simple_times(nbatch=4), nbatch=4, seed=0, metrics=metrics
+        )
+        point = serving.offered_load(serving.saturation_qps * 0.3, queries=10)
+        assert metrics.counter("serving.batches").value == 3
+        assert len(point.latencies_ns) == 3
+        # achieved = served queries / makespan, with all 10 counted.
+        assert point.achieved_qps == pytest.approx(point.offered_qps, rel=0.7)
+
+    def test_fewer_queries_than_batch_still_served(self):
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        serving = ServingSimulator(
+            simple_times(nbatch=8), nbatch=8, seed=1, metrics=metrics
+        )
+        point = serving.offered_load(serving.saturation_qps * 0.5, queries=3)
+        assert metrics.counter("serving.batches").value == 1
+        assert point.p50_ns > 0
+
+    def test_offered_and_achieved_totals_agree_underloaded(self):
+        serving = ServingSimulator(simple_times(nbatch=4), nbatch=4, seed=5)
+        point = serving.offered_load(serving.saturation_qps * 0.4, queries=207)
+        assert point.achieved_qps == pytest.approx(point.offered_qps, rel=0.15)
+
+    def test_meets_sla_any_quantile(self):
+        """SLA checks accept arbitrary quantiles, not just 50/95/99."""
+        serving = ServingSimulator(simple_times(), seed=6)
+        point = serving.offered_load(serving.saturation_qps * 0.5, queries=100)
+        assert point.latencies_ns
+        # Pinned quantiles agree with the stored fields.
+        assert point.meets_sla(point.p50_ns, quantile=50.0)
+        assert point.meets_sla(point.p99_ns, quantile=99.0)
+        # In-between quantiles are computed from the raw latencies and
+        # are monotone between the pinned points.
+        assert point.meets_sla(point.p95_ns, quantile=90.0)
+        if point.p99_ns > point.p50_ns:
+            assert not point.meets_sla(point.p50_ns * 0.99, quantile=98.0) or (
+                point.p95_ns <= point.p50_ns
+            )
+        with pytest.raises(ValueError):
+            point.meets_sla(1.0, quantile=101.0)
+
+    def test_meets_sla_interpolates_without_raw_latencies(self):
+        from repro.host.serving import LoadPoint
+
+        point = LoadPoint(
+            offered_qps=1.0, achieved_qps=1.0,
+            p50_ns=100.0, p95_ns=200.0, p99_ns=300.0, mean_ns=120.0,
+        )
+        # q=97 interpolates halfway between p95 and p99 -> 250 ns.
+        assert point.meets_sla(250.0, quantile=97.0)
+        assert not point.meets_sla(249.0, quantile=97.0)
+        # Below p50 clamps to p50; above p99 clamps to p99.
+        assert point.meets_sla(100.0, quantile=10.0)
+        assert not point.meets_sla(299.0, quantile=99.5)
+
     def test_sla_search_between_zero_and_saturation(self):
         serving = ServingSimulator(simple_times(), seed=3)
         unloaded_ns = (200_000 + 30_000) * 5.0

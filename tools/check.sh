@@ -14,6 +14,10 @@ python -m compileall -q src tools tests benchmarks
 echo "== fast-path differential smoke (RMSSD_SANITIZE=1) =="
 RMSSD_SANITIZE=1 python -m pytest -x -q tests/test_fastpath_equivalence.py -k smoke
 
+echo "== vector-cache differential smoke (RMSSD_SANITIZE=1) =="
+RMSSD_SANITIZE=1 python -m pytest -x -q tests/test_vcache_equivalence.py \
+    -k "inert or bitwise"
+
 echo "== trace smoke (RMSSD_TRACE=1) =="
 RMSSD_TRACE=1 python -m repro run rmc1 --backend rm-ssd \
     --requests 2 --rows 64 --no-compute \
