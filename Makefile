@@ -1,9 +1,10 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint compile test bench bench-fast bench-vcache trace-smoke
+.PHONY: check lint compile test bench bench-fast bench-vcache trace-smoke \
+	profile-smoke bench-check
 
-check: lint compile test trace-smoke
+check: lint compile test trace-smoke profile-smoke
 
 lint:
 	$(PYTHON) -m tools.lint src tests benchmarks
@@ -33,3 +34,29 @@ trace-smoke:
 	PYTHONPATH=src:. $(PYTHON) -m tools.check_trace /tmp/rmssd_trace_smoke.json \
 		--require request translate flash_read ev_sum bottom_mlp top_mlp \
 		--metrics /tmp/rmssd_metrics_smoke.json
+
+# Tiny profiled RMC1 run; validates the utilization/bottleneck profile
+# (schema, utilization in [0,1], busy <= elapsed, trace overlap).
+profile-smoke:
+	RMSSD_SANITIZE=1 $(PYTHON) -m repro profile rmc1 --backend rm-ssd \
+		--requests 2 --batch 1 --rows 64 \
+		--profile-out /tmp/rmssd_profile_smoke.json \
+		--trace-out /tmp/rmssd_profile_trace_smoke.json
+	PYTHONPATH=src:. $(PYTHON) -m tools.check_trace \
+		/tmp/rmssd_profile_trace_smoke.json \
+		--profile /tmp/rmssd_profile_smoke.json
+
+# Regenerate the benchmarks and diff them against the committed
+# BENCH_*.json baselines with per-metric tolerances (see
+# tools/bench_compare.py).  Slow: re-runs the full DES speedup bench.
+# To refresh baselines instead, run bench-fast/bench-vcache and commit
+# the rewritten BENCH_*.json (see docs/performance.md).
+bench-check: bench-fast bench-vcache
+	git show HEAD:BENCH_fastpath.json > /tmp/rmssd_bench_fastpath_base.json
+	git show HEAD:BENCH_vcache.json > /tmp/rmssd_bench_vcache_base.json
+	PYTHONPATH=src:. $(PYTHON) -m tools.bench_compare \
+		--baseline /tmp/rmssd_bench_fastpath_base.json \
+		--fresh BENCH_fastpath.json
+	PYTHONPATH=src:. $(PYTHON) -m tools.bench_compare \
+		--baseline /tmp/rmssd_bench_vcache_base.json \
+		--fresh BENCH_vcache.json

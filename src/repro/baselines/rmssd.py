@@ -49,13 +49,15 @@ class RMSSDBackend(InferenceBackend):
         tracer=None,
         metrics=None,
         vcache: Optional[VectorCache] = None,
+        profiler=None,
     ) -> None:
         super().__init__(model, costs)
         self.name = "RM-SSD" if mlp_design == MLP_DESIGN_OPTIMIZED else "RM-SSD-Naive"
         # ``fastpath=None`` defers to RMSSD_FASTPATH; vector reads then
         # take the DES-equivalent vectorized path when channels are idle.
-        # ``tracer``/``metrics`` flow straight to the device (see
-        # repro.obs): spans on the simulated clock, latency histograms.
+        # ``tracer``/``metrics``/``profiler`` flow straight to the
+        # device (see repro.obs): spans on the simulated clock, latency
+        # histograms, per-resource utilization.
         # ``vcache`` enables the optional controller-DRAM hot-vector
         # cache (repro.ssd.vcache); ``None`` keeps the paper's
         # cache-free lookup path.
@@ -70,6 +72,7 @@ class RMSSDBackend(InferenceBackend):
             tracer=tracer,
             metrics=metrics,
             vcache=vcache,
+            profiler=profiler,
         )
         self.stats = self.device.stats
 

@@ -205,6 +205,107 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    """Profiled DES run: per-resource utilization + bottleneck report."""
+    from repro.baselines import RMSSDBackend
+    from repro.obs import Profiler
+
+    config = get_config(args.model)
+    model = build_model(config, rows_per_table=args.rows)
+    profiler = Profiler()
+    tracer = None
+    if args.trace_out:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+    vcache = None
+    if args.vcache_vectors > 0:
+        from repro.ssd.vcache import VectorCache
+
+        vcache = VectorCache(args.vcache_vectors, policy=args.vcache_policy)
+    backend = RMSSDBackend(
+        model,
+        config.lookups_per_table,
+        mlp_design="naive" if args.backend == "rm-ssd-naive" else "optimized",
+        use_des=True,
+        fastpath=False if args.no_fastpath else None,
+        tracer=tracer,
+        vcache=vcache,
+        profiler=profiler,
+    )
+    generator = RequestGenerator(
+        config, args.rows, hot_access_fraction=args.locality, seed=args.seed
+    )
+    requests = generator.requests(args.requests, batch_size=args.batch)
+    result = backend.run(requests, compute=False)
+    profiler.set_meta(
+        model=args.model,
+        backend=args.backend,
+        requests=args.requests,
+        batch=args.batch,
+        rows=args.rows,
+        locality=args.locality,
+        seed=args.seed,
+    )
+
+    bottleneck = profiler.bottleneck_report()
+    stage_labels = {
+        "emb": "embedding (flash)",
+        "bot": "bottom MLP",
+        "top": "top MLP",
+        "io": "host I/O",
+    }
+    print(f"system:         {result.system}")
+    print(f"inferences:     {result.inferences} over {bottleneck['batches']} "
+          "device batches")
+    print(f"bottleneck:     {stage_labels[bottleneck['bottleneck_stage']]}")
+    invariant = bottleneck["invariant"]
+    status = "holds" if invariant["holds"] else "VIOLATED"
+    print(f"invariant:      {invariant['name']} {status}")
+    for warning in bottleneck["warnings"]:
+        print(f"warning:        {warning['type']}: "
+              f"{stage_labels[warning['stage']]} runs "
+              f"{warning['ratio']:.2f}x the embedding stage")
+    means = bottleneck["stage_means_ns"]
+    slack = bottleneck["slack_ns"]
+    table = Table(
+        "Stage attribution (mean per device batch)",
+        ["stage", "mean ms", "slack ms"],
+    )
+    for key in ("emb", "bot", "top", "io"):
+        table.add_row(
+            stage_labels[key],
+            f"{means[key] / 1e6:.4f}",
+            f"{slack[key] / 1e6:.4f}",
+        )
+    table.print()
+
+    elapsed = profiler.elapsed_ns()
+    utilizations = profiler.utilizations(elapsed)
+    table = Table(
+        f"Busiest resources (elapsed {elapsed / 1e6:.3f} ms)",
+        ["resource", "kind", "utilization"],
+    )
+    report = profiler.resource_report(elapsed)
+    ranked = sorted(utilizations, key=lambda n: (-utilizations[n], n))
+    for name in ranked[: args.top]:
+        table.add_row(name, report[name]["kind"], f"{utilizations[name]:.1%}")
+    table.print()
+    channels = profiler.channel_report(elapsed)
+    if channels:
+        busiest = max(channels.values(), key=lambda c: c["utilization"])
+        idlest = min(channels.values(), key=lambda c: c["utilization"])
+        print(f"EV-FMC channels: {len(channels)}; utilization "
+              f"{idlest['utilization']:.1%} .. {busiest['utilization']:.1%}")
+
+    path = profiler.export_json(args.profile_out)
+    print(f"profile:        {path}")
+    if tracer is not None:
+        path = tracer.export_chrome(args.trace_out)
+        print(f"trace:          {path} ({len(tracer)} spans)")
+    return 0
+
+
 def cmd_sweep(args) -> int:
     config = get_config(args.model)
     model = build_model(config, rows_per_table=args.rows)
@@ -380,6 +481,38 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("lru", "freq", "static"),
                        help="vector-cache admission/eviction policy")
     p_run.set_defaults(func=cmd_run)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="profiled DES run: utilization + bottleneck attribution",
+    )
+    p_profile.add_argument("model", choices=sorted(MODEL_CONFIGS))
+    p_profile.add_argument("--backend", choices=("rm-ssd", "rm-ssd-naive"),
+                           default="rm-ssd")
+    p_profile.add_argument("--profile-out", required=True, metavar="PATH",
+                           help="write the utilization/bottleneck profile "
+                                "JSON (schema rmssd-profile/v1)")
+    p_profile.add_argument("--batch", type=int, default=2)
+    p_profile.add_argument("--requests", type=int, default=4)
+    p_profile.add_argument("--rows", type=int, default=512,
+                           help="rows per embedding table (scaled capacity)")
+    p_profile.add_argument("--locality", type=float, default=0.65,
+                           help="hot-access fraction of the trace")
+    p_profile.add_argument("--seed", type=int, default=0)
+    p_profile.add_argument("--top", type=int, default=8,
+                           help="resources to list in the utilization table")
+    p_profile.add_argument("--no-fastpath", action="store_true",
+                           help="force the per-read DES (the fast path "
+                                "records bitwise-identical profiles)")
+    p_profile.add_argument("--trace-out", default=None, metavar="PATH",
+                           help="also write a Chrome-trace JSON of the run")
+    p_profile.add_argument("--vcache-vectors", type=int, default=0,
+                           help="controller-DRAM hot-vector cache capacity "
+                                "in vectors (0 = disabled)")
+    p_profile.add_argument("--vcache-policy", default="lru",
+                           choices=("lru", "freq", "static"),
+                           help="vector-cache admission/eviction policy")
+    p_profile.set_defaults(func=cmd_profile)
 
     p_sweep = sub.add_parser("sweep", help="batch-size sweep")
     p_sweep.add_argument("model", choices=sorted(MODEL_CONFIGS))

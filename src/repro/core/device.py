@@ -26,7 +26,7 @@ import numpy as np
 from repro.core.lookup_engine import EmbeddingLookupEngine, flash_read_cycles
 from repro.core.mlp_engine import MLPAccelerationEngine
 from repro.core.registers import MMIOCostModel, MMIOManager
-from repro.obs import resolve_tracer
+from repro.obs import resolve_profiler, resolve_tracer
 from repro.embedding.layout import EmbeddingLayout
 from repro.fpga.decompose import decompose_model
 from repro.fpga.search import kernel_search
@@ -116,6 +116,7 @@ class RMSSD:
         tracer=None,
         metrics=None,
         vcache: Optional[VectorCache] = None,
+        profiler=None,
     ) -> None:
         if mlp_design not in (MLP_DESIGN_OPTIMIZED, MLP_DESIGN_NAIVE):
             raise ValueError(f"unknown MLP design {mlp_design!r}")
@@ -139,6 +140,12 @@ class RMSSD:
         # flag (see repro.sim.sanitizer); the substrate built from this
         # simulator inherits its invariant checks.
         self.sim = Simulator(sanitize=sanitize)
+        # ``profiler=None`` defers to the RMSSD_PROFILE environment
+        # flag (see repro.obs.profiler); attaching it to the simulator
+        # makes every named DES resource report busy intervals.
+        self.profiler = resolve_profiler(profiler)
+        if self.profiler.enabled:
+            self.sim.profiler = self.profiler
         # Optional controller-DRAM hot-vector cache (repro.ssd.vcache);
         # ``None`` keeps the paper's cache-free lookup path.
         if vcache is not None and vcache.ev_size == 0:
@@ -321,6 +328,8 @@ class RMSSD:
             self._emit_request_spans(
                 batch_start, timing, send_ns, recv_ns, lookup.path
             )
+        if self.profiler.enabled:
+            self._profile_request(batch_start, timing, send_ns, recv_ns)
         if self.metrics is not None:
             self._observe_metrics(timing)
         return outputs, timing
@@ -416,6 +425,60 @@ class RMSSD:
                     cursor + duration,
                     cat="mlp",
                     track=track,
+                )
+            cursor += max(d for _, d in pair)
+
+    def _profile_request(
+        self,
+        batch_start: float,
+        timing: DeviceTiming,
+        send_ns: float,
+        recv_ns: float,
+    ) -> None:
+        """Utilization records of one device batch.
+
+        Mirrors :meth:`_emit_request_spans` exactly — same interval
+        arithmetic, same layer walk — but feeds the profiler instead of
+        the tracer, so profiling works without tracing (and both paths
+        record bitwise-equal intervals; the MLP and host-I/O times are
+        analytic add-ons that may extend past the DES clock, which is
+        why the profiler's run horizon is taken over all records).
+        """
+        profiler = self.profiler
+        end = batch_start + timing.latency_ns
+        profiler.record_stage(
+            batch_start,
+            timing.nbatch,
+            timing.emb_ns,
+            timing.bot_ns,
+            timing.top_ns,
+            timing.io_ns,
+            timing.latency_ns,
+            timing.serialized,
+        )
+        profiler.record_busy(
+            "host.io", batch_start, batch_start + send_ns, "host-io"
+        )
+        profiler.record_busy("host.io", end - recv_ns, end, "host-io")
+        if timing.serialized:
+            mlp_start = batch_start + timing.emb_ns
+            profiler.record_busy(
+                "gemm16x16", mlp_start, mlp_start + timing.top_ns, "mlp"
+            )
+            return
+        self._profile_chain("bottom", batch_start, timing.nbatch)
+        top_start = batch_start + max(timing.emb_ns, timing.bot_ns)
+        self._profile_chain("top", top_start, timing.nbatch)
+
+    def _profile_chain(self, chain: str, chain_start: float, nbatch: int) -> None:
+        """Busy intervals of one FC chain's kernels (Fig. 9b walk)."""
+        pairs = self.mlp_engine.layer_intervals(chain, nbatch)
+        profiler = self.profiler
+        cursor = chain_start
+        for pair in pairs:
+            for layer_name, duration in pair:
+                profiler.record_busy(
+                    f"fc:{layer_name}", cursor, cursor + duration, "mlp"
                 )
             cursor += max(d for _, d in pair)
 

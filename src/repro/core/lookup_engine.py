@@ -145,6 +145,10 @@ class EmbeddingLookupEngine:
                 self.tables.ev_size,
                 self.tables[table_id].rows,
             )
+        # High-water marks of the cache's cumulative eviction/fill
+        # counters, so each batch accounts only its own activity even
+        # though VectorCache counters never reset between batches.
+        self._vcache_activity_seen = (0, 0)
 
     @property
     def dim(self) -> int:
@@ -204,7 +208,19 @@ class EmbeddingLookupEngine:
 
     def _account_vcache(self, hits: int, total: int) -> float:
         """Record one batch's probe outcome; returns the DRAM fetch ns."""
-        self.controller.stats.record_vcache(hits, total - hits)
+        cache = self.controller.vcache
+        evictions = fills = 0
+        if cache is not None:
+            seen_evictions, seen_fills = self._vcache_activity_seen
+            # ``reset_stats()`` (benchmarks call it mid-run) drops the
+            # cumulative counters below the high-water mark; restart
+            # the window instead of reporting a negative delta.
+            if cache.evictions < seen_evictions or cache.fills < seen_fills:
+                seen_evictions = seen_fills = 0
+            evictions = cache.evictions - seen_evictions
+            fills = cache.fills - seen_fills
+            self._vcache_activity_seen = (cache.evictions, cache.fills)
+        self.controller.stats.record_vcache(hits, total - hits, evictions, fills)
         sanitizer = self.controller.flash.sanitizer
         if sanitizer is not None:
             sanitizer.vcache_batch(hits, total)
@@ -392,6 +408,30 @@ class EmbeddingLookupEngine:
         )
         self.controller.emit_batch_spans(start, mark)
 
+    def _profile_lookup(
+        self,
+        start: float,
+        elapsed: float,
+        ev_sum_ns: float,
+        vcache_ns: float = 0.0,
+        vcache_enabled: bool = False,
+    ) -> None:
+        """Busy intervals of the engines the DES does not model as
+        resources: the EV-Sum adder tree and the controller-DRAM
+        vcache stream are analytic add-ons, so their occupancy is
+        reported here — from the same bitwise-equal quantities the
+        span tree uses, identically on both execution paths.
+        """
+        profiler = self.controller.sim.profiler
+        if profiler is None or not profiler.enabled:
+            return
+        stage_ns = max(elapsed, vcache_ns) if vcache_enabled else elapsed
+        profiler.record_busy(
+            "ev_sum", start + stage_ns, start + stage_ns + ev_sum_ns, "ev-sum"
+        )
+        if vcache_enabled:
+            profiler.record_busy("vcache", start, start + vcache_ns, "vcache")
+
     def _lookup_batch_des(
         self, sparse_batch: Sequence[Sequence[Sequence[int]]]
     ) -> LookupResult:
@@ -448,6 +488,9 @@ class EmbeddingLookupEngine:
                 vcache_ns=vcache_ns,
                 vcache_enabled=vcache is not None,
             )
+        self._profile_lookup(
+            start, elapsed, ev_sum_ns, vcache_ns, vcache is not None
+        )
         return LookupResult(
             pooled=np.stack(pooled_rows),
             elapsed_ns=stage_ns + ev_sum_ns,
@@ -500,6 +543,7 @@ class EmbeddingLookupEngine:
                 self._emit_lookup_spans(
                     start, 0.0, ev_sum_ns, 0, len(sparse_batch), "fast", mark
                 )
+            self._profile_lookup(start, 0.0, ev_sum_ns)
             return LookupResult(
                 pooled=pooled,
                 elapsed_ns=ev_sum_ns,
@@ -557,6 +601,7 @@ class EmbeddingLookupEngine:
                 start, elapsed, ev_sum_ns, vectors_read,
                 len(sparse_batch), "fast", mark,
             )
+        self._profile_lookup(start, elapsed, ev_sum_ns)
         return LookupResult(
             pooled=pooled,
             elapsed_ns=elapsed + ev_sum_ns,
@@ -599,6 +644,7 @@ class EmbeddingLookupEngine:
                     start, 0.0, ev_sum_ns, 0, len(sparse_batch), "fast", mark,
                     vcache_hits=0, vcache_ns=vcache_ns, vcache_enabled=True,
                 )
+            self._profile_lookup(start, 0.0, ev_sum_ns, vcache_ns, True)
             return LookupResult(
                 pooled=pooled,
                 elapsed_ns=ev_sum_ns,
@@ -682,6 +728,7 @@ class EmbeddingLookupEngine:
                 vcache_ns=vcache_ns,
                 vcache_enabled=True,
             )
+        self._profile_lookup(start, elapsed, ev_sum_ns, vcache_ns, True)
         return LookupResult(
             pooled=pooled,
             elapsed_ns=max(elapsed, vcache_ns) + ev_sum_ns,

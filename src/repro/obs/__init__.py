@@ -1,6 +1,6 @@
-"""Observability for the simulated device: span tracing + metrics.
+"""Observability for the simulated device: tracing, metrics, profiling.
 
-Two pieces, both keyed to the *simulated* clock:
+Three pieces, all keyed to the *simulated* clock:
 
 * :mod:`repro.obs.tracer` — nested spans with category/args, exported
   as Chrome-trace/Perfetto JSON (``trace.json``).  Enabled via the
@@ -10,6 +10,11 @@ Two pieces, both keyed to the *simulated* clock:
   latency histograms (p50/p95/p99/max), absorbing
   :class:`repro.ssd.stats.IOStatistics` snapshots so device traffic
   and latency export as one ``metrics.json``.
+* :mod:`repro.obs.profiler` — per-resource busy/idle timelines,
+  utilization fractions, queue depths, and stage-level bottleneck
+  attribution (checks the paper's embedding-stage-bottleneck
+  invariant).  Enabled via ``RMSSD_PROFILE=1`` or ``profiler=``;
+  exported as ``profile.json`` by ``rmssd-repro profile``.
 
 See ``docs/observability.md`` for the API tour, the span taxonomy, and
 how to open traces in Perfetto.
@@ -21,6 +26,16 @@ from repro.obs.metrics import (
     Gauge,
     LatencyHistogram,
     MetricsRegistry,
+)
+from repro.obs.profiler import (
+    ENV_FLAG_PROFILE,
+    NULL_PROFILER,
+    PROFILE_SCHEMA,
+    NullProfiler,
+    Profiler,
+    global_profiler,
+    profiling_from_env,
+    resolve_profiler,
 )
 from repro.obs.tracer import (
     ENV_FLAG,
@@ -37,14 +52,22 @@ __all__ = [
     "Counter",
     "DEFAULT_BOUNDS_NS",
     "ENV_FLAG",
+    "ENV_FLAG_PROFILE",
     "Gauge",
     "LatencyHistogram",
     "MetricsRegistry",
+    "NULL_PROFILER",
     "NULL_TRACER",
+    "NullProfiler",
     "NullTracer",
+    "PROFILE_SCHEMA",
+    "Profiler",
     "Span",
     "Tracer",
+    "global_profiler",
     "global_tracer",
+    "profiling_from_env",
+    "resolve_profiler",
     "resolve_tracer",
     "tracing_from_env",
 ]

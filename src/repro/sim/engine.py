@@ -191,6 +191,11 @@ class Simulator:
         if sanitize is None:
             sanitize = sanitize_from_env()
         self.sanitizer = Sanitizer(self) if sanitize else None
+        # Optional utilization profiler (repro.obs.profiler).  ``None``
+        # by default so the hot path pays a single attribute load;
+        # owners (e.g. repro.core.device.RMSSD) attach an enabled
+        # profiler and resources report busy intervals to it.
+        self.profiler = None
 
     def _schedule(self, event: Event, delay: float) -> None:
         if self.sanitizer is not None:

@@ -14,20 +14,37 @@ Three primitives cover everything the SSD substrate needs:
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Generator, List
+from typing import Any, Deque, Generator, List, Optional
 
 from repro.sim.engine import Event, Simulator
 
 
 class Resource:
-    """Counting semaphore with FIFO granting order."""
+    """Counting semaphore with FIFO granting order.
 
-    def __init__(self, sim: Simulator, capacity: int = 1) -> None:
+    Named resources report occupancy to an attached utilization
+    profiler (``sim.profiler``): a busy interval opens when the first
+    unit is taken and closes when the last is returned, and the wait
+    queue is sampled whenever an acquire has to queue (lint rule R8
+    requires new acquisition sites to construct named resources so
+    these reports happen).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: int = 1,
+        name: Optional[str] = None,
+        kind: str = "resource",
+    ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.sim = sim
         self.capacity = capacity
+        self.name = name
+        self.kind = kind
         self._in_use = 0
+        self._busy_since = 0.0
         self._waiters: Deque[Event] = deque()
 
     @property
@@ -42,9 +59,17 @@ class Resource:
         """Event that fires when a unit of the resource is granted."""
         event = self.sim.event()
         if self._in_use < self.capacity:
+            if self._in_use == 0:
+                self._busy_since = self.sim.now
             self._in_use += 1
             event.succeed()
         else:
+            profiler = self.sim.profiler
+            if profiler is not None and profiler.enabled and self.name is not None:
+                # Depth seen by this arrival: waiters already queued.
+                profiler.record_queue_depth(
+                    self.name, self.sim.now, len(self._waiters)
+                )
             self._waiters.append(event)
         return event
 
@@ -56,6 +81,16 @@ class Resource:
             self._waiters.popleft().succeed()
         else:
             self._in_use -= 1
+            if self._in_use == 0:
+                profiler = self.sim.profiler
+                if (
+                    profiler is not None
+                    and profiler.enabled
+                    and self.name is not None
+                ):
+                    profiler.record_busy(
+                        self.name, self._busy_since, self.sim.now, self.kind
+                    )
 
 
 class Server:
@@ -65,9 +100,12 @@ class Server:
     job completes; jobs run back-to-back in arrival order.
     """
 
-    def __init__(self, sim: Simulator, name: str = "server") -> None:
+    def __init__(
+        self, sim: Simulator, name: str = "server", kind: str = "server"
+    ) -> None:
         self.sim = sim
         self.name = name
+        self.kind = kind
         self._free_at = 0.0
         self.busy_time = 0.0
         self.jobs_served = 0
@@ -91,6 +129,9 @@ class Server:
         self._free_at = finish
         self.busy_time += duration
         self.jobs_served += 1
+        profiler = self.sim.profiler
+        if profiler is not None and profiler.enabled:
+            profiler.record_service(self.name, self.sim.now, start, finish, self.kind)
         return self.sim.timeout(finish - self.sim.now)
 
     def utilization(self, elapsed: float) -> float:

@@ -61,7 +61,7 @@ class SSDController:
         self.fmc = EVFlashMemoryController(sim, self.flash)
         # The MUX: block I/O and EV requests share one translation
         # pipeline; FIFO service approximates the round-robin arbiter.
-        self._ftl_server = Server(sim, "ftl-mux")
+        self._ftl_server = Server(sim, "ftl-mux", kind="ftl")
 
     def _ftl_lookup(self):
         """Event: one arbitrated pass through the shared FTL stage."""

@@ -73,7 +73,8 @@ def serialize_server(server, count: int, service_ns: float) -> np.ndarray:
     steps = np.empty(count + 1, dtype=np.float64)
     steps[0] = t0 if t0 > server._free_at else server._free_at
     steps[1:] = service_ns
-    finishes = np.add.accumulate(steps)[1:]
+    accumulated = np.add.accumulate(steps)
+    finishes = accumulated[1:]
     busy = np.empty(count + 1, dtype=np.float64)
     busy[0] = server.busy_time
     busy[1:] = service_ns
@@ -81,6 +82,20 @@ def serialize_server(server, count: int, service_ns: float) -> np.ndarray:
         server.busy_time = float(np.add.accumulate(busy)[-1])
         server._free_at = float(finishes[-1])
         server.jobs_served += count
+        profiler = getattr(server.sim, "profiler", None)
+        if profiler is not None and profiler.enabled:
+            # Job i starts where job i-1 finished: accumulated[i] is
+            # both finish_{i-1} and start_i, the same floats the DES
+            # ``Server.serve`` records (all jobs arrive at t0).
+            starts = accumulated[:-1]
+            for index in range(count):
+                profiler.record_service(
+                    server.name,
+                    t0,
+                    float(starts[index]),
+                    float(finishes[index]),
+                    server.kind,
+                )
     return t0 + (finishes - t0)
 
 
@@ -98,6 +113,9 @@ def _replay_channel(
     bus_free: float,
     bus_busy: float,
     staged: bool,
+    profiler=None,
+    bus_name=None,
+    die_names=None,
 ) -> Tuple[np.ndarray, float, float, int]:
     """Replay one channel's reads; returns completion times + bus state.
 
@@ -120,6 +138,7 @@ def _replay_channel(
     seq = n
     ptr = 0
     die_busy = [False] * num_dies
+    die_busy_since = [0.0] * num_dies
     die_waiters = [deque() for _ in range(num_dies)]
     jobs = 0
     while ptr < n or heap:
@@ -140,9 +159,15 @@ def _replay_channel(
             # join the die's FIFO wait queue.
             die = die_ids[idx]
             if die_busy[die]:
+                if profiler is not None:
+                    # Mirrors Resource.acquire's pre-append sample.
+                    profiler.record_queue_depth(
+                        die_names[die], t, len(die_waiters[die])
+                    )
                 die_waiters[die].append(idx)
             else:
                 die_busy[die] = True
+                die_busy_since[die] = t
                 heapq.heappush(heap, (t, seq, _GRANT, idx))
                 seq += 1
         elif kind == _GRANT:
@@ -157,6 +182,8 @@ def _replay_channel(
             bus_free = finish
             bus_busy = bus_busy + duration
             jobs += 1
+            if profiler is not None:
+                profiler.record_service(bus_name, t, begin, finish, "channel-bus")
             heapq.heappush(heap, (t + (finish - t), seq, _DONE, idx))
             seq += 1
         else:  # _DONE
@@ -169,6 +196,13 @@ def _replay_channel(
                 seq += 1
             else:
                 die_busy[die] = False
+                if profiler is not None:
+                    # Occupancy closes only when the die goes idle —
+                    # handoffs keep the busy interval open, exactly as
+                    # Resource tracks ``_busy_since``.
+                    profiler.record_busy(
+                        die_names[die], die_busy_since[die], t, "die"
+                    )
     return completion, float(bus_free), float(bus_busy), jobs
 
 
@@ -195,6 +229,9 @@ def replay_reads(
     """
     timing = flash.timing
     sanitizer = flash.sanitizer
+    profiler = getattr(flash.sim, "profiler", None)
+    if profiler is not None and not profiler.enabled:
+        profiler = None
     completion = np.empty(len(enter_ns), dtype=np.float64)
     for channel in flash.channels:
         members = np.flatnonzero(channel_ids == channel.index)
@@ -219,6 +256,9 @@ def replay_reads(
             channel.bus._free_at,
             channel.bus.busy_time,
             staged,
+            profiler,
+            channel.bus.name,
+            [die.name for die in channel.dies],
         )
         channel.bus._free_at = bus_free
         channel.bus.busy_time = bus_busy

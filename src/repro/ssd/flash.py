@@ -37,9 +37,10 @@ class _Channel:
     def __init__(self, sim: Simulator, geometry: SSDGeometry, index: int) -> None:
         self.index = index
         self.name = f"channel{index}"
-        self.bus = Server(sim, name=f"channel{index}-bus")
+        self.bus = Server(sim, name=f"channel{index}-bus", kind="channel-bus")
         self.dies: List[Resource] = [
-            Resource(sim, capacity=1) for _ in range(geometry.dies_per_channel)
+            Resource(sim, capacity=1, name=f"channel{index}-die{die}", kind="die")
+            for die in range(geometry.dies_per_channel)
         ]
 
 

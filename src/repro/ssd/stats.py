@@ -28,6 +28,8 @@ COUNTER_FIELDS = (
     "cache_misses",
     "vcache_hits",
     "vcache_misses",
+    "vcache_evictions",
+    "vcache_fills",
 )
 
 
@@ -94,6 +96,8 @@ class IOSnapshot(IOView):
     cache_misses: int = 0
     vcache_hits: int = 0
     vcache_misses: int = 0
+    vcache_evictions: int = 0
+    vcache_fills: int = 0
 
 
 @dataclass
@@ -116,9 +120,13 @@ class IOStatistics(IOView):
     cache_hits: int = 0
     cache_misses: int = 0
     #: Controller-DRAM vector-cache hits/misses on the device lookup
-    #: path (zero unless an RM-SSD ``vcache`` is configured).
+    #: path (zero unless an RM-SSD ``vcache`` is configured), plus the
+    #: cache's own churn (evicted entries and admitted fills) so a
+    #: measurement window shows *why* its hit ratio moved.
     vcache_hits: int = 0
     vcache_misses: int = 0
+    vcache_evictions: int = 0
+    vcache_fills: int = 0
 
     def record_page_read(self, page_size: int, to_host: bool = True) -> None:
         """A full flash page read; optionally also crossing to the host."""
@@ -151,10 +159,14 @@ class IOStatistics(IOView):
     def record_useful(self, nbytes: int) -> None:
         self.useful_bytes += nbytes
 
-    def record_vcache(self, hits: int, misses: int) -> None:
+    def record_vcache(
+        self, hits: int, misses: int, evictions: int = 0, fills: int = 0
+    ) -> None:
         """One batch's controller-DRAM vector-cache probe outcome."""
         self.vcache_hits += hits
         self.vcache_misses += misses
+        self.vcache_evictions += evictions
+        self.vcache_fills += fills
 
     # ------------------------------------------------------------------
     # Snapshots (derived metrics live on the shared IOView mixin)

@@ -1,0 +1,226 @@
+"""Tests for the benchmark-regression gate (tools/bench_compare).
+
+Synthetic payloads exercise every tolerance documented in the tool's
+docstring; the committed ``BENCH_*.json`` baselines must pass both an
+identity diff and their own self-check (``tools/check.sh`` runs the
+same gate plus an injected-regression canary).
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.bench_compare import (  # noqa: E402
+    Regression,
+    compare,
+    detect_kind,
+    main,
+    self_check,
+)
+
+
+def fastpath_payload(**overrides):
+    payload = {
+        "model": "RMC2",
+        "samples": 256,
+        "vectors_read": 983040,
+        "simulated_ns": 123456789.0,
+        "min_speedup": 10.0,
+        "speedup": 15.9,
+        "bitwise_equal": True,
+        "des_wall_s": 12.5,
+        "fast_wall_s": 0.8,
+    }
+    payload.update(overrides)
+    return payload
+
+
+def vcache_payload(**overrides):
+    payload = {
+        "ks": [0.0, 1.0, 2.0],
+        "policy": "lru",
+        "capacity_rule": "sqrt",
+        "rows_per_table": 512,
+        "hit_ratios": {"rmc1": [0.90, 0.60, 0.40]},
+        "qps": {
+            "rmc1/RM-SSD": [100.0, 100.0, 100.0],
+            "rmc1/RM-SSD+cache": [400.0, 220.0, 150.0],
+            "rmc1/RecSSD": [80.0, 80.0, 80.0],
+        },
+    }
+    payload.update(overrides)
+    return payload
+
+
+class TestDetectKind:
+    def test_detects_both_kinds(self):
+        assert detect_kind(fastpath_payload()) == "fastpath"
+        assert detect_kind(vcache_payload()) == "vcache"
+
+    def test_unknown_payload_raises(self):
+        with pytest.raises(Regression, match="unrecognized"):
+            detect_kind({"something": 1})
+
+    def test_kind_mismatch_is_a_failure(self):
+        failures = compare(fastpath_payload(), vcache_payload())
+        assert failures == [
+            "payload kinds differ: baseline fastpath, fresh vcache"
+        ]
+
+
+class TestCompareFastpath:
+    def test_identity_passes(self):
+        assert compare(fastpath_payload(), fastpath_payload()) == []
+
+    def test_wall_clock_drift_is_ignored(self):
+        fresh = fastpath_payload(des_wall_s=99.0, fast_wall_s=9.0, speedup=11.0)
+        assert compare(fastpath_payload(), fresh) == []
+
+    def test_configuration_drift_is_exact(self):
+        failures = compare(fastpath_payload(), fastpath_payload(samples=255))
+        assert any("samples" in failure for failure in failures)
+
+    def test_simulated_time_drift_is_exact(self):
+        fresh = fastpath_payload(simulated_ns=123456790.0)
+        failures = compare(fastpath_payload(), fresh)
+        assert any("simulated_ns" in failure for failure in failures)
+
+    def test_bitwise_divergence_flagged(self):
+        failures = compare(
+            fastpath_payload(), fastpath_payload(bitwise_equal=False)
+        )
+        assert any("bitwise" in failure for failure in failures)
+
+    def test_speedup_below_floor_flagged(self):
+        failures = compare(fastpath_payload(), fastpath_payload(speedup=9.9))
+        assert any("floor" in failure for failure in failures)
+
+    def test_missing_metric_flagged(self):
+        fresh = fastpath_payload()
+        del fresh["vectors_read"]
+        with pytest.raises(Regression, match="missing"):
+            compare(fastpath_payload(), fresh)
+
+
+class TestCompareVcache:
+    def test_identity_passes(self):
+        assert compare(vcache_payload(), vcache_payload()) == []
+
+    def test_qps_within_tolerance_passes(self):
+        fresh = vcache_payload()
+        fresh["qps"]["rmc1/RM-SSD+cache"] = [395.0, 218.0, 149.0]  # < 2% down
+        assert compare(vcache_payload(), fresh) == []
+
+    def test_qps_regression_flagged_with_index(self):
+        fresh = vcache_payload()
+        fresh["qps"]["rmc1/RM-SSD+cache"] = [200.0, 220.0, 150.0]
+        failures = compare(vcache_payload(), fresh)
+        assert len(failures) == 1
+        assert "qps.rmc1/RM-SSD+cache[0]" in failures[0]
+
+    def test_hit_ratio_within_tolerance_passes(self):
+        fresh = vcache_payload()
+        fresh["hit_ratios"]["rmc1"] = [0.895, 0.595, 0.395]
+        assert compare(vcache_payload(), fresh) == []
+
+    def test_hit_ratio_regression_flagged(self):
+        fresh = vcache_payload()
+        fresh["hit_ratios"]["rmc1"] = [0.90, 0.40, 0.40]
+        failures = compare(vcache_payload(), fresh)
+        assert len(failures) == 1
+        assert "hit_ratios.rmc1[1]" in failures[0]
+
+    def test_missing_series_flagged(self):
+        fresh = vcache_payload()
+        del fresh["qps"]["rmc1/RecSSD"]
+        failures = compare(vcache_payload(), fresh)
+        assert any("rmc1/RecSSD: series is missing" in f for f in failures)
+
+    def test_point_count_mismatch_flagged(self):
+        fresh = vcache_payload()
+        fresh["qps"]["rmc1/RM-SSD"] = [100.0, 100.0]
+        failures = compare(vcache_payload(), fresh)
+        assert any("2 points vs 3" in failure for failure in failures)
+
+    def test_configuration_drift_is_exact(self):
+        failures = compare(vcache_payload(), vcache_payload(policy="lfu"))
+        assert any("policy" in failure for failure in failures)
+
+
+class TestSelfCheck:
+    def test_good_payloads_pass(self):
+        assert self_check(fastpath_payload()) == []
+        assert self_check(vcache_payload()) == []
+
+    def test_fastpath_divergence_and_empty_run_flagged(self):
+        failures = self_check(
+            fastpath_payload(bitwise_equal=False, vectors_read=0)
+        )
+        assert len(failures) == 2
+
+    def test_rising_hit_ratio_flagged(self):
+        # Colder traces cannot hit more often.
+        bad = vcache_payload(hit_ratios={"rmc1": [0.40, 0.60, 0.90]})
+        failures = self_check(bad)
+        assert any("rises" in failure for failure in failures)
+
+    def test_non_flat_stock_qps_flagged(self):
+        bad = vcache_payload()
+        bad["qps"]["rmc1/RM-SSD"] = [100.0, 150.0, 100.0]
+        failures = self_check(bad)
+        assert any("not flat" in failure for failure in failures)
+
+    def test_cache_slower_than_stock_flagged(self):
+        bad = vcache_payload()
+        bad["qps"]["rmc1/RM-SSD+cache"] = [400.0, 220.0, 90.0]
+        failures = self_check(bad)
+        assert any("slower than stock" in failure for failure in failures)
+
+    def test_non_monotone_cached_qps_flagged(self):
+        bad = vcache_payload()
+        bad["qps"]["rmc1/RM-SSD+cache"] = [150.0, 220.0, 400.0]
+        failures = self_check(bad)
+        assert any("monotone" in failure for failure in failures)
+
+
+class TestMainAndCommittedBaselines:
+    @staticmethod
+    def dump(tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_identity_diff_exits_zero(self, tmp_path, capsys):
+        base = self.dump(tmp_path, "base.json", vcache_payload())
+        assert main(["--baseline", base, "--fresh", base]) == 0
+        assert capsys.readouterr().out.startswith("ok")
+
+    def test_injected_regression_exits_nonzero(self, tmp_path, capsys):
+        base = self.dump(tmp_path, "base.json", vcache_payload())
+        regressed = vcache_payload()
+        regressed["qps"]["rmc1/RM-SSD+cache"][0] *= 0.5
+        fresh = self.dump(tmp_path, "fresh.json", regressed)
+        assert main(["--baseline", base, "--fresh", fresh]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_self_check_mode_exit_codes(self, tmp_path, capsys):
+        good = self.dump(tmp_path, "good.json", fastpath_payload())
+        bad = self.dump(
+            tmp_path, "bad.json", fastpath_payload(bitwise_equal=False)
+        )
+        assert main(["--self-check", good]) == 0
+        assert main(["--self-check", good, bad]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_committed_baselines_self_consistent(self):
+        for name in ("BENCH_fastpath.json", "BENCH_vcache.json"):
+            with open(REPO_ROOT / name) as handle:
+                payload = json.load(handle)
+            assert self_check(payload) == [], name
+            assert compare(payload, payload) == [], name

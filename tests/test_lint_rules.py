@@ -188,6 +188,40 @@ class TestR7WallClock:
         assert rule_ids(code, path="src/repro/core/x.py") == []
 
 
+class TestR8NamedResources:
+    def test_anonymous_server_fires(self):
+        assert rule_ids("bus = Server(sim)\n") == ["R8"]
+
+    def test_anonymous_resource_fires(self):
+        assert rule_ids("die = Resource(sim, capacity=1)\n") == ["R8"]
+
+    def test_name_keyword_is_allowed(self):
+        code = "bus = Server(sim, name='channel0-bus')\n"
+        assert rule_ids(code) == []
+
+    def test_positional_name_is_allowed(self):
+        assert rule_ids("mux = Server(sim, 'ftl-mux')\n") == []
+        assert rule_ids("die = Resource(sim, 1, 'die0')\n") == []
+
+    def test_kernel_module_is_exempt(self):
+        # repro.sim defines the primitives; its internal/test helpers
+        # may build anonymous instances.
+        path = "src/repro/sim/resources.py"
+        assert rule_ids("r = Resource(sim)\n", path=path) == []
+
+    def test_outside_repro_is_exempt(self):
+        assert rule_ids("r = Resource(sim)\n", path="tests/test_x.py") == []
+
+    def test_double_star_kwargs_gets_benefit_of_doubt(self):
+        assert rule_ids("r = Resource(sim, **options)\n") == []
+
+    def test_unrelated_calls_are_ignored(self):
+        assert rule_ids("x = Server_factory(sim)\ny = make(sim)\n") == []
+
+    def test_pragma_silences(self):
+        assert rule_ids("bus = Server(sim)  # lint: ok[R8]\n") == []
+
+
 class TestEngineMechanics:
     def test_syntax_error_reported_not_raised(self):
         out = violations("def broken(:\n")

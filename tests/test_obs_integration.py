@@ -11,7 +11,12 @@ from repro.host.runtime import HostPipeline
 from repro.host.serving import ServingSimulator
 from repro.obs import MetricsRegistry, Tracer
 from repro.ssd.stats import IOSnapshot, IOStatistics
-from tools.check_trace import check_metrics, check_trace
+from tools.check_trace import (
+    check_metrics,
+    check_profile,
+    check_trace,
+    cross_check,
+)
 
 
 class TestCLIRoundTrip:
@@ -139,6 +144,147 @@ class TestHostPipelineTrace:
         end = pipeline.emit_trace(tracer, base_ns=100.0)
         assert tracer.spans[0].start_ns == pytest.approx(100.0)
         assert end == pytest.approx(106.0)
+
+
+def make_profile(**overrides):
+    """Minimal valid rmssd-profile/v1 document for mutation tests."""
+    profile = {
+        "schema": "rmssd-profile/v1",
+        "meta": {},
+        "elapsed_ns": 100.0,
+        "resources": {
+            "ftl-mux": {
+                "kind": "ftl",
+                "busy_ns": 30.0,
+                "utilization": 0.3,
+                "jobs": 2,
+                "busy_intervals": [[0.0, 10.0], [20.0, 40.0]],
+                "intervals_omitted": 0,
+            },
+        },
+        "channels": {},
+        "bottleneck": {
+            "bottleneck_stage": "emb",
+            "slack_ns": {"emb": 0.0, "bot": 1.0, "top": 1.0, "io": 1.0},
+            "invariant": {
+                "name": "embedding-stage-bottleneck",
+                "holds": True,
+            },
+            "warnings": [],
+        },
+    }
+    profile.update(overrides)
+    return profile
+
+
+def write_json(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestProfileValidation:
+    def test_cli_profile_writes_valid_profile_and_trace(self, tmp_path):
+        from repro.cli import main
+
+        profile_path = tmp_path / "profile.json"
+        trace_path = tmp_path / "trace.json"
+        exit_code = main([
+            "profile", "rmc1", "--backend", "rm-ssd",
+            "--requests", "2", "--batch", "1", "--rows", "64",
+            "--profile-out", str(profile_path),
+            "--trace-out", str(trace_path),
+        ])
+        assert exit_code == 0
+        assert check_profile(str(profile_path)) == []
+        assert cross_check(str(trace_path), str(profile_path)) == []
+        profile = json.loads(profile_path.read_text())
+        assert profile["bottleneck"]["bottleneck_stage"] == "emb"
+        assert profile["meta"]["model"] == "rmc1"
+
+    def test_valid_synthetic_profile_passes(self, tmp_path):
+        path = write_json(tmp_path, "p.json", make_profile())
+        assert check_profile(path) == []
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = write_json(
+            tmp_path, "p.json", make_profile(schema="rmssd-trace/v1")
+        )
+        assert any("schema" in p for p in check_profile(path))
+
+    def test_utilization_above_one_flagged(self, tmp_path):
+        profile = make_profile()
+        profile["resources"]["ftl-mux"]["utilization"] = 1.5
+        path = write_json(tmp_path, "p.json", profile)
+        assert any("outside [0, 1]" in p for p in check_profile(path))
+
+    def test_unsorted_timeline_flagged(self, tmp_path):
+        profile = make_profile()
+        profile["resources"]["ftl-mux"]["busy_intervals"] = [
+            [20.0, 40.0], [0.0, 10.0],
+        ]
+        path = write_json(tmp_path, "p.json", profile)
+        assert any("sorted" in p for p in check_profile(path))
+
+    def test_timeline_busy_mismatch_flagged(self, tmp_path):
+        profile = make_profile()
+        profile["resources"]["ftl-mux"]["busy_ns"] = 99.0
+        profile["resources"]["ftl-mux"]["utilization"] = 0.99
+        path = write_json(tmp_path, "p.json", profile)
+        assert any("timeline covers" in p for p in check_profile(path))
+
+    def test_violated_invariant_needs_warning(self, tmp_path):
+        profile = make_profile()
+        profile["bottleneck"]["bottleneck_stage"] = "top"
+        profile["bottleneck"]["invariant"]["holds"] = False
+        path = write_json(tmp_path, "p.json", profile)
+        assert any("no structured warning" in p for p in check_profile(path))
+        profile["bottleneck"]["warnings"] = [
+            {"type": "mlp-dominates-embedding", "stage": "top"}
+        ]
+        path = write_json(tmp_path, "p2.json", profile)
+        assert check_profile(path) == []
+
+    @staticmethod
+    def trace_with_ftl_span(tmp_path, begin_us, end_us):
+        return write_json(tmp_path, "t.json", {"traceEvents": [
+            {"name": "ftl", "ph": "B", "ts": begin_us, "pid": 1, "tid": 1},
+            {"name": "ftl", "ph": "E", "ts": end_us, "pid": 1, "tid": 1},
+        ]})
+
+    def test_cross_check_contained_intervals_pass(self, tmp_path):
+        # One ftl span covering [0, 50000] ns contains both profile
+        # busy intervals of ftl-mux.
+        trace = self.trace_with_ftl_span(tmp_path, 0.0, 50.0)
+        profile = write_json(tmp_path, "p.json", make_profile())
+        assert cross_check(trace, profile) == []
+
+    def test_cross_check_flags_uncovered_busy_time(self, tmp_path):
+        trace = self.trace_with_ftl_span(tmp_path, 0.0, 0.015)
+        profile = write_json(tmp_path, "p.json", make_profile())
+        problems = cross_check(trace, profile)
+        assert any("outside the 'ftl' spans" in p for p in problems)
+
+    def test_cross_check_flags_missing_span(self, tmp_path):
+        trace = write_json(tmp_path, "t.json", {"traceEvents": []})
+        profile = write_json(tmp_path, "p.json", make_profile())
+        problems = cross_check(trace, profile)
+        assert any("never emitted" in p for p in problems)
+
+    def test_cross_check_needs_overlap(self, tmp_path):
+        trace = self.trace_with_ftl_span(tmp_path, 0.0, 50.0)
+        profile = make_profile()
+        # Only unmapped resources: nothing to cross-check is itself
+        # a problem (the check would silently pass forever).
+        profile["resources"] = {
+            "gemm16x16": {
+                "kind": "mlp", "busy_ns": 1.0, "utilization": 0.01,
+                "jobs": 1, "busy_intervals": [[0.0, 1.0]],
+                "intervals_omitted": 0,
+            }
+        }
+        path = write_json(tmp_path, "p.json", profile)
+        assert any("no overlapping" in p for p in cross_check(trace, path))
 
 
 class TestIOSnapshots:

@@ -1,0 +1,122 @@
+"""Profiler determinism and DES-vs-fastpath byte equivalence.
+
+The profiler inherits the repo's two strongest contracts:
+
+* **determinism** — a seeded run exports byte-identical profile JSON
+  every time (simulated clock only; sorted keys and records);
+* **path equivalence** — the vectorized fast path records the *same*
+  service triples, busy intervals and queue samples as the DES (same
+  float arithmetic), so the two paths' exports are byte-identical too.
+
+Plus the acceptance invariant: on the optimized RM-SSD design the
+embedding stage is the named bottleneck for RMC1/RMC2, while the
+RM-SSD-Naive design trips the ``mlp-dominates-embedding`` warning.
+"""
+
+import pytest
+
+from repro.baselines import RMSSDBackend
+from repro.models import build_model, get_config
+from repro.obs import Profiler
+from repro.ssd.vcache import VectorCache
+from repro.workloads.inputs import RequestGenerator
+
+ROWS = 64
+REQUESTS = 2
+MODELS = ("rmc1", "rmc2", "rmc3")
+
+
+def profiled_run(
+    tmp_path, model_name, tag, fast, vcache_vectors=0, mlp_design="optimized"
+):
+    """One seeded device run; returns (profiler, exported bytes)."""
+    config = get_config(model_name)
+    model = build_model(config, rows_per_table=ROWS)
+    profiler = Profiler()
+    backend = RMSSDBackend(
+        model,
+        config.lookups_per_table,
+        mlp_design=mlp_design,
+        use_des=True,
+        fastpath=fast,
+        vcache=VectorCache(vcache_vectors) if vcache_vectors else None,
+        profiler=profiler,
+    )
+    generator = RequestGenerator(
+        config, ROWS, hot_access_fraction=0.65, seed=0
+    )
+    backend.run(generator.requests(REQUESTS, batch_size=1), compute=False)
+    profiler.set_meta(model=model_name, rows=ROWS, seed=0)
+    path = profiler.export_json(str(tmp_path / f"{tag}.json"))
+    with open(path, "rb") as handle:
+        return profiler, handle.read()
+
+
+@pytest.mark.parametrize("model_name", MODELS)
+def test_des_and_fast_profiles_byte_identical(tmp_path, model_name):
+    _, des = profiled_run(tmp_path, model_name, "des", fast=False)
+    _, fast = profiled_run(tmp_path, model_name, "fast", fast=True)
+    assert fast == des
+
+
+def test_vcache_profiles_byte_identical(tmp_path):
+    _, des = profiled_run(
+        tmp_path, "rmc1", "des", fast=False, vcache_vectors=128
+    )
+    profiler, fast = profiled_run(
+        tmp_path, "rmc1", "fast", fast=True, vcache_vectors=128
+    )
+    assert fast == des
+    assert "vcache" in profiler.resource_report()
+
+
+def test_repeated_runs_byte_identical(tmp_path):
+    _, first = profiled_run(tmp_path, "rmc1", "first", fast=True)
+    _, second = profiled_run(tmp_path, "rmc1", "second", fast=True)
+    assert second == first
+
+
+def test_paths_agree_on_utilization(tmp_path):
+    des_profiler, _ = profiled_run(tmp_path, "rmc2", "des", fast=False)
+    fast_profiler, _ = profiled_run(tmp_path, "rmc2", "fast", fast=True)
+    assert fast_profiler.utilizations() == des_profiler.utilizations()
+    assert fast_profiler.elapsed_ns() == pytest.approx(
+        des_profiler.elapsed_ns(), rel=0, abs=0
+    )
+
+
+@pytest.mark.parametrize("model_name", MODELS)
+def test_busy_never_exceeds_elapsed(tmp_path, model_name):
+    profiler, _ = profiled_run(tmp_path, model_name, "run", fast=True)
+    elapsed = profiler.elapsed_ns()
+    assert elapsed > 0
+    report = profiler.resource_report(elapsed)
+    assert report  # flash dies, buses, FTL, EV-Sum, MLP, host I/O
+    for name, entry in report.items():
+        assert 0.0 <= entry["utilization"] <= 1.0, name
+        assert entry["busy_ns"] <= elapsed
+    for group in profiler.channel_report(elapsed).values():
+        assert 0.0 <= group["utilization"] <= 1.0
+
+
+@pytest.mark.parametrize("model_name", ("rmc1", "rmc2"))
+def test_optimized_design_names_embedding_bottleneck(tmp_path, model_name):
+    profiler, _ = profiled_run(tmp_path, model_name, "run", fast=True)
+    report = profiler.bottleneck_report()
+    assert report["bottleneck_stage"] == "emb"
+    assert report["invariant"]["holds"] is True
+    assert report["warnings"] == []
+
+
+def test_naive_design_trips_mlp_warning(tmp_path):
+    # RMC3's big MLPs on the serialized naive kernel dominate the
+    # embedding stage — the Fig. 12c failure mode the invariant guards.
+    profiler, _ = profiled_run(
+        tmp_path, "rmc3", "naive", fast=True, mlp_design="naive"
+    )
+    report = profiler.bottleneck_report()
+    assert report["invariant"]["holds"] is False
+    assert report["serialized_batches"] == report["batches"] > 0
+    (warning,) = report["warnings"]
+    assert warning["type"] == "mlp-dominates-embedding"
+    assert warning["ratio"] > 1.0

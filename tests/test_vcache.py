@@ -191,6 +191,36 @@ class TestIOStatistics:
         assert stats.as_dict()["vcache_hits"] == 2
         assert stats.as_dict()["vcache_hit_ratio"] == pytest.approx(0.25)
 
+    def test_eviction_and_fill_counters_windowed(self):
+        stats = IOStatistics()
+        stats.record_vcache(0, 4, evictions=1, fills=4)
+        before = stats.snapshot()
+        stats.record_vcache(3, 1, evictions=0, fills=1)
+        window = stats.diff(before)
+        assert (window.vcache_evictions, window.vcache_fills) == (0, 1)
+        assert (stats.vcache_evictions, stats.vcache_fills) == (1, 5)
+
+    def test_window_around_cached_lookup(self):
+        """snapshot()/diff() around a real lookup carries every vcache
+        counter through the window — including evictions and fills."""
+        from tests.test_fastpath_equivalence import build_engine
+
+        engine = build_engine("square", vcache=VectorCache(16))
+        stats = engine.controller.stats
+        batch = [[[0, 1, 2], [3, 4], [5]]]
+        engine.lookup_batch(batch, fast=False)  # cold: all misses fill
+        before = stats.snapshot()
+        result = engine.lookup_batch(batch, fast=False)  # warm: all hit
+        window = stats.diff(before)
+        assert result.vcache_hits == 6
+        assert (window.vcache_hits, window.vcache_misses) == (6, 0)
+        assert (window.vcache_evictions, window.vcache_fills) == (0, 0)
+        assert window.vcache_hit_ratio == pytest.approx(1.0)
+        # The cold batch's fills live in the cumulative counters (and
+        # in the window *before* the snapshot), not in this window.
+        assert stats.vcache_fills == 6
+        assert before.vcache_fills == 6
+
 
 class TestSanitizerInvariant:
     def test_valid_batches_pass(self):

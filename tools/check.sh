@@ -27,5 +27,39 @@ PYTHONPATH=src:. python -m tools.check_trace /tmp/rmssd_trace_smoke.json \
     --require request translate flash_read ev_sum bottom_mlp top_mlp \
     --metrics /tmp/rmssd_metrics_smoke.json
 
+echo "== profile smoke (DES vs fast byte-identical; schema checks) =="
+RMSSD_SANITIZE=1 python -m repro profile rmc1 --backend rm-ssd \
+    --requests 2 --batch 1 --rows 64 \
+    --profile-out /tmp/rmssd_profile_smoke.json \
+    --trace-out /tmp/rmssd_profile_trace_smoke.json > /dev/null
+RMSSD_SANITIZE=1 python -m repro profile rmc1 --backend rm-ssd \
+    --requests 2 --batch 1 --rows 64 --no-fastpath \
+    --profile-out /tmp/rmssd_profile_smoke_des.json > /dev/null
+cmp /tmp/rmssd_profile_smoke.json /tmp/rmssd_profile_smoke_des.json
+PYTHONPATH=src:. python -m tools.check_trace \
+    /tmp/rmssd_profile_trace_smoke.json \
+    --profile /tmp/rmssd_profile_smoke.json
+
+echo "== bench-regression gate (tools/bench_compare.py) =="
+# Committed baselines must satisfy their own invariants and pass an
+# identity diff; an injected synthetic regression must be flagged.
+PYTHONPATH=src:. python -m tools.bench_compare \
+    --self-check BENCH_fastpath.json BENCH_vcache.json
+PYTHONPATH=src:. python -m tools.bench_compare \
+    --baseline BENCH_fastpath.json --fresh BENCH_fastpath.json
+PYTHONPATH=src:. python -m tools.bench_compare \
+    --baseline BENCH_vcache.json --fresh BENCH_vcache.json
+python -c "import json; p = json.load(open('BENCH_vcache.json')); \
+p['qps']['rmc1/RM-SSD+cache'][0] *= 0.5; \
+json.dump(p, open('/tmp/rmssd_bench_regressed.json', 'w'))"
+if PYTHONPATH=src:. python -m tools.bench_compare \
+    --baseline BENCH_vcache.json \
+    --fresh /tmp/rmssd_bench_regressed.json > /dev/null; then
+    echo "bench_compare missed an injected regression" >&2
+    exit 1
+else
+    echo "ok   injected regression flagged"
+fi
+
 echo "== tests (RMSSD_SANITIZE=1) =="
 RMSSD_SANITIZE=1 python -m pytest -x -q

@@ -1,16 +1,25 @@
-"""Validate a Chrome-trace JSON file (and optionally a metrics file).
+"""Validate exported observability JSON (trace, metrics, profile).
 
-The ``trace-smoke`` gate runs a tiny traced inference and pipes the
-resulting ``trace.json`` through this checker:
+The ``trace-smoke``/``profile-smoke`` gates run a tiny instrumented
+inference and pipe the resulting JSON through this checker:
 
-* the document is valid JSON with a ``traceEvents`` list;
+* the trace is valid JSON with a ``traceEvents`` list;
 * every track (pid, tid) has balanced ``B``/``E`` events with
   non-decreasing timestamps and proper nesting (an ``E`` always closes
   the most recent open ``B`` of the same name);
 * required span names (``--require``) all appear;
 * with ``--metrics``, the metrics JSON has the registry schema
   (counters/gauges/histograms/snapshots) and every histogram carries
-  the quantile summary fields.
+  the quantile summary fields;
+* with ``--profile``, the profile JSON has the ``rmssd-profile/v1``
+  schema and is internally consistent: utilizations in [0, 1], every
+  resource's busy time <= the run's elapsed time, busy timelines
+  sorted and non-overlapping inside [0, elapsed], queue depths
+  non-negative, and the bottleneck report well formed;
+* with *both* a trace and ``--profile``, the two exports of the same
+  run are cross-checked: the profile's busy intervals for span-mapped
+  resources (FTL MUX, channel buses, EV Sum) must lie inside the
+  union of the corresponding trace spans.
 
 Exit status 0 on success; 1 with a diagnostic on the first failure.
 
@@ -18,7 +27,7 @@ Usage::
 
     python -m tools.check_trace trace.json \
         --require translate flash_read ev_sum \
-        --metrics metrics.json
+        --metrics metrics.json --profile profile.json
 """
 
 from __future__ import annotations
@@ -26,11 +35,20 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 HISTOGRAM_FIELDS = (
     "count", "mean_ns", "p50_ns", "p95_ns", "p99_ns", "min_ns", "max_ns",
 )
+
+PROFILE_SCHEMA = "rmssd-profile/v1"
+
+STAGE_KEYS = ("emb", "bot", "top", "io")
+
+#: Slack allowed in the trace/profile cross-check, in nanoseconds:
+#: both files derive from the same float quantities, so this only
+#: absorbs the µs conversion in the Chrome export.
+CROSS_CHECK_TOLERANCE_NS = 1.0
 
 
 def check_trace(path: str, require: List[str]) -> List[str]:
@@ -119,11 +137,193 @@ def check_metrics(path: str) -> List[str]:
     return problems
 
 
+def check_profile(path: str) -> List[str]:
+    """Internal consistency of a ``rmssd-profile/v1`` export."""
+    problems: List[str] = []
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as error:
+        return [f"{path}: cannot load: {error}"]
+    if document.get("schema") != PROFILE_SCHEMA:
+        return [f"{path}: schema {document.get('schema')!r} is not "
+                f"{PROFILE_SCHEMA!r}"]
+    elapsed = document.get("elapsed_ns")
+    if not isinstance(elapsed, (int, float)) or elapsed < 0:
+        return [f"{path}: invalid elapsed_ns {elapsed!r}"]
+    resources = document.get("resources")
+    if not isinstance(resources, dict) or not resources:
+        problems.append(f"{path}: no resources profiled")
+        resources = {}
+    for name, entry in resources.items():
+        utilization = entry.get("utilization", -1.0)
+        if not 0.0 <= utilization <= 1.0:
+            problems.append(
+                f"{path}: {name}: utilization {utilization} outside [0, 1]"
+            )
+        busy = entry.get("busy_ns", -1.0)
+        if busy < 0 or busy > elapsed:
+            problems.append(
+                f"{path}: {name}: busy_ns {busy} outside [0, elapsed="
+                f"{elapsed}]"
+            )
+        intervals = entry.get("busy_intervals", [])
+        cursor = 0.0
+        covered = 0.0
+        for interval in intervals:
+            start, end = interval
+            if start < cursor or end < start:
+                problems.append(
+                    f"{path}: {name}: busy timeline not sorted/disjoint "
+                    f"at [{start}, {end}]"
+                )
+                break
+            cursor = end
+            covered += end - start
+        if cursor > elapsed:
+            problems.append(
+                f"{path}: {name}: busy timeline extends past elapsed "
+                f"({cursor} > {elapsed})"
+            )
+        if not entry.get("intervals_omitted", 0) and intervals:
+            # Full timeline exported: it must account for busy_ns.
+            if abs(covered - busy) > max(1e-6 * busy, 1e-6):
+                problems.append(
+                    f"{path}: {name}: timeline covers {covered} ns but "
+                    f"busy_ns says {busy}"
+                )
+        queue = entry.get("queue")
+        if queue is not None:
+            if queue.get("max_depth", -1) < 0 or queue.get("mean_depth", -1.0) < 0:
+                problems.append(f"{path}: {name}: negative queue depth")
+    channels = document.get("channels", {})
+    for name, entry in channels.items():
+        utilization = entry.get("utilization", -1.0)
+        if not 0.0 <= utilization <= 1.0:
+            problems.append(
+                f"{path}: channel group {name}: utilization {utilization} "
+                "outside [0, 1]"
+            )
+    bottleneck = document.get("bottleneck")
+    if not isinstance(bottleneck, dict):
+        problems.append(f"{path}: missing bottleneck report")
+        return problems
+    stage = bottleneck.get("bottleneck_stage")
+    if stage not in STAGE_KEYS:
+        problems.append(f"{path}: bottleneck_stage {stage!r} not in "
+                        f"{STAGE_KEYS}")
+    slack = bottleneck.get("slack_ns", {})
+    for key in STAGE_KEYS:
+        if slack.get(key, -1.0) < 0:
+            problems.append(f"{path}: negative slack for stage {key!r}")
+    invariant = bottleneck.get("invariant", {})
+    if not isinstance(invariant.get("holds"), bool):
+        problems.append(f"{path}: invariant report missing 'holds'")
+    elif not invariant["holds"] and not bottleneck.get("warnings"):
+        problems.append(
+            f"{path}: invariant violated but no structured warning emitted"
+        )
+    return problems
+
+
+#: Profile resource name -> trace span name, for resources that appear
+#: in both exports.  Dies have no spans (the trace shows the channel,
+#: not its dies) and the MLP/host spans use lanes, so the overlap check
+#: covers the serialized resources whose mapping is 1:1.
+def _span_name_for(resource: str) -> Optional[str]:
+    if resource == "ftl-mux":
+        return "ftl"
+    if resource == "ev_sum":
+        return "ev_sum"
+    if resource.endswith("-bus") and resource.startswith("channel"):
+        return resource[: -len("-bus")]
+    return None
+
+
+def _trace_span_unions(path: str) -> Dict[str, List[Tuple[float, float]]]:
+    """Merged ``[start_ns, end_ns)`` unions per span name in a trace."""
+    with open(path) as handle:
+        document = json.load(handle)
+    open_spans: Dict[tuple, List[float]] = {}
+    intervals: Dict[str, List[Tuple[float, float]]] = {}
+    for event in document.get("traceEvents", []):
+        phase = event.get("ph")
+        if phase not in ("B", "E"):
+            continue
+        name = event.get("name")
+        key = (event.get("pid"), event.get("tid"), name)
+        ts_ns = float(event.get("ts", 0.0)) * 1000.0
+        if phase == "B":
+            open_spans.setdefault(key, []).append(ts_ns)
+        elif open_spans.get(key):
+            start = open_spans[key].pop()
+            intervals.setdefault(name, []).append((start, ts_ns))
+    merged: Dict[str, List[Tuple[float, float]]] = {}
+    for name, pairs in intervals.items():
+        pairs.sort()
+        union = [list(pairs[0])]
+        for start, end in pairs[1:]:
+            if start <= union[-1][1]:
+                union[-1][1] = max(union[-1][1], end)
+            else:
+                union.append([start, end])
+        merged[name] = [tuple(pair) for pair in union]
+    return merged
+
+
+def cross_check(trace_path: str, profile_path: str) -> List[str]:
+    """Overlap consistency between a trace and a profile of one run.
+
+    Every profile busy interval of a span-mapped resource must lie
+    inside the union of that span's trace occurrences — the profile
+    may merge (dies hand off back to back) but never invent busy time
+    the trace does not show.
+    """
+    problems: List[str] = []
+    try:
+        spans = _trace_span_unions(trace_path)
+        with open(profile_path) as handle:
+            profile = json.load(handle)
+    except (OSError, ValueError) as error:
+        return [f"cross-check: cannot load: {error}"]
+    checked = 0
+    for resource, entry in profile.get("resources", {}).items():
+        span_name = _span_name_for(resource)
+        if span_name is None:
+            continue
+        union = spans.get(span_name)
+        if union is None:
+            problems.append(
+                f"cross-check: profile has {resource!r} but the trace "
+                f"never emitted a {span_name!r} span"
+            )
+            continue
+        for start, end in entry.get("busy_intervals", []):
+            contained = any(
+                a - CROSS_CHECK_TOLERANCE_NS <= start
+                and end <= b + CROSS_CHECK_TOLERANCE_NS
+                for a, b in union
+            )
+            if not contained:
+                problems.append(
+                    f"cross-check: {resource}: busy [{start}, {end}] ns "
+                    f"outside the {span_name!r} spans"
+                )
+                break
+            checked += 1
+    if checked == 0 and not problems:
+        problems.append(
+            "cross-check: no overlapping resources between trace and profile"
+        )
+    return problems
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="check_trace", description=__doc__.splitlines()[0]
     )
-    parser.add_argument("trace", help="Chrome-trace JSON file")
+    parser.add_argument("trace", nargs="?", default=None,
+                        help="Chrome-trace JSON file")
     parser.add_argument(
         "--require", nargs="*", default=[],
         help="span names that must appear in the trace",
@@ -132,15 +332,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--metrics", default=None,
         help="also validate a metrics JSON export",
     )
+    parser.add_argument(
+        "--profile", default=None,
+        help="also validate a utilization-profile JSON export "
+             "(cross-checked against the trace when both are given)",
+    )
     args = parser.parse_args(argv)
-    problems = check_trace(args.trace, args.require)
+    if args.trace is None and args.profile is None:
+        parser.error("need a trace file and/or --profile")
+    problems: List[str] = []
+    if args.trace is not None:
+        problems += check_trace(args.trace, args.require)
     if args.metrics:
         problems += check_metrics(args.metrics)
+    if args.profile:
+        problems += check_profile(args.profile)
+        if args.trace is not None:
+            problems += cross_check(args.trace, args.profile)
     if problems:
         for problem in problems:
             print(f"check_trace: {problem}", file=sys.stderr)
         return 1
-    print(f"check_trace: {args.trace} OK")
+    print(f"check_trace: {args.trace or args.profile} OK")
     return 0
 
 

@@ -29,6 +29,12 @@ cannot know about:
   ``time.time()`` there would leak wall-clock values into results
   (and silently break trace determinism and the fastpath/DES
   equivalence).  The clock is ``sim.now``, full stop.
+* **R8  DES resources are named for the profiler** — every
+  ``Resource``/``Server`` constructed outside :mod:`repro.sim`
+  must pass a ``name`` (positionally or by keyword).  Anonymous
+  resources fall out of the utilization profiler's busy/idle
+  timelines and bottleneck attribution, so a new contention point
+  would silently show up as idle time nobody can explain.
 """
 
 from __future__ import annotations
@@ -388,6 +394,44 @@ class WallClockRule(Rule):
                 )
 
 
+class NamedResourceRule(Rule):
+    """R8: DES resources built outside repro.sim carry a name."""
+
+    id = "R8"
+    title = "DES resources are named for the profiler"
+
+    #: Constructor -> minimum positional-arg count that covers the
+    #: ``name`` parameter (Server(sim, name, ...);
+    #: Resource(sim, capacity, name, ...)).
+    _CONSTRUCTORS = {"Server": 2, "Resource": 3}
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.in_module("repro") or ctx.in_module("repro", "sim"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = _name_of(node.func)
+            arity = self._CONSTRUCTORS.get(callee)
+            if arity is None:
+                continue
+            positional = [
+                arg for arg in node.args if not isinstance(arg, ast.Starred)
+            ]
+            if len(positional) >= arity:
+                continue
+            if any(keyword.arg == "name" for keyword in node.keywords):
+                continue
+            if any(keyword.arg is None for keyword in node.keywords):
+                continue  # **kwargs may carry the name; give it the
+                # benefit of the doubt rather than false-positive.
+            yield self.violation(
+                ctx, node,
+                f"anonymous {callee}; pass name= so the utilization "
+                f"profiler can attribute its busy intervals",
+            )
+
+
 ALL_RULES = (
     UnitSuffixRule(),
     FloatTimeEqualityRule(),
@@ -396,6 +440,7 @@ ALL_RULES = (
     FTLEncapsulationRule(),
     BenchmarkReportRule(),
     WallClockRule(),
+    NamedResourceRule(),
 )
 
 RULES_BY_ID = {rule.id: rule for rule in ALL_RULES}
