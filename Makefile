@@ -1,13 +1,20 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint compile test bench bench-fast bench-vcache trace-smoke \
-	profile-smoke bench-check
+.PHONY: check lint lint-strict compile test bench bench-fast bench-vcache \
+	trace-smoke profile-smoke bench-check
 
 check: lint compile test trace-smoke profile-smoke
 
 lint:
 	$(PYTHON) -m tools.lint src tests benchmarks
+
+# Whole-tree lint under the ratchet (tools included) plus the R9
+# injected-drift canary proving the parity analysis is live.
+lint-strict:
+	$(PYTHON) -m tools.lint src tests benchmarks tools \
+		--baseline tools/lint/baseline.json
+	$(PYTHON) -m tools.lint.canary
 
 compile:
 	$(PYTHON) -m compileall -q src tools tests benchmarks

@@ -145,7 +145,7 @@ def cmd_run(args) -> int:
 
         tracer = Tracer()
     if args.metrics_out:
-        from repro.obs import MetricsRegistry
+        from repro.obs import MetricsRegistry, names
 
         metrics = MetricsRegistry()
     if (tracer or metrics) and args.backend not in ("rm-ssd", "rm-ssd-naive"):
@@ -197,8 +197,8 @@ def cmd_run(args) -> int:
         print(f"trace:          {path} ({len(tracer)} spans; "
               "open in ui.perfetto.dev)")
     if metrics is not None:
-        metrics.gauge("run.qps").set(result.qps)
-        metrics.counter("run.inferences").inc(result.inferences)
+        metrics.gauge(names.METRIC_RUN_QPS).set(result.qps)
+        metrics.counter(names.METRIC_RUN_INFERENCES).inc(result.inferences)
         metrics.absorb_io(result.stats)
         path = metrics.export_json(args.metrics_out)
         print(f"metrics:        {path}")

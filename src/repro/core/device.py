@@ -26,7 +26,7 @@ import numpy as np
 from repro.core.lookup_engine import EmbeddingLookupEngine, flash_read_cycles
 from repro.core.mlp_engine import MLPAccelerationEngine
 from repro.core.registers import MMIOCostModel, MMIOManager
-from repro.obs import resolve_profiler, resolve_tracer
+from repro.obs import names, resolve_profiler, resolve_tracer
 from repro.embedding.layout import EmbeddingLayout
 from repro.fpga.decompose import decompose_model
 from repro.fpga.search import kernel_search
@@ -358,7 +358,7 @@ class RMSSD:
         end = batch_start + timing.latency_ns
         track = tracer.lane_track("host", batch_start, end)
         tracer.add_span(
-            "request",
+            names.SPAN_REQUEST,
             batch_start,
             end,
             cat="host",
@@ -370,9 +370,15 @@ class RMSSD:
             },
         )
         tracer.add_span(
-            "io_send", batch_start, batch_start + send_ns, cat="io", track=track
+            names.SPAN_IO_SEND,
+            batch_start,
+            batch_start + send_ns,
+            cat="io",
+            track=track,
         )
-        tracer.add_span("io_recv", end - recv_ns, end, cat="io", track=track)
+        tracer.add_span(
+            names.SPAN_IO_RECV, end - recv_ns, end, cat="io", track=track
+        )
         if timing.serialized:
             # The naive shared-GEMM design runs after the embedding
             # stage drains; there is no per-layer decomposition to show.
@@ -380,7 +386,7 @@ class RMSSD:
             mlp_end = mlp_start + timing.top_ns
             mlp_track = tracer.lane_track("mlp", mlp_start, mlp_end)
             tracer.add_span(
-                "top_mlp",
+                names.SPAN_TOP_MLP,
                 mlp_start,
                 mlp_end,
                 cat="mlp",
@@ -388,9 +394,11 @@ class RMSSD:
                 args={"design": MLP_DESIGN_NAIVE},
             )
             return
-        self._emit_chain_spans("bottom_mlp", "bottom", batch_start, timing.nbatch)
+        self._emit_chain_spans(
+            names.SPAN_BOTTOM_MLP, "bottom", batch_start, timing.nbatch
+        )
         top_start = batch_start + max(timing.emb_ns, timing.bot_ns)
-        self._emit_chain_spans("top_mlp", "top", top_start, timing.nbatch)
+        self._emit_chain_spans(names.SPAN_TOP_MLP, "top", top_start, timing.nbatch)
 
     def _emit_chain_spans(
         self, name: str, chain: str, chain_start: float, nbatch: int
@@ -420,7 +428,7 @@ class RMSSD:
         for pair in pairs:
             for layer_name, duration in pair:
                 tracer.add_span(
-                    f"fc:{layer_name}",
+                    names.fc_name(layer_name),
                     cursor,
                     cursor + duration,
                     cat="mlp",
@@ -457,13 +465,21 @@ class RMSSD:
             timing.serialized,
         )
         profiler.record_busy(
-            "host.io", batch_start, batch_start + send_ns, "host-io"
+            names.RES_HOST_IO,
+            batch_start,
+            batch_start + send_ns,
+            names.KIND_HOST_IO,
         )
-        profiler.record_busy("host.io", end - recv_ns, end, "host-io")
+        profiler.record_busy(
+            names.RES_HOST_IO, end - recv_ns, end, names.KIND_HOST_IO
+        )
         if timing.serialized:
             mlp_start = batch_start + timing.emb_ns
             profiler.record_busy(
-                "gemm16x16", mlp_start, mlp_start + timing.top_ns, "mlp"
+                names.RES_GEMM_NAIVE,
+                mlp_start,
+                mlp_start + timing.top_ns,
+                names.KIND_MLP,
             )
             return
         self._profile_chain("bottom", batch_start, timing.nbatch)
@@ -478,28 +494,33 @@ class RMSSD:
         for pair in pairs:
             for layer_name, duration in pair:
                 profiler.record_busy(
-                    f"fc:{layer_name}", cursor, cursor + duration, "mlp"
+                    names.fc_name(layer_name),
+                    cursor,
+                    cursor + duration,
+                    names.KIND_MLP,
                 )
             cursor += max(d for _, d in pair)
 
     def _observe_metrics(self, timing: DeviceTiming) -> None:
         metrics = self.metrics
-        metrics.counter("device.batches").inc()
-        metrics.counter("device.inferences").inc(timing.nbatch)
-        metrics.histogram("request_latency_ns").observe(timing.latency_ns)
-        metrics.histogram("stage.emb_ns").observe(timing.emb_ns)
-        metrics.histogram("stage.bot_ns").observe(timing.bot_ns)
-        metrics.histogram("stage.top_ns").observe(timing.top_ns)
-        metrics.histogram("stage.io_ns").observe(timing.io_ns)
+        metrics.counter(names.METRIC_DEVICE_BATCHES).inc()
+        metrics.counter(names.METRIC_DEVICE_INFERENCES).inc(timing.nbatch)
+        metrics.histogram(names.METRIC_REQUEST_LATENCY).observe(timing.latency_ns)
+        metrics.histogram(names.METRIC_STAGE_EMB).observe(timing.emb_ns)
+        metrics.histogram(names.METRIC_STAGE_BOT).observe(timing.bot_ns)
+        metrics.histogram(names.METRIC_STAGE_TOP).observe(timing.top_ns)
+        metrics.histogram(names.METRIC_STAGE_IO).observe(timing.io_ns)
         vcache = self.controller.vcache
         if vcache is not None:
             hits, misses, evictions = self._vcache_observed
-            metrics.counter("vcache.hits").inc(vcache.hits - hits)
-            metrics.counter("vcache.misses").inc(vcache.misses - misses)
-            metrics.counter("vcache.evictions").inc(
+            metrics.counter(names.METRIC_VCACHE_HITS).inc(vcache.hits - hits)
+            metrics.counter(names.METRIC_VCACHE_MISSES).inc(
+                vcache.misses - misses
+            )
+            metrics.counter(names.METRIC_VCACHE_EVICTIONS).inc(
                 vcache.evictions - evictions
             )
-            metrics.gauge("vcache.hit_ratio").set(vcache.hit_ratio)
+            metrics.gauge(names.METRIC_VCACHE_HIT_RATIO).set(vcache.hit_ratio)
             self._vcache_observed = (
                 vcache.hits, vcache.misses, vcache.evictions,
             )

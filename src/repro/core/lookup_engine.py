@@ -27,6 +27,7 @@ import numpy as np
 from repro.embedding.layout import EmbeddingLayout
 from repro.embedding.pooling import segment_pool
 from repro.embedding.translator import EVTranslator
+from repro.obs import names
 from repro.ssd import fastpath, vcache as vcache_model
 from repro.ssd.controller import SSDController
 from repro.ssd.geometry import SSDGeometry
@@ -373,7 +374,7 @@ class EmbeddingLookupEngine:
         if vcache_enabled:
             batch_args["vcache_hits"] = vcache_hits
         tracer.add_span(
-            "lookup_batch",
+            names.SPAN_LOOKUP_BATCH,
             start,
             end,
             cat="emb",
@@ -381,17 +382,19 @@ class EmbeddingLookupEngine:
             args=batch_args,
         )
         tracer.add_span(
-            "translate",
+            names.SPAN_TRANSLATE,
             start,
             start,
             cat="emb",
             track=track,
             args={"vectors": vectors_read},
         )
-        tracer.add_span("flash_read", start, start + elapsed, cat="emb", track=track)
+        tracer.add_span(
+            names.SPAN_FLASH_READ, start, start + elapsed, cat="emb", track=track
+        )
         if vcache_enabled:
             tracer.add_span(
-                "vcache",
+                names.VCACHE,
                 start,
                 start + vcache_ns,
                 cat="emb",
@@ -399,7 +402,7 @@ class EmbeddingLookupEngine:
                 args={"hits": vcache_hits},
             )
         tracer.add_span(
-            "ev_sum",
+            names.EV_SUM,
             start + stage_ns,
             end,
             cat="emb",
@@ -427,10 +430,15 @@ class EmbeddingLookupEngine:
             return
         stage_ns = max(elapsed, vcache_ns) if vcache_enabled else elapsed
         profiler.record_busy(
-            "ev_sum", start + stage_ns, start + stage_ns + ev_sum_ns, "ev-sum"
+            names.EV_SUM,
+            start + stage_ns,
+            start + stage_ns + ev_sum_ns,
+            names.KIND_EV_SUM,
         )
         if vcache_enabled:
-            profiler.record_busy("vcache", start, start + vcache_ns, "vcache")
+            profiler.record_busy(
+                names.VCACHE, start, start + vcache_ns, names.VCACHE
+            )
 
     def _lookup_batch_des(
         self, sparse_batch: Sequence[Sequence[Sequence[int]]]

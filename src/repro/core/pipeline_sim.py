@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Callable, Generator, List, Optional, Sequence
 
 from repro.fpga.compose import StageTimes
-from repro.obs import resolve_tracer
+from repro.obs import names, resolve_tracer
 from repro.sim import Server, Simulator
 
 
@@ -141,9 +141,9 @@ class PipelineSimulator:
         else:
             arrivals = [i * arrival_interval_ns for i in range(batches)]
         sim = Simulator()
-        emb_server = Server(sim, "emb")
-        bot_server = Server(sim, "bot")
-        top_server = Server(sim, "top")
+        emb_server = Server(sim, names.STAGE_EMB)
+        bot_server = Server(sim, names.STAGE_BOT)
+        top_server = Server(sim, names.STAGE_TOP)
         records = [
             BatchRecord(index=i, arrival_ns=arrivals[i]) for i in range(batches)
         ]
@@ -195,7 +195,7 @@ class PipelineSimulator:
                 "serve.req", record.arrival_ns, record.top_done_ns
             )
             tracer.add_span(
-                "batch",
+                names.SPAN_BATCH,
                 record.arrival_ns,
                 record.top_done_ns,
                 cat="serve",
@@ -204,18 +204,18 @@ class PipelineSimulator:
             )
             if record.emb_start_ns > record.arrival_ns:
                 tracer.add_span(
-                    "queue",
+                    names.SPAN_QUEUE,
                     record.arrival_ns,
                     record.emb_start_ns,
                     cat="serve",
                     track=track,
                 )
             tracer.add_span(
-                "emb", record.emb_start_ns, record.emb_done_ns,
+                names.STAGE_EMB, record.emb_start_ns, record.emb_done_ns,
                 cat="serve", track=track,
             )
             tracer.add_span(
-                "top", record.top_start_ns, record.top_done_ns,
+                names.STAGE_TOP, record.top_start_ns, record.top_done_ns,
                 cat="serve", track=track,
             )
             if record.bot_done_ns > record.bot_start_ns:
@@ -223,7 +223,7 @@ class PipelineSimulator:
                     "serve.bot", record.bot_start_ns, record.bot_done_ns
                 )
                 tracer.add_span(
-                    "bot",
+                    names.STAGE_BOT,
                     record.bot_start_ns,
                     record.bot_done_ns,
                     cat="serve",

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Callable, Generator, List, Sequence
 
 from repro.analysis.metrics import percentile
+from repro.obs import names
 from repro.fpga.compose import StageTimes
 from repro.sim import Server, Simulator
 
@@ -89,9 +90,9 @@ class DynamicBatcher:
             raise ValueError("arrival times must be sorted")
 
         sim = Simulator()
-        emb_server = Server(sim, "emb")
-        bot_server = Server(sim, "bot")
-        top_server = Server(sim, "top")
+        emb_server = Server(sim, names.STAGE_EMB)
+        bot_server = Server(sim, names.STAGE_BOT)
+        top_server = Server(sim, names.STAGE_TOP)
         latencies: List[float] = [0.0] * len(arrivals)
         batch_sizes: List[int] = []
 

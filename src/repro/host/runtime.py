@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Tuple
 
+from repro.obs import names
+
 
 @dataclass(frozen=True)
 class StageCost:
@@ -88,15 +90,15 @@ class HostPipeline:
             if tracer.enabled:
                 args = {"request": index}
                 tracer.add_span(
-                    "send", send_start, send_end,
+                    names.SPAN_HOST_SEND, send_start, send_end,
                     cat="host", track="host.send", args=args,
                 )
                 tracer.add_span(
-                    "device", device_start, device_end,
+                    names.SPAN_HOST_DEVICE, device_start, device_end,
                     cat="host", track="host.device", args=args,
                 )
                 tracer.add_span(
-                    "recv", recv_start, recv_end,
+                    names.SPAN_HOST_RECV, recv_start, recv_end,
                     cat="host", track="host.recv", args=args,
                 )
             send_free, device_free, recv_free = send_end, device_end, recv_end

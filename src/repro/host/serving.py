@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.analysis.metrics import percentile
 from repro.core.pipeline_sim import PipelineSimulator
+from repro.obs import names
 from repro.fpga.compose import StageTimes
 
 
@@ -112,12 +113,14 @@ class ServingSimulator:
         latencies = [r.latency_ns for r in result.records]
         queue_waits = [r.queue_ns for r in result.records]
         if self.metrics is not None:
-            latency_histogram = self.metrics.histogram("serving.latency_ns")
-            queue_histogram = self.metrics.histogram("serving.queue_ns")
+            latency_histogram = self.metrics.histogram(
+                names.METRIC_SERVING_LATENCY
+            )
+            queue_histogram = self.metrics.histogram(names.METRIC_SERVING_QUEUE)
             for latency, wait in zip(latencies, queue_waits):
                 latency_histogram.observe(latency)
                 queue_histogram.observe(wait)
-            self.metrics.counter("serving.batches").inc(len(sizes))
+            self.metrics.counter(names.METRIC_SERVING_BATCHES).inc(len(sizes))
         elapsed_s = result.makespan_ns / 1e9
         return LoadPoint(
             offered_qps=qps,

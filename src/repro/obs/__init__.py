@@ -16,10 +16,16 @@ Three pieces, all keyed to the *simulated* clock:
   invariant).  Enabled via ``RMSSD_PROFILE=1`` or ``profiler=``;
   exported as ``profile.json`` by ``rmssd-repro profile``.
 
+Instrumentation *names* (spans, metrics, profiler streams, DES
+server/resource names) are catalogued in :mod:`repro.obs.names`; call
+sites import from there instead of passing string literals (lint rule
+R12).
+
 See ``docs/observability.md`` for the API tour, the span taxonomy, and
 how to open traces in Perfetto.
 """
 
+from repro.obs import names
 from repro.obs.metrics import (
     DEFAULT_BOUNDS_NS,
     Counter,
@@ -66,6 +72,7 @@ __all__ = [
     "Tracer",
     "global_profiler",
     "global_tracer",
+    "names",
     "profiling_from_env",
     "resolve_profiler",
     "resolve_tracer",

@@ -18,7 +18,7 @@ from typing import Generator, List, Optional, Tuple
 
 import numpy as np
 
-from repro.obs import resolve_tracer
+from repro.obs import names, resolve_tracer
 from repro.sim import Server, Simulator
 from repro.ssd import fastpath
 from repro.ssd.flash import FlashArray
@@ -61,7 +61,7 @@ class SSDController:
         self.fmc = EVFlashMemoryController(sim, self.flash)
         # The MUX: block I/O and EV requests share one translation
         # pipeline; FIFO service approximates the round-robin arbiter.
-        self._ftl_server = Server(sim, "ftl-mux", kind="ftl")
+        self._ftl_server = Server(sim, names.SERVER_FTL_MUX, kind=names.FTL)
 
     def _ftl_lookup(self):
         """Event: one arbitrated pass through the shared FTL stage."""
@@ -115,7 +115,7 @@ class SSDController:
         ftl_jobs = self._ftl_server.jobs_served - ftl_jobs_before
         if ftl_jobs > 0:
             tracer.add_span(
-                "ftl",
+                names.FTL,
                 start_ns,
                 self._ftl_server.free_at,
                 cat="ssd",

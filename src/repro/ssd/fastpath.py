@@ -43,6 +43,8 @@ from typing import List, Tuple
 
 import numpy as np
 
+from repro.obs import names
+
 #: Environment variable that disables the fast path when set to a
 #: falsey value ("0", "false", "off", "no").  Unset means enabled.
 ENV_FLAG = "RMSSD_FASTPATH"
@@ -183,7 +185,9 @@ def _replay_channel(
             bus_busy = bus_busy + duration
             jobs += 1
             if profiler is not None:
-                profiler.record_service(bus_name, t, begin, finish, "channel-bus")
+                profiler.record_service(
+                    bus_name, t, begin, finish, names.KIND_CHANNEL_BUS
+                )
             heapq.heappush(heap, (t + (finish - t), seq, _DONE, idx))
             seq += 1
         else:  # _DONE
@@ -201,7 +205,7 @@ def _replay_channel(
                     # handoffs keep the busy interval open, exactly as
                     # Resource tracks ``_busy_since``.
                     profiler.record_busy(
-                        die_names[die], die_busy_since[die], t, "die"
+                        die_names[die], die_busy_since[die], t, names.KIND_DIE
                     )
     return completion, float(bus_free), float(bus_busy), jobs
 

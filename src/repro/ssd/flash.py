@@ -24,6 +24,7 @@ from typing import Dict, Generator, List, Optional
 
 import numpy as np
 
+from repro.obs import names
 from repro.sim import Resource, Server, Simulator
 from repro.ssd import fastpath
 from repro.ssd.geometry import PhysicalAddress, SSDGeometry
@@ -36,10 +37,19 @@ class _Channel:
 
     def __init__(self, sim: Simulator, geometry: SSDGeometry, index: int) -> None:
         self.index = index
-        self.name = f"channel{index}"
-        self.bus = Server(sim, name=f"channel{index}-bus", kind="channel-bus")
+        self.name = names.channel_name(index)
+        self.bus = Server(
+            sim,
+            name=names.channel_bus_name(index),
+            kind=names.KIND_CHANNEL_BUS,
+        )
         self.dies: List[Resource] = [
-            Resource(sim, capacity=1, name=f"channel{index}-die{die}", kind="die")
+            Resource(
+                sim,
+                capacity=1,
+                name=names.channel_die_name(index, die),
+                kind=names.KIND_DIE,
+            )
             for die in range(geometry.dies_per_channel)
         ]
 

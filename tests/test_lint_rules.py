@@ -10,6 +10,8 @@ if str(REPO_ROOT) not in sys.path:
     sys.path.insert(0, str(REPO_ROOT))
 
 from tools.lint import lint_source, parse_pragmas  # noqa: E402
+from tools.lint.engine import lint_contexts, parse_context  # noqa: E402
+from tools.lint.rules_project import PROJECT_RULES_BY_ID  # noqa: E402
 
 
 def violations(code, path="src/repro/example.py"):
@@ -18,6 +20,17 @@ def violations(code, path="src/repro/example.py"):
 
 def rule_ids(code, path="src/repro/example.py"):
     return [v.rule for v in violations(code, path)]
+
+
+def project_violations(files, *active):
+    """Run the selected whole-program rules over a synthetic corpus."""
+    contexts = []
+    for path, code in files.items():
+        ctx, errors = parse_context(textwrap.dedent(code), path)
+        assert ctx is not None, errors
+        contexts.append(ctx)
+    rules = [PROJECT_RULES_BY_ID[rule_id] for rule_id in active]
+    return lint_contexts(contexts, rules=(), project_rules=rules)
 
 
 class TestR1UnitSuffixes:
@@ -222,6 +235,335 @@ class TestR8NamedResources:
         assert rule_ids("bus = Server(sim)  # lint: ok[R8]\n") == []
 
 
+DES_FILE = "src/repro/core/pipeline.py"
+FAST_FILE = "src/repro/core/fastpath.py"
+
+#: DES side of the synthetic parity corpus: the root reaches a shared
+#: emission helper plus a second helper emitting the ``translate`` span.
+_DES_SIDE = """
+    def _emit_shared(tracer):
+        tracer.add_span("lookup_batch", 0.0, 1.0)
+
+    def _emit_translate(tracer):
+        tracer.add_span("translate", 0.0, 1.0)
+
+    def _lookup_batch_des(tracer):
+        _emit_shared(tracer)
+        _emit_translate(tracer)
+"""
+
+_FAST_SIDE_COMPLETE = """
+    from repro.core.pipeline import _emit_shared, _emit_translate
+
+    def _lookup_batch_fast(tracer):
+        _emit_shared(tracer)
+        _emit_translate(tracer)
+
+    def _lookup_batch_fast_vcache(tracer):
+        _lookup_batch_fast(tracer)
+"""
+
+#: Mutant: the fast path no longer reaches the ``translate`` emission.
+_FAST_SIDE_MUTATED = """
+    from repro.core.pipeline import _emit_shared
+
+    def _lookup_batch_fast(tracer):
+        _emit_shared(tracer)
+
+    def _lookup_batch_fast_vcache(tracer):
+        _lookup_batch_fast(tracer)
+"""
+
+
+class TestR9InstrumentationParity:
+    def test_symmetric_emission_is_clean(self):
+        out = project_violations(
+            {DES_FILE: _DES_SIDE, FAST_FILE: _FAST_SIDE_COMPLETE}, "R9"
+        )
+        assert out == []
+
+    def test_removed_fastpath_span_names_value_and_both_files(self):
+        # The mutation test of the issue: delete a single span emission
+        # from the fast path and R9 must report the exact missing name
+        # and point at both sides — the DES emission site (violation
+        # path) and the fast-path roots (in the message).
+        out = project_violations(
+            {DES_FILE: _DES_SIDE, FAST_FILE: _FAST_SIDE_MUTATED}, "R9"
+        )
+        assert [v.rule for v in out] == ["R9"]
+        violation = out[0]
+        assert violation.path == DES_FILE
+        assert "'translate'" in violation.message
+        assert DES_FILE in violation.message
+        assert FAST_FILE in violation.message
+        assert "'lookup_batch'" not in violation.message
+
+    def test_extra_fastpath_emission_fires_in_mirror_direction(self):
+        fast_extra = """
+            from repro.core.pipeline import _emit_shared, _emit_translate
+
+            def _emit_fast_only(tracer):
+                tracer.add_span("fast_only", 0.0, 1.0)
+
+            def _lookup_batch_fast(tracer):
+                _emit_shared(tracer)
+                _emit_translate(tracer)
+                _emit_fast_only(tracer)
+
+            def _lookup_batch_fast_vcache(tracer):
+                _lookup_batch_fast(tracer)
+        """
+        out = project_violations(
+            {DES_FILE: _DES_SIDE, FAST_FILE: fast_extra}, "R9"
+        )
+        assert [v.rule for v in out] == ["R9"]
+        assert "'fast_only'" in out[0].message
+        assert "DES" in out[0].message
+
+    def test_spec_is_skipped_when_roots_are_absent(self):
+        out = project_violations(
+            {DES_FILE: "def unrelated():\n    return 1\n"}, "R9"
+        )
+        assert out == []
+
+
+class TestR10UnitFlow:
+    def test_cross_file_ns_return_bound_to_cycles_name_fires(self):
+        out = project_violations(
+            {
+                "src/repro/ssd/timing.py": """
+                    class SSDTimingModel:
+                        def vector_transfer_ns(self, size):
+                            return size * 2.0
+                """,
+                "src/repro/core/sched.py": """
+                    def plan(timing):
+                        wait_cycles = timing.vector_transfer_ns(64)
+                        return wait_cycles
+                """,
+            },
+            "R10",
+        )
+        assert [v.rule for v in out] == ["R10"]
+        assert "wait_cycles" in out[0].message
+        assert "_ns" in out[0].message
+
+    def test_matching_suffix_assignment_is_clean(self):
+        out = project_violations(
+            {
+                "src/repro/ssd/timing.py": """
+                    def vector_transfer_ns(size):
+                        return size * 2.0
+                """,
+                "src/repro/core/sched.py": """
+                    def plan():
+                        wait_ns = vector_transfer_ns(64)
+                        return wait_ns
+                """,
+            },
+            "R10",
+        )
+        assert out == []
+
+    def test_declared_suffix_contradicting_returns_fires(self):
+        out = project_violations(
+            {
+                "src/repro/core/t.py": """
+                    def read_ns():
+                        return 5.0
+
+                    def total_cycles():
+                        return read_ns() + read_ns()
+                """,
+            },
+            "R10",
+        )
+        assert [v.rule for v in out] == ["R10"]
+        assert "total_cycles" in out[0].message
+
+    def test_explicit_conversion_through_multiplication_is_clean(self):
+        # * / are the sanctioned conversion operators (same rule as R1):
+        # a scaled expression no longer carries the source unit.
+        out = project_violations(
+            {
+                "src/repro/core/t.py": """
+                    def read_ns():
+                        return 5.0
+
+                    def plan(clock_hz):
+                        wait_cycles = read_ns() * clock_hz / 1e9
+                        return wait_cycles
+                """,
+            },
+            "R10",
+        )
+        assert out == []
+
+
+class TestR11DeterminismHazards:
+    def test_set_iteration_scheduling_fires(self):
+        out = project_violations(
+            {
+                "src/repro/sim/kick.py": """
+                    def kick(sim, events):
+                        for event in set(events):
+                            sim.process(event)
+                """,
+            },
+            "R11",
+        )
+        assert [v.rule for v in out] == ["R11"]
+        assert "set" in out[0].message
+
+    def test_sorted_wrapper_is_clean(self):
+        out = project_violations(
+            {
+                "src/repro/sim/kick.py": """
+                    def kick(sim, events):
+                        for event in sorted(set(events)):
+                            sim.process(event)
+                """,
+            },
+            "R11",
+        )
+        assert out == []
+
+    def test_set_iteration_without_hazard_is_clean(self):
+        out = project_violations(
+            {
+                "src/repro/sim/kick.py": """
+                    def count(events):
+                        total = 0
+                        for event in set(events):
+                            total = total + 1
+                        return total
+                """,
+            },
+            "R11",
+        )
+        assert out == []
+
+    def test_unsorted_rglob_append_fires(self):
+        out = project_violations(
+            {
+                "src/repro/obs/export.py": """
+                    def collect(root, records):
+                        for path in root.rglob("*.json"):
+                            records.append(path)
+                """,
+            },
+            "R11",
+        )
+        assert [v.rule for v in out] == ["R11"]
+
+    def test_outside_simulation_packages_is_exempt(self):
+        out = project_violations(
+            {
+                "src/repro/analysis/free.py": """
+                    def kick(sim, events):
+                        for event in set(events):
+                            sim.process(event)
+                """,
+            },
+            "R11",
+        )
+        assert out == []
+
+
+class TestR12NameRegistry:
+    CATALOGUE = """
+        SPAN_LOOKUP = "lookup"
+    """
+
+    def test_hardcoded_span_name_fires(self):
+        out = project_violations(
+            {
+                "src/repro/obs/names.py": self.CATALOGUE,
+                "src/repro/core/emit.py": """
+                    from repro.obs import names
+
+                    def emit(tracer):
+                        tracer.add_span(names.SPAN_LOOKUP, 0.0, 1.0)
+                        tracer.add_span("inline", 0.0, 1.0)
+                """,
+            },
+            "R12",
+        )
+        assert [v.rule for v in out] == ["R12"]
+        assert "'inline'" in out[0].message
+        assert "repro/obs/names.py" in out[0].message
+
+    def test_catalogue_reference_is_clean(self):
+        out = project_violations(
+            {
+                "src/repro/obs/names.py": self.CATALOGUE,
+                "src/repro/core/emit.py": """
+                    from repro.obs import names
+
+                    def emit(tracer):
+                        tracer.add_span(names.SPAN_LOOKUP, 0.0, 1.0)
+                """,
+            },
+            "R12",
+        )
+        assert out == []
+
+    def test_foreign_module_constant_fires(self):
+        out = project_violations(
+            {
+                "src/repro/obs/names.py": self.CATALOGUE,
+                "src/repro/core/emit.py": """
+                    from repro.obs import names
+
+                    LOCAL_NAME = "local"
+
+                    def emit(tracer):
+                        tracer.add_span(names.SPAN_LOOKUP, 0.0, 1.0)
+                        tracer.add_span(LOCAL_NAME, 0.0, 1.0)
+                """,
+            },
+            "R12",
+        )
+        assert [v.rule for v in out] == ["R12"]
+        assert "repro.core.emit" in out[0].message
+
+    def test_dynamic_name_is_allowed(self):
+        out = project_violations(
+            {
+                "src/repro/obs/names.py": self.CATALOGUE,
+                "src/repro/core/emit.py": """
+                    from repro.obs import names
+
+                    def emit(tracer, channel):
+                        tracer.add_span(names.SPAN_LOOKUP, 0.0, 1.0)
+                        tracer.add_span(channel.name, 0.0, 1.0)
+                """,
+            },
+            "R12",
+        )
+        assert out == []
+
+    def test_orphan_catalogue_entry_fires(self):
+        out = project_violations(
+            {
+                "src/repro/obs/names.py": """
+                    SPAN_LOOKUP = "lookup"
+                    SPAN_ORPHAN = "orphan"
+                """,
+                "src/repro/core/emit.py": """
+                    from repro.obs import names
+
+                    def emit(tracer):
+                        tracer.add_span(names.SPAN_LOOKUP, 0.0, 1.0)
+                """,
+            },
+            "R12",
+        )
+        assert [v.rule for v in out] == ["R12"]
+        assert "SPAN_ORPHAN" in out[0].message
+        assert out[0].path == "src/repro/obs/names.py"
+
+
 class TestEngineMechanics:
     def test_syntax_error_reported_not_raised(self):
         out = violations("def broken(:\n")
@@ -240,6 +582,61 @@ class TestEngineMechanics:
     def test_multiline_statement_pragma_on_any_spanned_line(self):
         code = "total = (\n    page_ns + flush_us  # lint: ok[R1]\n)\n"
         assert rule_ids(code) == []
+
+    def test_pragma_on_closing_line_suppresses_first_line_violation(self):
+        # The violation is reported at the statement's first line; the
+        # pragma sits on the closing paren three lines later and must
+        # still attach to the whole statement interval.
+        code = (
+            "total = (\n"
+            "    page_ns\n"
+            "    + flush_us\n"
+            ")  # lint: ok[R1]\n"
+        )
+        assert rule_ids(code) == []
+
+    def test_pragma_inside_function_body_does_not_cover_header(self):
+        # Compound statements contribute only their header lines: a
+        # pragma on a body line must not blanket the whole function.
+        code = (
+            "def f(delay_sec):\n"
+            "    x = 1  # lint: ok[R1]\n"
+            "    return delay_sec\n"
+        )
+        assert rule_ids(code) == ["R1"]
+
+    def test_node_index_nodes_in_document_order(self):
+        import ast
+
+        ctx, errors = parse_context(
+            "a_ns = 1\nb_ns = a_ns + 2\n\ndef f():\n    c_ns = 3\n",
+            "src/repro/example.py",
+        )
+        assert not errors
+        assigns = ctx.index.nodes(ast.Assign)
+        assert [node.lineno for node in assigns] == [1, 2, 5]
+        mixed = ctx.index.nodes(ast.Assign, ast.FunctionDef)
+        assert [node.lineno for node in mixed] == [1, 2, 4, 5]
+
+    def test_node_index_parent_and_enclosing(self):
+        import ast
+
+        ctx, _ = parse_context(
+            "class C:\n    def m(self):\n        return object.__setattr__\n",
+            "src/repro/example.py",
+        )
+        index = ctx.index
+        attr = index.nodes(ast.Attribute)[0]
+        fn = index.enclosing(attr, ast.FunctionDef)
+        assert fn is not None and fn.name == "m"
+        cls = index.enclosing(attr, ast.ClassDef)
+        assert cls is not None and cls.name == "C"
+        ret = index.nodes(ast.Return)[0]
+        assert index.parent(attr) is ret
+
+    def test_node_index_is_built_once_per_file(self):
+        ctx, _ = parse_context("x_ns = 1\n", "src/repro/example.py")
+        assert ctx.index is ctx.index
 
     def test_violation_render_format(self):
         violation = violations("import heapq\n")[0]

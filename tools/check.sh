@@ -5,8 +5,15 @@ set -e
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
 
-echo "== lint =="
-python -m tools.lint src tests benchmarks
+echo "== lint (whole tree, cross-file rules, baseline ratchet) =="
+PYTHONPATH=src:. python -m tools.lint src tests benchmarks tools \
+    --baseline tools/lint/baseline.json
+
+echo "== lint canary (R9 must fire on injected fast-path drift) =="
+# Deletes one fast-path profiler record in a scratch copy of src/ and
+# asserts the parity rule reports it; guards against the whole-program
+# analysis silently going blind.
+PYTHONPATH=src:. python -m tools.lint.canary
 
 echo "== compile =="
 python -m compileall -q src tools tests benchmarks

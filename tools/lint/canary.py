@@ -1,0 +1,119 @@
+"""Injected-drift canary for the R9 instrumentation-parity rule.
+
+``python -m tools.lint.canary`` proves the whole-program analysis is
+actually live, not vacuously green: it copies ``src/`` to a scratch
+directory, deletes exactly one fast-path profiler record (the
+``record_busy`` call that closes a die's busy interval in
+:func:`repro.ssd.fastpath._replay_channel`), and asserts that
+
+* the **unmutated** copy is R9-clean (0 violations), and
+* the **mutated** copy trips R9 with a violation naming the now
+  DES-only ``die`` occupancy record.
+
+If a refactor ever blinds R9 — a renamed root, a broken call-graph
+edge, an over-wide provenance union — the clean/mutated runs stop
+differing and this exits 1, failing ``tools/check.sh`` before the
+blind spot can hide a real parity regression.
+"""
+
+from __future__ import annotations
+
+import ast
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+from typing import List, Optional
+
+from tools.lint.engine import Violation, lint_paths
+from tools.lint.rules_project import PROJECT_RULES_BY_ID
+
+#: The fast-path emission the canary deletes.
+TARGET_FILE = Path("repro") / "ssd" / "fastpath.py"
+TARGET_FUNCTION = "_replay_channel"
+TARGET_CALL = "record_busy"
+#: The DES-side value R9 must report as missing from the fast path.
+EXPECTED_TOKEN = "die"
+
+
+def _find_call_statement(tree: ast.AST) -> Optional[ast.stmt]:
+    """The statement in ``TARGET_FUNCTION`` carrying the target call."""
+    for fn in ast.walk(tree):
+        if not isinstance(fn, ast.FunctionDef) or fn.name != TARGET_FUNCTION:
+            continue
+        for node in ast.walk(fn):
+            if (
+                isinstance(node, ast.Expr)
+                and isinstance(node.value, ast.Call)
+                and isinstance(node.value.func, ast.Attribute)
+                and node.value.func.attr == TARGET_CALL
+            ):
+                return node
+    return None
+
+
+def mutate_fastpath(src_root: Path) -> None:
+    """Replace the target profiler record with ``pass`` in place."""
+    target = src_root / TARGET_FILE
+    source = target.read_text(encoding="utf-8")
+    statement = _find_call_statement(ast.parse(source))
+    if statement is None:
+        raise SystemExit(
+            f"canary: no {TARGET_CALL}() statement in "
+            f"{TARGET_FUNCTION}() of {target} — the mutation target "
+            f"moved; update tools/lint/canary.py"
+        )
+    lines = source.splitlines(keepends=True)
+    first = statement.lineno - 1
+    last = (statement.end_lineno or statement.lineno) - 1
+    indent = " " * statement.col_offset
+    lines[first : last + 1] = [indent + "pass\n"]
+    target.write_text("".join(lines), encoding="utf-8")
+
+
+def _r9(paths: List[str]) -> List[Violation]:
+    return lint_paths(paths, rules=(), project_rules=(PROJECT_RULES_BY_ID["R9"],))
+
+
+def run(src_dir: str = "src") -> int:
+    src = Path(src_dir)
+    if not (src / TARGET_FILE).is_file():
+        print(f"canary: {src / TARGET_FILE} not found", file=sys.stderr)
+        return 1
+    with tempfile.TemporaryDirectory(prefix="rmssd-lint-canary-") as scratch:
+        # The copy keeps a trailing ``src`` component so module paths
+        # (anchored at the last ``src`` segment) resolve identically.
+        copy = Path(scratch) / "src"
+        shutil.copytree(src, copy)
+
+        clean = _r9([str(copy)])
+        if clean:
+            print("canary: scratch copy is not R9-clean before mutation:")
+            for violation in clean:
+                print("  " + violation.render())
+            return 1
+
+        mutate_fastpath(copy)
+        mutated = _r9([str(copy)])
+        named = [v for v in mutated if EXPECTED_TOKEN in v.message]
+        if not named:
+            print(
+                f"canary: deleted the fast-path {TARGET_CALL} record "
+                f"but R9 reported no violation naming "
+                f"'{EXPECTED_TOKEN}' — the parity analysis has gone "
+                f"blind"
+            )
+            for violation in mutated:
+                print("  " + violation.render())
+            return 1
+
+    print(
+        f"canary: R9 fired on the injected drift "
+        f"({len(named)} violation(s) naming '{EXPECTED_TOKEN}'); "
+        f"parity analysis is live"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(run(*sys.argv[1:]))

@@ -6,8 +6,10 @@ import argparse
 import sys
 from typing import List, Optional
 
-from tools.lint.engine import iter_python_files, lint_paths
+from tools.lint.baseline import load_baseline, partition, write_baseline
+from tools.lint.engine import invalid_paths, iter_python_files, lint_paths
 from tools.lint.rules import ALL_RULES
+from tools.lint.rules_project import PROJECT_RULES
 
 DEFAULT_PATHS = ("src", "tests", "benchmarks")
 
@@ -16,9 +18,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="rmssd-lint",
         description=(
-            "Domain-specific lint pass for the RM-SSD reproduction "
-            "(unit-suffix discipline, kernel/FTL encapsulation, "
-            "benchmark reporting; see docs/correctness.md)."
+            "Domain-specific lint pass for the RM-SSD reproduction: "
+            "per-file rules (unit-suffix discipline, kernel/FTL "
+            "encapsulation, benchmark reporting) plus whole-program "
+            "rules (DES/fast-path instrumentation parity, unit flow, "
+            "determinism hazards, name registry); see "
+            "docs/correctness.md."
         ),
     )
     parser.add_argument(
@@ -32,12 +37,42 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help=(
+            "ratchet file: violations recorded there are tolerated "
+            "(reported but non-fatal); anything new still fails"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help=(
+            "record the current violations as the tolerated set and "
+            "exit 0 (use once when adopting a new rule, then ratchet "
+            "the debt down)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for rule in ALL_RULES:
-            print(f"{rule.id}  {rule.title}")
+        for rule in list(ALL_RULES) + list(PROJECT_RULES):
+            line = f"{rule.id}  {rule.title}"
+            if getattr(rule, "summary", ""):
+                line += f" — {rule.summary}"
+            print(line)
         return 0
+
+    bad = invalid_paths(args.paths)
+    if bad:
+        for raw in bad:
+            print(
+                f"rmssd-lint: path does not exist or is not a Python "
+                f"file: {raw}",
+                file=sys.stderr,
+            )
+        return 2
 
     files = iter_python_files(args.paths)
     if not files:
@@ -45,13 +80,42 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     violations = lint_paths(args.paths)
+
+    if args.write_baseline:
+        write_baseline(args.write_baseline, violations)
+        print(
+            f"rmssd-lint: wrote {len(violations)} tolerated "
+            f"violation(s) to {args.write_baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    tolerated_count = 0
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError, KeyError) as err:
+            print(f"rmssd-lint: bad baseline: {err}", file=sys.stderr)
+            return 2
+        violations, tolerated, stale = partition(violations, baseline)
+        tolerated_count = len(tolerated)
+        for violation in tolerated:
+            print(f"tolerated (baseline): {violation.render()}", file=sys.stderr)
+        for rule, path, message in stale:
+            print(
+                f"rmssd-lint: stale baseline entry (fixed — re-run "
+                f"--write-baseline to ratchet): {path}: {rule} {message}",
+                file=sys.stderr,
+            )
+
     for violation in violations:
         print(violation.render())
     noun = "violation" if len(violations) == 1 else "violations"
     file_noun = "file" if len(files) == 1 else "files"
+    suffix = f" ({tolerated_count} tolerated)" if tolerated_count else ""
     print(
         f"rmssd-lint: checked {len(files)} {file_noun}, "
-        f"{len(violations)} {noun}",
+        f"{len(violations)} {noun}{suffix}",
         file=sys.stderr,
     )
     return 1 if violations else 0

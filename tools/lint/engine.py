@@ -1,12 +1,17 @@
 """Core machinery of the domain lint pass: files, pragmas, violations.
 
-The linter parses each Python file once, hands the AST to every rule
-(:mod:`tools.lint.rules`), and filters the resulting violations through
-the allowlist pragmas:
+The linter parses each Python file once, builds a shared
+:class:`NodeIndex` (type -> nodes, parent links) that every rule walks
+instead of re-traversing the AST, hands the :class:`FileContext` to the
+per-file rules (:mod:`tools.lint.rules`), runs the whole-program rules
+(:mod:`tools.lint.rules_project`) over the combined
+:class:`tools.lint.project.ProjectContext`, and filters the resulting
+violations through the allowlist pragmas:
 
 * ``# lint: ok[R1]`` / ``# lint: ok[R1,R5]`` — suppress the listed
-  rules on the line carrying the comment (attach it to the line the
-  violation is reported on);
+  rules on the statement carrying the comment (any line of a
+  multi-line statement works: the pragma attaches to the smallest
+  enclosing statement's full line range);
 * ``# lint: ok-file[R3]`` — suppress the listed rules for the whole
   file (put it anywhere, conventionally in the module docstring area);
 * ``*`` suppresses every rule (``# lint: ok[*]``).
@@ -21,9 +26,9 @@ import ast
 import io
 import re
 import tokenize
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Type
 
 _PRAGMA_RE = re.compile(r"lint:\s*ok(?P<scope>-file)?\[(?P<rules>[^\]]*)\]")
 
@@ -41,6 +46,58 @@ class Violation:
         return f"{self.path}:{self.line}: {self.rule} {self.message}"
 
 
+class NodeIndex:
+    """Single-walk index over one module's AST.
+
+    Built once per file and shared by every rule: ``nodes(T)`` returns
+    all nodes of (exactly) type ``T`` in document order, ``parent``
+    gives the syntactic parent, and ``enclosing`` the nearest ancestor
+    of the requested types.  This is what lets a repo-wide run parse
+    and traverse each file exactly once no matter how many rules look
+    at it.
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        self.tree = tree
+        self.order: List[ast.AST] = []
+        self._parents: Dict[ast.AST, ast.AST] = {}
+        self._by_type: Dict[Type[ast.AST], List[ast.AST]] = {}
+        self._position: Dict[ast.AST, int] = {}
+        stack = [tree]
+        while stack:
+            node = stack.pop()
+            self._position[node] = len(self.order)
+            self.order.append(node)
+            self._by_type.setdefault(type(node), []).append(node)
+            for child in reversed(list(ast.iter_child_nodes(node))):
+                self._parents[child] = node
+                stack.append(child)
+
+    def nodes(self, *types: Type[ast.AST]) -> List[ast.AST]:
+        """All nodes of the exact given types, in document order."""
+        if len(types) == 1:
+            return self._by_type.get(types[0], [])
+        merged: List[ast.AST] = []
+        for node_type in types:
+            merged.extend(self._by_type.get(node_type, []))
+        merged.sort(key=self._position.__getitem__)
+        return merged
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(node)
+
+    def enclosing(
+        self, node: ast.AST, *types: Type[ast.AST]
+    ) -> Optional[ast.AST]:
+        """Nearest strict ancestor that is an instance of ``types``."""
+        cursor = self._parents.get(node)
+        while cursor is not None:
+            if isinstance(cursor, types):
+                return cursor
+            cursor = self._parents.get(cursor)
+        return None
+
+
 @dataclass
 class FileContext:
     """Everything a rule needs to know about the file being linted."""
@@ -48,6 +105,14 @@ class FileContext:
     path: str
     tree: ast.AST
     source: str
+    _index: Optional[NodeIndex] = field(default=None, repr=False)
+
+    @property
+    def index(self) -> NodeIndex:
+        """Shared node index, built lazily on first rule access."""
+        if self._index is None:
+            self._index = NodeIndex(self.tree)
+        return self._index
 
     @property
     def posix_path(self) -> str:
@@ -95,32 +160,83 @@ def parse_pragmas(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
     return per_line, per_file
 
 
-def _suppressed(
-    violation: Violation,
-    node_lines: Dict[int, Set[str]],
-    file_rules: Set[str],
-) -> bool:
-    if "*" in file_rules or violation.rule in file_rules:
-        return True
-    for line, rules in node_lines.items():
-        if line == violation.line and ("*" in rules or violation.rule in rules):
+def _statement_intervals(index: NodeIndex) -> List[Tuple[int, int]]:
+    """Line intervals pragmas may attach to.
+
+    Simple statements span their full ``(lineno, end_lineno)`` range, so
+    a pragma on the closing line of a multi-line call suppresses the
+    violation reported at the statement's first line.  Compound
+    statements (``def``/``if``/``for``/...) contribute only their
+    *header* lines — a pragma inside a function body must not suppress
+    violations across the whole function.
+    """
+    intervals: List[Tuple[int, int]] = []
+    for node in index.order:
+        if not isinstance(node, ast.stmt):
+            continue
+        start = node.lineno
+        end = getattr(node, "end_lineno", None) or start
+        body = getattr(node, "body", None)
+        if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+            end = max(start, body[0].lineno - 1)
+        intervals.append((start, end))
+    return intervals
+
+
+def expand_pragma_lines(
+    per_line: Dict[int, Set[str]], index: NodeIndex
+) -> Dict[int, Set[str]]:
+    """Attach each line pragma to its enclosing statement's line range.
+
+    Every line of the smallest statement interval containing the pragma
+    line inherits the pragma's rule set; a pragma outside any statement
+    (blank line, trailing comment) keeps only its own line.
+    """
+    if not per_line:
+        return {}
+    intervals = _statement_intervals(index)
+    expanded: Dict[int, Set[str]] = {
+        line: set(rules) for line, rules in per_line.items()
+    }
+    for line, rules in per_line.items():
+        best: Optional[Tuple[int, int]] = None
+        for start, end in intervals:
+            if start <= line <= end:
+                if best is None or (end - start) < (best[1] - best[0]):
+                    best = (start, end)
+        if best is not None:
+            for covered in range(best[0], best[1] + 1):
+                expanded.setdefault(covered, set()).update(rules)
+    return expanded
+
+
+@dataclass
+class _PragmaMap:
+    """Resolved suppression state of one file."""
+
+    lines: Dict[int, Set[str]]
+    file_rules: Set[str]
+
+    def suppresses(self, violation: Violation) -> bool:
+        if "*" in self.file_rules or violation.rule in self.file_rules:
             return True
-    return False
+        rules = self.lines.get(violation.line)
+        return bool(rules and ("*" in rules or violation.rule in rules))
 
 
-def lint_source(
-    source: str,
-    path: str = "<string>",
-    rules: Sequence[object] = None,
-) -> List[Violation]:
-    """Lint one source string; returns surviving violations."""
-    from tools.lint.rules import ALL_RULES
+def _pragma_map(ctx: FileContext) -> _PragmaMap:
+    per_line, per_file = parse_pragmas(ctx.source)
+    return _PragmaMap(expand_pragma_lines(per_line, ctx.index), per_file)
 
-    active = list(ALL_RULES if rules is None else rules)
+
+def parse_context(
+    source: str, path: str
+) -> Tuple[Optional[FileContext], List[Violation]]:
+    """Parse one file into a context, or an ``E0`` syntax violation."""
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as err:
-        return [
+        return None, [
             Violation(
                 rule="E0",
                 path=path,
@@ -128,13 +244,66 @@ def lint_source(
                 message=f"syntax error: {err.msg}",
             )
         ]
-    ctx = FileContext(path=path, tree=tree, source=source)
-    per_line, per_file = parse_pragmas(source)
+    return FileContext(path=path, tree=tree, source=source), []
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Sequence[object] = None,
+) -> List[Violation]:
+    """Lint one source string with the per-file rules."""
+    from tools.lint.rules import ALL_RULES
+
+    active = list(ALL_RULES if rules is None else rules)
+    ctx, errors = parse_context(source, path)
+    if ctx is None:
+        return errors
+    pragmas = _pragma_map(ctx)
     violations: List[Violation] = []
     for rule in active:
         for violation in rule.check(ctx):
-            if not _suppressed(violation, per_line, per_file):
+            if not pragmas.suppresses(violation):
                 violations.append(violation)
+    return sorted(violations, key=lambda v: (v.path, v.line, v.rule))
+
+
+def lint_contexts(
+    contexts: Sequence[FileContext],
+    rules: Sequence[object] = None,
+    project_rules: Sequence[object] = None,
+) -> List[Violation]:
+    """Run per-file and whole-program rules over parsed contexts.
+
+    Each file was parsed exactly once by the caller; the per-file rules
+    share the context's :class:`NodeIndex` and the project rules share
+    one :class:`~tools.lint.project.ProjectContext` built from the same
+    trees.  Pass explicit (possibly empty) rule sequences to restrict
+    the pass; ``None`` means the full default catalogue.
+    """
+    from tools.lint.rules import ALL_RULES
+    from tools.lint.rules_project import PROJECT_RULES
+
+    active = list(ALL_RULES if rules is None else rules)
+    active_project = list(PROJECT_RULES if project_rules is None else project_rules)
+    pragma_maps: Dict[str, _PragmaMap] = {}
+    violations: List[Violation] = []
+    for ctx in contexts:
+        pragmas = _pragma_map(ctx)
+        pragma_maps[ctx.path] = pragmas
+        for rule in active:
+            for violation in rule.check(ctx):
+                if not pragmas.suppresses(violation):
+                    violations.append(violation)
+    if active_project:
+        from tools.lint.project import ProjectContext
+
+        project = ProjectContext(contexts)
+        for rule in active_project:
+            for violation in rule.check_project(project):
+                pragmas = pragma_maps.get(violation.path)
+                if pragmas is None or not pragmas.suppresses(violation):
+                    violations.append(violation)
     return sorted(violations, key=lambda v: (v.path, v.line, v.rule))
 
 
@@ -154,10 +323,46 @@ def iter_python_files(paths: Iterable[str]) -> List[Path]:
     return out
 
 
-def lint_paths(paths: Iterable[str]) -> List[Violation]:
-    """Lint every Python file under ``paths``."""
-    violations: List[Violation] = []
+def invalid_paths(paths: Iterable[str]) -> List[str]:
+    """Path arguments :func:`iter_python_files` would silently drop.
+
+    A nonexistent path or an existing non-``.py`` file contributes no
+    files; the CLI reports these instead of pretending they were
+    checked.
+    """
+    bad: List[str] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            continue
+        if not path.is_file() or path.suffix != ".py":
+            bad.append(raw)
+    return bad
+
+
+def build_contexts(
+    paths: Iterable[str],
+) -> Tuple[List[FileContext], List[Violation]]:
+    """Parse every Python file under ``paths`` exactly once."""
+    contexts: List[FileContext] = []
+    errors: List[Violation] = []
     for path in iter_python_files(paths):
         source = path.read_text(encoding="utf-8")
-        violations.extend(lint_source(source, path=str(path)))
-    return violations
+        ctx, file_errors = parse_context(source, str(path))
+        if ctx is not None:
+            contexts.append(ctx)
+        errors.extend(file_errors)
+    return contexts, errors
+
+
+def lint_paths(
+    paths: Iterable[str],
+    rules: Sequence[object] = None,
+    project_rules: Sequence[object] = None,
+) -> List[Violation]:
+    """Lint every Python file under ``paths`` (per-file + whole-program)."""
+    contexts, errors = build_contexts(paths)
+    violations = errors + lint_contexts(
+        contexts, rules=rules, project_rules=project_rules
+    )
+    return sorted(violations, key=lambda v: (v.path, v.line, v.rule))

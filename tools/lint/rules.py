@@ -84,6 +84,8 @@ def _unit_of(node: ast.AST) -> Optional[str]:
 class Rule:
     id = "R?"
     title = ""
+    #: One-line description surfaced by ``rmssd-lint --list-rules``.
+    summary = ""
 
     def violation(self, ctx: FileContext, node: ast.AST, message: str) -> Violation:
         return Violation(
@@ -103,6 +105,10 @@ class UnitSuffixRule(Rule):
 
     id = "R1"
     title = "unit-suffix discipline"
+    summary = (
+        "duration names end in _ns/_us/_cycles/_hz; no mixed-unit "
+        "+/-/ordering"
+    )
 
     _ORDERING = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
 
@@ -136,8 +142,16 @@ class UnitSuffixRule(Rule):
         return out
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
-        for node in ast.walk(ctx.tree):
-            # (a) banned unit suffixes at binding sites.
+        index = ctx.index
+        # (a) banned unit suffixes at binding sites.
+        for node in index.nodes(
+            ast.Assign,
+            ast.AnnAssign,
+            ast.AugAssign,
+            ast.FunctionDef,
+            ast.AsyncFunctionDef,
+            ast.Lambda,
+        ):
             for target, name in self._binding_targets(node):
                 match = _BAD_SUFFIX_RE.search(name)
                 if match:
@@ -148,31 +162,31 @@ class UnitSuffixRule(Rule):
                         f"'_{match.group(1)}'; durations end in "
                         f"{', '.join('_' + u for u in GOOD_UNITS)}",
                     )
-            # (b) mixed-unit arithmetic.
-            if isinstance(node, ast.BinOp) and isinstance(
-                node.op, (ast.Add, ast.Sub)
-            ):
-                left, right = _unit_of(node.left), _unit_of(node.right)
+        # (b) mixed-unit arithmetic.
+        for node in index.nodes(ast.BinOp):
+            if not isinstance(node.op, (ast.Add, ast.Sub)):
+                continue
+            left, right = _unit_of(node.left), _unit_of(node.right)
+            if left and right and left != right:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"arithmetic mixes '_{left}' and '_{right}' "
+                    f"operands; convert explicitly first",
+                )
+        for node in index.nodes(ast.Compare):
+            operands = [node.left] + list(node.comparators)
+            for op, lhs, rhs in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, self._ORDERING):
+                    continue
+                left, right = _unit_of(lhs), _unit_of(rhs)
                 if left and right and left != right:
                     yield self.violation(
                         ctx,
                         node,
-                        f"arithmetic mixes '_{left}' and '_{right}' "
+                        f"comparison mixes '_{left}' and '_{right}' "
                         f"operands; convert explicitly first",
                     )
-            elif isinstance(node, ast.Compare):
-                operands = [node.left] + list(node.comparators)
-                for op, lhs, rhs in zip(node.ops, operands, operands[1:]):
-                    if not isinstance(op, self._ORDERING):
-                        continue
-                    left, right = _unit_of(lhs), _unit_of(rhs)
-                    if left and right and left != right:
-                        yield self.violation(
-                            ctx,
-                            node,
-                            f"comparison mixes '_{left}' and '_{right}' "
-                            f"operands; convert explicitly first",
-                        )
 
 
 class FloatTimeEqualityRule(Rule):
@@ -180,6 +194,10 @@ class FloatTimeEqualityRule(Rule):
 
     id = "R2"
     title = "no float equality on simulated time"
+    summary = (
+        "no ==/!= against sim.now or _ns/_us values; use exact ints "
+        "or pytest.approx"
+    )
 
     @staticmethod
     def _is_time(node: ast.AST) -> bool:
@@ -201,9 +219,7 @@ class FloatTimeEqualityRule(Rule):
         return False
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.Compare):
-                continue
+        for node in ctx.index.nodes(ast.Compare):
             operands = [node.left] + list(node.comparators)
             for op, lhs, rhs in zip(node.ops, operands, operands[1:]):
                 if not isinstance(op, (ast.Eq, ast.NotEq)):
@@ -225,36 +241,37 @@ class KernelEncapsulationRule(Rule):
 
     id = "R3"
     title = "kernel encapsulation"
+    summary = "heapq and Event.succeed stay inside repro.sim"
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         if ctx.in_module("repro", "sim"):
             return
-        for node in ast.walk(ctx.tree):
-            if isinstance(node, ast.Import):
-                for alias in node.names:
-                    if alias.name.split(".")[0] == "heapq":
-                        yield self.violation(
-                            ctx, node,
-                            "direct heapq use outside repro.sim; schedule "
-                            "through Simulator events instead",
-                        )
-            elif isinstance(node, ast.ImportFrom):
-                if (node.module or "").split(".")[0] == "heapq":
+        index = ctx.index
+        for node in index.nodes(ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == "heapq":
                     yield self.violation(
                         ctx, node,
                         "direct heapq use outside repro.sim; schedule "
                         "through Simulator events instead",
                     )
-            elif isinstance(node, ast.Call):
-                if (
-                    isinstance(node.func, ast.Attribute)
-                    and node.func.attr == "succeed"
-                ):
-                    yield self.violation(
-                        ctx, node,
-                        "direct Event.succeed outside repro.sim; yield "
-                        "events or use Store/Resource primitives",
-                    )
+        for node in index.nodes(ast.ImportFrom):
+            if (node.module or "").split(".")[0] == "heapq":
+                yield self.violation(
+                    ctx, node,
+                    "direct heapq use outside repro.sim; schedule "
+                    "through Simulator events instead",
+                )
+        for node in index.nodes(ast.Call):
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "succeed"
+            ):
+                yield self.violation(
+                    ctx, node,
+                    "direct Event.succeed outside repro.sim; yield "
+                    "events or use Store/Resource primitives",
+                )
 
 
 class FrozenConfigRule(Rule):
@@ -262,36 +279,35 @@ class FrozenConfigRule(Rule):
 
     id = "R4"
     title = "frozen configs stay frozen"
+    summary = (
+        "object.__setattr__ only inside __init__/__post_init__/"
+        "__setstate__"
+    )
 
     _ALLOWED_SCOPES = ("__post_init__", "__init__", "__setstate__")
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
-        violations: List[Violation] = []
-
-        def visit(node: ast.AST, scope: Optional[str]) -> None:
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                scope = node.name
-            if (
-                isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Attribute)
+        index = ctx.index
+        for node in index.nodes(ast.Call):
+            if not (
+                isinstance(node.func, ast.Attribute)
                 and node.func.attr == "__setattr__"
                 and isinstance(node.func.value, ast.Name)
                 and node.func.value.id == "object"
-                and scope not in self._ALLOWED_SCOPES
             ):
-                violations.append(
-                    self.violation(
-                        ctx, node,
-                        "object.__setattr__ mutates a frozen config "
-                        "outside __post_init__; construct a new instance "
-                        "with dataclasses.replace",
-                    )
-                )
-            for child in ast.iter_child_nodes(node):
-                visit(child, scope)
-
-        visit(ctx.tree, None)
-        yield from violations
+                continue
+            enclosing = index.enclosing(
+                node, ast.FunctionDef, ast.AsyncFunctionDef
+            )
+            scope = enclosing.name if enclosing is not None else None
+            if scope in self._ALLOWED_SCOPES:
+                continue
+            yield self.violation(
+                ctx, node,
+                "object.__setattr__ mutates a frozen config "
+                "outside __post_init__; construct a new instance "
+                "with dataclasses.replace",
+            )
 
 
 class FTLEncapsulationRule(Rule):
@@ -299,12 +315,13 @@ class FTLEncapsulationRule(Rule):
 
     id = "R5"
     title = "FTL owns the L2P map"
+    summary = "L2P mapping state (_table/_next_free) private to ftl.py"
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         if ctx.is_file("repro", "ssd", "ftl.py"):
             return
-        for node in ast.walk(ctx.tree):
-            if isinstance(node, ast.Attribute) and node.attr in FTL_PRIVATE_ATTRS:
+        for node in ctx.index.nodes(ast.Attribute):
+            if node.attr in FTL_PRIVATE_ATTRS:
                 yield self.violation(
                     ctx, node,
                     f"bare access to FTL L2P state '.{node.attr}' outside "
@@ -318,14 +335,14 @@ class BenchmarkReportRule(Rule):
 
     id = "R6"
     title = "benchmarks report through the shared path"
+    summary = "bench_*.py emits via repro.analysis.report, never print"
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         if not ctx.basename.startswith("bench_"):
             return
-        for node in ast.walk(ctx.tree):
+        for node in ctx.index.nodes(ast.Call):
             if (
-                isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Name)
+                isinstance(node.func, ast.Name)
                 and node.func.id == "print"
             ):
                 yield self.violation(
@@ -340,6 +357,7 @@ class WallClockRule(Rule):
 
     id = "R7"
     title = "no wall clock in simulated-time code"
+    summary = "repro.{core,ssd,sim,obs} never import time/datetime"
 
     #: Packages whose results must be pure functions of the simulated
     #: clock (determinism + fastpath/DES equivalence depend on it).
@@ -361,27 +379,27 @@ class WallClockRule(Rule):
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         if not any(ctx.in_module(*parts) for parts in self.SIM_PACKAGES):
             return
-        for node in ast.walk(ctx.tree):
-            if isinstance(node, ast.Import):
-                for alias in node.names:
-                    module = alias.name.split(".")[0]
-                    if module in self._BANNED_MODULES:
-                        yield self.violation(
-                            ctx, node,
-                            f"wall-clock module '{module}' imported in "
-                            f"simulated-time code; the clock is sim.now",
-                        )
-            elif isinstance(node, ast.ImportFrom):
-                module = (node.module or "").split(".")[0]
+        index = ctx.index
+        for node in index.nodes(ast.Import):
+            for alias in node.names:
+                module = alias.name.split(".")[0]
                 if module in self._BANNED_MODULES:
                     yield self.violation(
                         ctx, node,
                         f"wall-clock module '{module}' imported in "
                         f"simulated-time code; the clock is sim.now",
                     )
-            elif (
-                isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Attribute)
+        for node in index.nodes(ast.ImportFrom):
+            module = (node.module or "").split(".")[0]
+            if module in self._BANNED_MODULES:
+                yield self.violation(
+                    ctx, node,
+                    f"wall-clock module '{module}' imported in "
+                    f"simulated-time code; the clock is sim.now",
+                )
+        for node in index.nodes(ast.Call):
+            if (
+                isinstance(node.func, ast.Attribute)
                 and node.func.attr in self._BANNED_CALLS
                 and isinstance(node.func.value, ast.Name)
                 and node.func.value.id in ("time", "datetime", "date")
@@ -399,6 +417,7 @@ class NamedResourceRule(Rule):
 
     id = "R8"
     title = "DES resources are named for the profiler"
+    summary = "Resource/Server built outside repro.sim must pass name="
 
     #: Constructor -> minimum positional-arg count that covers the
     #: ``name`` parameter (Server(sim, name, ...);
@@ -408,9 +427,7 @@ class NamedResourceRule(Rule):
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         if not ctx.in_module("repro") or ctx.in_module("repro", "sim"):
             return
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.Call):
-                continue
+        for node in ctx.index.nodes(ast.Call):
             callee = _name_of(node.func)
             arity = self._CONSTRUCTORS.get(callee)
             if arity is None:
