@@ -1,8 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint lint-strict compile test bench bench-fast bench-vcache \
-	trace-smoke profile-smoke bench-check
+.PHONY: check lint lint-strict compile test bench bench-fast bench-sweep \
+	bench-vcache trace-smoke profile-smoke bench-check
 
 check: lint compile test trace-smoke profile-smoke
 
@@ -27,6 +27,11 @@ bench:
 
 bench-fast:
 	$(PYTHON) -m pytest benchmarks/bench_fastpath_speedup.py -q -s
+
+# Serving-sweep replay speedup + Fig. 12/13 regeneration through the
+# parallel runner, against the committed wall-clock budget.
+bench-sweep:
+	$(PYTHON) -m pytest benchmarks/bench_sweep_speedup.py -q -s
 
 bench-vcache:
 	$(PYTHON) -m pytest benchmarks/bench_vcache_locality.py -q -s
@@ -58,12 +63,16 @@ profile-smoke:
 # tools/bench_compare.py).  Slow: re-runs the full DES speedup bench.
 # To refresh baselines instead, run bench-fast/bench-vcache and commit
 # the rewritten BENCH_*.json (see docs/performance.md).
-bench-check: bench-fast bench-vcache
+bench-check: bench-fast bench-sweep bench-vcache
 	git show HEAD:BENCH_fastpath.json > /tmp/rmssd_bench_fastpath_base.json
+	git show HEAD:BENCH_sweep.json > /tmp/rmssd_bench_sweep_base.json
 	git show HEAD:BENCH_vcache.json > /tmp/rmssd_bench_vcache_base.json
 	PYTHONPATH=src:. $(PYTHON) -m tools.bench_compare \
 		--baseline /tmp/rmssd_bench_fastpath_base.json \
 		--fresh BENCH_fastpath.json
+	PYTHONPATH=src:. $(PYTHON) -m tools.bench_compare \
+		--baseline /tmp/rmssd_bench_sweep_base.json \
+		--fresh BENCH_sweep.json
 	PYTHONPATH=src:. $(PYTHON) -m tools.bench_compare \
 		--baseline /tmp/rmssd_bench_vcache_base.json \
 		--fresh BENCH_vcache.json

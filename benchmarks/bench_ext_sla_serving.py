@@ -11,6 +11,7 @@ over-provisioning.
 
 import pytest
 
+from benchmarks.runner import run_parallel
 from repro.analysis.report import Table
 from repro.core.lookup_engine import flash_read_cycles
 from repro.fpga.compose import StageTimes
@@ -37,17 +38,23 @@ def _serving_for(key):
     return ServingSimulator(result.times, nbatch=result.nbatch, seed=7), result
 
 
+def sla_cell(key):
+    """One model's sweep + SLA bisection (all points kept)."""
+    serving, _result = _serving_for(key)
+    sweep = serving.load_sweep(fractions=(0.3, 0.6, 0.9), queries=150)
+    unloaded_ns = sweep[0].p50_ns
+    search = serving.sla_search(sla_ns=SLA_FACTOR * unloaded_ns, queries=150)
+    return (
+        serving.saturation_qps,
+        sweep,
+        search.max_qps,
+        unloaded_ns,
+        search.points,
+    )
+
+
 def _measure():
-    out = {}
-    for key in MODELS:
-        serving, result = _serving_for(key)
-        sweep = serving.load_sweep(fractions=(0.3, 0.6, 0.9), queries=150)
-        unloaded_ns = sweep[0].p50_ns
-        max_qps = serving.max_qps_under_sla(
-            sla_ns=SLA_FACTOR * unloaded_ns, queries=150
-        )
-        out[key] = (serving.saturation_qps, sweep, max_qps, unloaded_ns)
-    return out
+    return dict(zip(MODELS, run_parallel(sla_cell, MODELS)))
 
 
 @pytest.mark.benchmark(group="extension")
@@ -55,7 +62,7 @@ def test_ext_sla_serving(benchmark):
     results = benchmark.pedantic(_measure, rounds=1, iterations=1)
 
     for key in MODELS:
-        saturation, sweep, max_qps, unloaded = results[key]
+        saturation, sweep, max_qps, unloaded, probes = results[key]
         table = Table(
             f"Extension ({key.upper()}): RM-SSD latency vs offered load "
             f"(saturation {saturation:.0f} QPS)",
@@ -69,16 +76,21 @@ def test_ext_sla_serving(benchmark):
                 f"{point.p99_ns / 1e6:.2f}",
             )
         table.add_row(
-            f"max under SLA (p99 <= {SLA_FACTOR:.0f}x unloaded)",
+            f"max under SLA (p99 <= {SLA_FACTOR:.0f}x unloaded, "
+            f"{len(probes)} probes)",
             f"{max_qps:.0f} QPS", "-", "-",
         )
         table.print()
 
     for key in MODELS:
-        saturation, sweep, max_qps, unloaded = results[key]
+        saturation, sweep, max_qps, unloaded, probes = results[key]
         # Latency rises with load.
         assert sweep[-1].p99_ns > sweep[0].p99_ns
         # RM-SSD sustains a large fraction of saturation under the SLA
         # — the tight latency distribution at work.
         assert max_qps > 0.5 * saturation, key
         assert max_qps <= saturation, key
+        # The bisection exposes every probe it evaluated (trickle
+        # first), so the curve needs no re-simulation.
+        assert len(probes) >= 2, key
+        assert probes[0].offered_qps == pytest.approx(0.01 * saturation)

@@ -15,6 +15,7 @@ The headline figure.  Shape checks encoded below:
 import pytest
 
 from benchmarks.conftest import make_requests
+from benchmarks.runner import cached_model, run_parallel
 from repro.analysis.report import Table, emit
 from repro.baselines import (
     DRAMBackend,
@@ -28,27 +29,50 @@ BATCHES = (1, 2, 4, 8, 16, 32)
 SYSTEMS = ("SSD-S", "RecSSD", "EMB-VectorSum", "RM-SSD-Naive", "RM-SSD", "DRAM")
 
 
-def _backends(config, model):
-    return (
-        NaiveSSDBackend(model, 0.25),
-        RecSSDBackend(model),
-        EMBVectorSumBackend(model),
-        RMSSDBackend(model, config.lookups_per_table, mlp_design="naive", use_des=False),
-        RMSSDBackend(model, config.lookups_per_table, use_des=False),
-        DRAMBackend(model),
-    )
+def _backend_for(system, config, model):
+    if system == "SSD-S":
+        return NaiveSSDBackend(model, 0.25)
+    if system == "RecSSD":
+        return RecSSDBackend(model)
+    if system == "EMB-VectorSum":
+        return EMBVectorSumBackend(model)
+    if system == "RM-SSD-Naive":
+        return RMSSDBackend(
+            model, config.lookups_per_table, mlp_design="naive", use_des=False
+        )
+    if system == "RM-SSD":
+        return RMSSDBackend(model, config.lookups_per_table, use_des=False)
+    if system == "DRAM":
+        return DRAMBackend(model)
+    raise ValueError(f"unknown system {system!r}")
 
 
-def _measure(models):
+def fig12_cell(task):
+    """One (model, system) cell: QPS per batch size, in batch order."""
+    key, system = task
+    config, model = cached_model(key)
+    backend = _backend_for(system, config, model)
+    qps = []
+    for batch in BATCHES:
+        count = 4 if batch <= 4 else 2
+        requests = make_requests(config, batch, count=count)
+        qps.append(backend.run(requests, compute=False).qps)
+    return qps
+
+
+def _measure(_models):
+    # One task per (model, system); workers rebuild models per process
+    # (cached_model), so the session fixture stays unused here.
+    tasks = [
+        (key, system)
+        for key in ("rmc1", "rmc2", "rmc3")
+        for system in SYSTEMS
+    ]
+    rows = run_parallel(fig12_cell, tasks)
     qps = {}
-    for key in ("rmc1", "rmc2", "rmc3"):
-        config, model = models[key]
-        for backend in _backends(config, model):
-            for batch in BATCHES:
-                count = 4 if batch <= 4 else 2
-                requests = make_requests(config, batch, count=count)
-                result = backend.run(requests, compute=False)
-                qps[(key, backend.name, batch)] = result.qps
+    for (key, system), row in zip(tasks, rows):
+        for batch, value in zip(BATCHES, row):
+            qps[(key, system, batch)] = value
     return qps
 
 

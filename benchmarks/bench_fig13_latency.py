@@ -8,6 +8,7 @@ RecSSD everywhere (paper: up to 64% reduction).
 import pytest
 
 from benchmarks.conftest import make_requests, per_1k_seconds
+from benchmarks.runner import cached_model, run_parallel
 from repro.analysis.metrics import latency_reduction
 from repro.analysis.report import Table, emit
 from repro.baselines import (
@@ -28,31 +29,44 @@ PAPER = {
 SYSTEMS = ("SSD-S", "RecSSD", "EMB-VectorSum", "RM-SSD", "DRAM")
 
 
-def _measure(models):
-    seconds = {}
-    for key in ("rmc1", "rmc2", "rmc3"):
-        config, model = models[key]
-        requests = make_requests(config, batch_size=1, count=6)
-        for backend in (
-            NaiveSSDBackend(model, 0.25),
-            RecSSDBackend(model),
-            EMBVectorSumBackend(model),
-            RMSSDBackend(model, config.lookups_per_table, use_des=False),
-            DRAMBackend(model),
-        ):
-            # Latency: unpipelined per-request time.
-            if backend.name == "RM-SSD":
-                total = 0.0
-                for request in requests:
-                    _, timing = backend.device.infer_batch(
-                        request.dense, request.sparse
-                    )
-                    total += timing.latency_ns
-                seconds[(key, backend.name)] = total / len(requests) * 1000 / 1e9
-            else:
-                result = backend.run(requests, compute=False)
-                seconds[(key, backend.name)] = per_1k_seconds(result)
-    return seconds
+def _backend_for(system, config, model):
+    if system == "SSD-S":
+        return NaiveSSDBackend(model, 0.25)
+    if system == "RecSSD":
+        return RecSSDBackend(model)
+    if system == "EMB-VectorSum":
+        return EMBVectorSumBackend(model)
+    if system == "RM-SSD":
+        return RMSSDBackend(model, config.lookups_per_table, use_des=False)
+    if system == "DRAM":
+        return DRAMBackend(model)
+    raise ValueError(f"unknown system {system!r}")
+
+
+def fig13_cell(task):
+    """One (model, system) cell: seconds per 1K batch-1 inferences."""
+    key, system = task
+    config, model = cached_model(key)
+    requests = make_requests(config, batch_size=1, count=6)
+    backend = _backend_for(system, config, model)
+    # Latency: unpipelined per-request time.
+    if system == "RM-SSD":
+        total = 0.0
+        for request in requests:
+            _, timing = backend.device.infer_batch(request.dense, request.sparse)
+            total += timing.latency_ns
+        return total / len(requests) * 1000 / 1e9
+    return per_1k_seconds(backend.run(requests, compute=False))
+
+
+def _measure(_models):
+    tasks = [
+        (key, system)
+        for key in ("rmc1", "rmc2", "rmc3")
+        for system in SYSTEMS
+    ]
+    values = run_parallel(fig13_cell, tasks)
+    return dict(zip(tasks, values))
 
 
 @pytest.mark.benchmark(group="fig13")

@@ -9,6 +9,7 @@ miss); and the gap widens at low locality.
 import pytest
 
 from benchmarks.conftest import ROWS_PER_TABLE
+from benchmarks.runner import cached_model, run_parallel
 from repro.analysis.report import Table, emit
 from repro.baselines import RMSSDBackend, RecSSDBackend
 from repro.workloads import K_TO_HIT_RATIO, hit_ratio_for_k
@@ -18,20 +19,27 @@ KS = (0.0, 0.3, 1.0, 2.0)
 MODEL_KEYS = ("rmc1", "rmc2", "rmc3")
 
 
-def _measure(models):
+def fig14_cell(task):
+    """One (model, K) cell: (RecSSD QPS, RM-SSD QPS)."""
+    key, k = task
+    config, model = cached_model(key)
+    hit = hit_ratio_for_k(k)
+    gen = RequestGenerator(config, ROWS_PER_TABLE, hot_access_fraction=hit, seed=5)
+    requests = gen.requests(5, batch_size=4)
+    recssd = RecSSDBackend(model)
+    recssd_qps = recssd.run(requests, compute=False).qps
+    rmssd = RMSSDBackend(model, config.lookups_per_table, use_des=False)
+    rmssd_qps = rmssd.run(requests, compute=False).qps
+    return recssd_qps, rmssd_qps
+
+
+def _measure(_models):
+    tasks = [(key, k) for key in MODEL_KEYS for k in KS]
+    cells = run_parallel(fig14_cell, tasks)
     qps = {}
-    for key in MODEL_KEYS:
-        config, model = models[key]
-        for k in KS:
-            hit = hit_ratio_for_k(k)
-            gen = RequestGenerator(
-                config, ROWS_PER_TABLE, hot_access_fraction=hit, seed=5
-            )
-            requests = gen.requests(5, batch_size=4)
-            recssd = RecSSDBackend(model)
-            qps[(key, "RecSSD", k)] = recssd.run(requests, compute=False).qps
-            rmssd = RMSSDBackend(model, config.lookups_per_table, use_des=False)
-            qps[(key, "RM-SSD", k)] = rmssd.run(requests, compute=False).qps
+    for (key, k), (recssd_qps, rmssd_qps) in zip(tasks, cells):
+        qps[(key, "RecSSD", k)] = recssd_qps
+        qps[(key, "RM-SSD", k)] = rmssd_qps
     return qps
 
 

@@ -1,0 +1,99 @@
+"""Process-parallel benchmark runner with deterministic result merge.
+
+The figure benchmarks are embarrassingly parallel — every (model,
+system) or (model, sweep-point) cell simulates an independent device —
+but ran on one core.  ``run_parallel`` fans the cells out over a
+``multiprocessing`` *spawn* pool and merges results **by submission
+index**, never by completion order, so the merged output is identical
+to the sequential run no matter how the OS schedules the workers.
+
+Workers are plain top-level functions (spawn pickles them by
+reference); each bench module defines its own.  Models are rebuilt
+per worker process through :func:`cached_model` — the build is
+deterministic (same config, rows, seed as the session fixture), so a
+worker's cell equals the sequential cell bit for bit.
+
+``RMSSD_BENCH_PROCS`` caps the pool (default: ``os.cpu_count()``);
+``RMSSD_BENCH_PROCS=1`` — or a single-core machine — degrades to an
+in-process loop over the same tasks, which keeps the merge-order
+contract trivially and makes the runner safe under pytest on any box.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from typing import Any, Callable, List, Optional, Sequence
+
+from benchmarks.conftest import ROWS_PER_TABLE
+
+from repro.models import build_model, get_config
+
+#: Per-process model cache: spawn workers cannot see the pytest
+#: session fixture, so each process builds (once) what it needs.
+_MODEL_CACHE = {}
+
+
+def cached_model(key: str, rows_per_table: int = ROWS_PER_TABLE):
+    """(config, model) for ``key``, built once per worker process.
+
+    Same build recipe as the session ``models`` fixture (seed 0), so
+    parallel cells see bit-identical weights and tables.
+    """
+    cache_key = (key, rows_per_table)
+    if cache_key not in _MODEL_CACHE:
+        config = get_config(key)
+        model = build_model(config, rows_per_table=rows_per_table, seed=0)
+        _MODEL_CACHE[cache_key] = (config, model)
+    return _MODEL_CACHE[cache_key]
+
+
+def _run_indexed(job):
+    """Pool target: tag each result with its submission index."""
+    worker, index, task = job
+    return index, worker(task)
+
+
+def default_processes(task_count: int) -> int:
+    """Pool size: ``RMSSD_BENCH_PROCS`` or the machine's core count,
+    never more than there are tasks."""
+    env = os.environ.get("RMSSD_BENCH_PROCS", "").strip()
+    limit = int(env) if env else (os.cpu_count() or 1)
+    return max(1, min(limit, task_count))
+
+
+def run_parallel(
+    worker: Callable[[Any], Any],
+    tasks: Sequence[Any],
+    processes: Optional[int] = None,
+) -> List[Any]:
+    """Map ``worker`` over ``tasks``; results in submission order.
+
+    The pool consumes completions as they happen (``imap_unordered``)
+    and the merge re-sorts by submission index, so the output order —
+    and therefore everything derived from it — is deterministic.
+    """
+    tasks = list(tasks)
+    if processes is None:
+        processes = default_processes(len(tasks))
+    if processes <= 1 or len(tasks) <= 1:
+        return [worker(task) for task in tasks]
+    jobs = [(worker, index, task) for index, task in enumerate(tasks)]
+    context = multiprocessing.get_context("spawn")
+    with context.Pool(processes) as pool:
+        indexed = list(pool.imap_unordered(_run_indexed, jobs))
+    indexed.sort(key=lambda pair: pair[0])
+    return [result for _index, result in indexed]
+
+
+def sleep_echo_task(task):
+    """Test worker: sleep, then return the payload.
+
+    Longer sleeps on earlier submissions invert the completion order,
+    which is exactly what the determinism test needs the merge to
+    survive.
+    """
+    payload, delay_s = task
+    time.sleep(delay_s)
+    return payload

@@ -27,13 +27,15 @@ def latency_reduction(baseline_ns: float, improved_ns: float) -> float:
     return 1.0 - improved_ns / baseline_ns
 
 
-def percentile(values: Sequence[float], q: float) -> float:
+def percentile(values: Sequence[float], q: float, presorted: bool = False) -> float:
     """The q-th percentile (0-100) by linear interpolation.
 
     Used for tail-latency reporting (p95/p99) of per-request latencies
-    collected from the discrete-event simulator.
+    collected from the discrete-event simulator.  ``presorted=True``
+    skips the sort for callers that take several percentiles of the
+    same sample (the caller guarantees ascending order).
     """
-    values = sorted(values)
+    values = list(values) if presorted else sorted(values)
     if not values:
         raise ValueError("empty sequence")
     if not 0.0 <= q <= 100.0:

@@ -351,6 +351,7 @@ def cmd_sla(args) -> int:
     from repro.fpga.decompose import decompose_model
     from repro.fpga.search import kernel_search
     from repro.host.serving import ServingSimulator
+    from repro.ssd import fastpath
     from repro.ssd.geometry import SSDGeometry
     from repro.ssd.timing import SSDTimingModel
 
@@ -362,12 +363,15 @@ def cmd_sla(args) -> int:
     )
     result = kernel_search(dec, flash)
     serving = ServingSimulator(result.times, nbatch=result.nbatch, seed=args.seed)
-    print(f"saturation throughput: {serving.saturation_qps:.0f} QPS")
+    fast = False if args.no_fastpath else None
+    path = "fast" if (fast is None and fastpath.enabled()) else "des"
+    print(f"saturation throughput: {serving.saturation_qps:.0f} QPS "
+          f"(pipeline path: {path})")
     table = Table(
         f"{config.name}: latency vs offered load",
         ["offered QPS", "p50 ms", "p95 ms", "p99 ms"],
     )
-    for point in serving.load_sweep(queries=args.queries):
+    for point in serving.load_sweep(queries=args.queries, fast=fast):
         table.add_row(
             f"{point.offered_qps:.0f}",
             f"{point.p50_ns / 1e6:.2f}",
@@ -375,11 +379,16 @@ def cmd_sla(args) -> int:
             f"{point.p99_ns / 1e6:.2f}",
         )
     table.print()
-    max_qps = serving.max_qps_under_sla(
-        sla_ns=args.sla_ms * 1e6, queries=args.queries
+    search = serving.sla_search(
+        sla_ns=args.sla_ms * 1e6, queries=args.queries, fast=fast
     )
-    print(f"max load with p99 <= {args.sla_ms} ms: {max_qps:.0f} QPS "
-          f"({max_qps / serving.saturation_qps:.0%} of saturation)")
+    print(f"max load with p99 <= {args.sla_ms} ms: {search.max_qps:.0f} QPS "
+          f"({search.max_qps / serving.saturation_qps:.0%} of saturation; "
+          f"{len(search.points)} probes)")
+    trajectory = " -> ".join(
+        f"{point.offered_qps:.0f}" for point in search.points
+    )
+    print(f"bisection trajectory (offered QPS): {trajectory}")
     return 0
 
 
@@ -541,6 +550,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_sla.add_argument("--rows", type=int, default=512)
     p_sla.add_argument("--queries", type=int, default=150)
     p_sla.add_argument("--seed", type=int, default=0)
+    p_sla.add_argument("--no-fastpath", action="store_true",
+                       help="force the event-driven pipeline (the "
+                            "closed-form replay is bitwise-identical)")
     p_sla.set_defaults(func=cmd_sla)
 
     p_cgen = sub.add_parser("criteo-gen", help="generate a Criteo-format TSV")

@@ -17,8 +17,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Generator, List, Optional, Sequence
 
+import numpy as np
+
+from repro.core import pipeline_fast
 from repro.fpga.compose import StageTimes
-from repro.obs import names, resolve_tracer
+from repro.obs import names, resolve_profiler, resolve_tracer
 from repro.sim import Server, Simulator
 
 
@@ -57,6 +60,10 @@ class PipelineRunResult:
 
     records: List[BatchRecord]
     makespan_ns: float
+    #: Which implementation produced the records: "des" for the
+    #: event-driven reference, "fast" for the closed-form replay
+    #: (bitwise-equal; see repro/core/pipeline_fast.py).
+    path: str = "des"
 
     @property
     def batches(self) -> int:
@@ -94,11 +101,22 @@ class PipelineSimulator:
         bot_ns,
         top_ns,
         tracer=None,
+        profiler=None,
     ) -> None:
+        # Raw values feed the fast replay (constants skip its
+        # per-index evaluation loop); the DES always calls through
+        # the normalized callables.
+        self._emb_raw = emb_ns
+        self._bot_raw = bot_ns
+        self._top_raw = top_ns
         self._emb = self._as_fn(emb_ns)
         self._bot = self._as_fn(bot_ns)
         self._top = self._as_fn(top_ns)
         self.tracer = resolve_tracer(tracer)
+        #: Utilization profiler fed by both paths: the DES wires it
+        #: into its Simulator (Server.serve records the triples), the
+        #: fast replay records the identical triples directly.
+        self.profiler = resolve_profiler(profiler)
 
     @staticmethod
     def _as_fn(value) -> Callable[[int], float]:
@@ -108,13 +126,18 @@ class PipelineSimulator:
 
     @classmethod
     def from_stage_times(
-        cls, times: StageTimes, cycle_ns: float = 5.0, tracer=None
+        cls,
+        times: StageTimes,
+        cycle_ns: float = 5.0,
+        tracer=None,
+        profiler=None,
     ) -> "PipelineSimulator":
         return cls(
             emb_ns=times.temb * cycle_ns,
             bot_ns=times.tbot * cycle_ns,
             top_ns=times.ttop * cycle_ns,
             tracer=tracer,
+            profiler=profiler,
         )
 
     def run(
@@ -122,6 +145,7 @@ class PipelineSimulator:
         batches: int,
         arrival_interval_ns: float = 0.0,
         arrival_times_ns: Optional[Sequence[float]] = None,
+        fast: Optional[bool] = None,
     ) -> PipelineRunResult:
         """Stream ``batches`` through the pipeline.
 
@@ -129,6 +153,12 @@ class PipelineSimulator:
         the device saturated; a positive value models a fixed-rate
         open loop; ``arrival_times_ns`` overrides with explicit
         (sorted) arrival instants — e.g. a Poisson process.
+
+        ``fast=None`` follows ``RMSSD_FASTPATH`` (default on): the
+        closed-form replay is bitwise-equal to the DES for index-pure
+        stage-time callables (constants always qualify).  Pass
+        ``fast=False`` for stage callables with cross-call state whose
+        results depend on evaluation count rather than batch index.
         """
         if batches < 1:
             raise ValueError("need at least one batch")
@@ -136,16 +166,42 @@ class PipelineSimulator:
             if len(arrival_times_ns) != batches:
                 raise ValueError("one arrival time per batch required")
             arrivals = list(arrival_times_ns)
-            if arrivals != sorted(arrivals):
+            if len(arrivals) > 1 and bool(
+                np.any(np.diff(np.asarray(arrivals, dtype=np.float64)) < 0)
+            ):
                 raise ValueError("arrival times must be sorted")
         else:
             arrivals = [i * arrival_interval_ns for i in range(batches)]
+        if pipeline_fast.resolve_fast(fast):
+            records, makespan, path = self._run_fast(arrivals)
+        else:
+            records, makespan, path = self._run_des(arrivals)
+        if self.tracer.enabled:
+            self._emit_spans(records)
+        return PipelineRunResult(records=records, makespan_ns=makespan, path=path)
+
+    def _run_fast(self, arrivals: List[float]):
+        """Closed-form replay; see :mod:`repro.core.pipeline_fast`."""
+        timeline, makespan = pipeline_fast.replay_serving(
+            self._emb_raw, self._bot_raw, self._top_raw, arrivals,
+            profiler=self.profiler,
+        )
+        records = [
+            BatchRecord(i, arrival, *stamps)
+            for i, (arrival, stamps) in enumerate(zip(arrivals, timeline.tolist()))
+        ]
+        return records, makespan, "fast"
+
+    def _run_des(self, arrivals: List[float]):
+        """Event-driven reference: one flow process per batch."""
         sim = Simulator()
+        sim.profiler = self.profiler
         emb_server = Server(sim, names.STAGE_EMB)
         bot_server = Server(sim, names.STAGE_BOT)
         top_server = Server(sim, names.STAGE_TOP)
         records = [
-            BatchRecord(index=i, arrival_ns=arrivals[i]) for i in range(batches)
+            BatchRecord(index=i, arrival_ns=arrival)
+            for i, arrival in enumerate(arrivals)
         ]
 
         def flow(record: BatchRecord) -> Generator:
@@ -178,9 +234,7 @@ class PipelineSimulator:
         for record in records:
             sim.process(flow(record))
         sim.run()
-        if self.tracer.enabled:
-            self._emit_spans(records)
-        return PipelineRunResult(records=records, makespan_ns=sim.now)
+        return records, sim.now, "des"
 
     def _emit_spans(self, records: Sequence[BatchRecord]) -> None:
         """Span tree per batch: queue wait, then the three stages.

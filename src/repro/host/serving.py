@@ -12,7 +12,7 @@ evaluation (closed-loop throughput) does not answer.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -64,6 +64,20 @@ class LoadPoint:
         return value <= sla_ns
 
 
+@dataclass(frozen=True)
+class SLASearchResult:
+    """Outcome of :meth:`ServingSimulator.sla_search`.
+
+    ``points`` keeps every :class:`LoadPoint` the bisection evaluated
+    (the trickle probe first, then the probes in evaluation order), so
+    callers can plot the latency-vs-load trajectory without
+    re-simulating the same offered loads.
+    """
+
+    max_qps: float
+    points: Tuple[LoadPoint, ...]
+
+
 class ServingSimulator:
     """Poisson arrivals into a 3-stage serving pipeline."""
 
@@ -75,9 +89,10 @@ class ServingSimulator:
         seed: int = 0,
         tracer=None,
         metrics=None,
+        profiler=None,
     ) -> None:
         self.pipeline = PipelineSimulator.from_stage_times(
-            times, cycle_ns, tracer=tracer
+            times, cycle_ns, tracer=tracer, profiler=profiler
         )
         self.nbatch = max(1, nbatch)
         self.saturation_qps = times.throughput_qps(1e9 / cycle_ns)
@@ -86,19 +101,32 @@ class ServingSimulator:
         #: ``serving.latency_ns`` / ``serving.queue_ns`` histograms.
         self.metrics = metrics
 
-    def offered_load(self, qps: float, queries: int = 200) -> LoadPoint:
+    def offered_load(
+        self,
+        qps: float,
+        queries: int = 200,
+        seed: Optional[int] = None,
+        fast: Optional[bool] = None,
+    ) -> LoadPoint:
         """Latency distribution at an offered Poisson load of ``qps``.
 
         Queries arrive individually; the device serves them in batches
         of ``nbatch`` (the paper's small-batch partitioning), so the
         batch arrival process is the nbatch-fold thinning of the query
         process.
+
+        ``seed=None`` (the default) redraws the constructor seed every
+        call — common random numbers, so every point of a sweep sees
+        the same gap pattern and curves differ only through the load.
+        Pass an explicit ``seed`` for replicate runs that need
+        independent arrival processes.  ``fast`` is forwarded to
+        :meth:`PipelineSimulator.run` (None follows ``RMSSD_FASTPATH``).
         """
         if qps <= 0:
             raise ValueError("offered load must be positive")
         if queries < 1:
             raise ValueError("need at least one query")
-        rng = np.random.default_rng(self._seed)
+        rng = np.random.default_rng(self._seed if seed is None else seed)
         # Serve every offered query: full batches plus one short batch
         # for the remainder, so the achieved total equals ``queries``.
         full, remainder = divmod(queries, self.nbatch)
@@ -109,9 +137,14 @@ class ServingSimulator:
         # thinning of the Poisson query process.
         gaps = rng.gamma(shape=np.asarray(sizes, dtype=float), scale=1e9 / qps)
         arrivals = np.cumsum(gaps) - gaps[0]
-        result = self.pipeline.run(len(sizes), arrival_times_ns=list(arrivals))
-        latencies = [r.latency_ns for r in result.records]
-        queue_waits = [r.queue_ns for r in result.records]
+        result = self.pipeline.run(
+            len(sizes), arrival_times_ns=list(arrivals), fast=fast
+        )
+        # Inlined latency_ns / queue_ns: this comprehension runs once
+        # per batch per sweep point, where property dispatch is the
+        # single biggest cost of the fast replay path.
+        latencies = [r.top_done_ns - r.arrival_ns for r in result.records]
+        queue_waits = [r.emb_start_ns - r.arrival_ns for r in result.records]
         if self.metrics is not None:
             latency_histogram = self.metrics.histogram(
                 names.METRIC_SERVING_LATENCY
@@ -122,12 +155,13 @@ class ServingSimulator:
                 queue_histogram.observe(wait)
             self.metrics.counter(names.METRIC_SERVING_BATCHES).inc(len(sizes))
         elapsed_s = result.makespan_ns / 1e9
+        ordered = sorted(latencies)
         return LoadPoint(
             offered_qps=qps,
             achieved_qps=queries / elapsed_s if elapsed_s else 0.0,
-            p50_ns=percentile(latencies, 50),
-            p95_ns=percentile(latencies, 95),
-            p99_ns=percentile(latencies, 99),
+            p50_ns=percentile(ordered, 50, presorted=True),
+            p95_ns=percentile(ordered, 95, presorted=True),
+            p99_ns=percentile(ordered, 99, presorted=True),
             mean_ns=sum(latencies) / len(latencies),
             mean_queue_ns=sum(queue_waits) / len(queue_waits),
             latencies_ns=tuple(latencies),
@@ -136,12 +170,49 @@ class ServingSimulator:
     def load_sweep(
         self, fractions: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 0.9, 0.95),
         queries: int = 200,
+        seed: Optional[int] = None,
+        fast: Optional[bool] = None,
     ) -> List[LoadPoint]:
         """Latency-vs-load curve as fractions of the saturation QPS."""
         return [
-            self.offered_load(self.saturation_qps * fraction, queries)
+            self.offered_load(
+                self.saturation_qps * fraction, queries, seed=seed, fast=fast
+            )
             for fraction in fractions
         ]
+
+    def sla_search(
+        self,
+        sla_ns: float,
+        quantile: float = 99.0,
+        queries: int = 200,
+        tolerance: float = 0.02,
+        seed: Optional[int] = None,
+        fast: Optional[bool] = None,
+    ) -> SLASearchResult:
+        """Bisect for the largest offered load meeting the SLA.
+
+        Returns the sustained QPS *and* every load point the search
+        evaluated (trickle probe included), in evaluation order;
+        ``max_qps`` is 0.0 if even a trickle misses the SLA (the
+        unloaded latency already exceeds it).
+        """
+        low, high = 0.0, self.saturation_qps
+        trickle = self.offered_load(
+            max(1e-3, 0.01 * high), queries=queries, seed=seed, fast=fast
+        )
+        points = [trickle]
+        if not trickle.meets_sla(sla_ns, quantile):
+            return SLASearchResult(max_qps=0.0, points=tuple(points))
+        while (high - low) > tolerance * self.saturation_qps:
+            mid = (low + high) / 2
+            point = self.offered_load(mid, queries=queries, seed=seed, fast=fast)
+            points.append(point)
+            if point.meets_sla(sla_ns, quantile):
+                low = mid
+            else:
+                high = mid
+        return SLASearchResult(max_qps=low, points=tuple(points))
 
     def max_qps_under_sla(
         self,
@@ -149,21 +220,20 @@ class ServingSimulator:
         quantile: float = 99.0,
         queries: int = 200,
         tolerance: float = 0.02,
+        seed: Optional[int] = None,
+        fast: Optional[bool] = None,
     ) -> float:
         """Largest offered load whose latency quantile meets the SLA.
 
-        Bisects over (0, saturation]; returns 0.0 if even a trickle
-        misses the SLA (the unloaded latency already exceeds it).
+        Convenience wrapper over :meth:`sla_search` for callers that
+        only need the number; the search's evaluated points are on
+        ``sla_search(...).points``.
         """
-        low, high = 0.0, self.saturation_qps
-        trickle = self.offered_load(max(1e-3, 0.01 * high), queries=queries)
-        if not trickle.meets_sla(sla_ns, quantile):
-            return 0.0
-        while (high - low) > tolerance * self.saturation_qps:
-            mid = (low + high) / 2
-            point = self.offered_load(mid, queries=queries)
-            if point.meets_sla(sla_ns, quantile):
-                low = mid
-            else:
-                high = mid
-        return low
+        return self.sla_search(
+            sla_ns,
+            quantile=quantile,
+            queries=queries,
+            tolerance=tolerance,
+            seed=seed,
+            fast=fast,
+        ).max_qps

@@ -41,6 +41,25 @@ def fastpath_payload(**overrides):
     return payload
 
 
+def sweep_payload(**overrides):
+    payload = {
+        "model": "rmc2",
+        "queries": 200,
+        "fractions": [0.2, 0.4, 0.6, 0.8, 0.9, 0.95],
+        "sweep_points": 6,
+        "repeats": 3,
+        "min_speedup": 10.0,
+        "speedup": 13.4,
+        "bitwise_equal": True,
+        "des_wall_s": 0.035,
+        "fast_wall_s": 0.0026,
+        "wall_s": 10.7,
+        "max_wall_s": 90.0,
+    }
+    payload.update(overrides)
+    return payload
+
+
 def vcache_payload(**overrides):
     payload = {
         "ks": [0.0, 1.0, 2.0],
@@ -59,8 +78,11 @@ def vcache_payload(**overrides):
 
 
 class TestDetectKind:
-    def test_detects_both_kinds(self):
+    def test_detects_all_kinds(self):
         assert detect_kind(fastpath_payload()) == "fastpath"
+        # sweep carries speedup + bitwise_equal too: sweep_points must
+        # win the detection race over fastpath.
+        assert detect_kind(sweep_payload()) == "sweep"
         assert detect_kind(vcache_payload()) == "vcache"
 
     def test_unknown_payload_raises(self):
@@ -106,6 +128,43 @@ class TestCompareFastpath:
         del fresh["vectors_read"]
         with pytest.raises(Regression, match="missing"):
             compare(fastpath_payload(), fresh)
+
+
+class TestCompareSweep:
+    def test_identity_passes(self):
+        assert compare(sweep_payload(), sweep_payload()) == []
+
+    def test_wall_clock_drift_within_budget_is_ignored(self):
+        fresh = sweep_payload(
+            des_wall_s=0.5, fast_wall_s=0.04, speedup=12.5, wall_s=40.0
+        )
+        assert compare(sweep_payload(), fresh) == []
+
+    def test_configuration_drift_is_exact(self):
+        failures = compare(sweep_payload(), sweep_payload(queries=100))
+        assert any("queries" in failure for failure in failures)
+        failures = compare(
+            sweep_payload(), sweep_payload(fractions=[0.2, 0.4])
+        )
+        assert any("fractions" in failure for failure in failures)
+
+    def test_bitwise_divergence_flagged(self):
+        failures = compare(sweep_payload(), sweep_payload(bitwise_equal=False))
+        assert any("bitwise" in failure for failure in failures)
+
+    def test_speedup_below_floor_flagged(self):
+        failures = compare(sweep_payload(), sweep_payload(speedup=9.9))
+        assert any("floor" in failure for failure in failures)
+
+    def test_blown_wall_budget_flagged(self):
+        failures = compare(sweep_payload(), sweep_payload(wall_s=180.0))
+        assert any("budget" in failure for failure in failures)
+
+    def test_missing_wall_metric_flagged(self):
+        fresh = sweep_payload()
+        del fresh["wall_s"]
+        with pytest.raises(Regression, match="missing"):
+            compare(sweep_payload(), fresh)
 
 
 class TestCompareVcache:
@@ -156,7 +215,20 @@ class TestCompareVcache:
 class TestSelfCheck:
     def test_good_payloads_pass(self):
         assert self_check(fastpath_payload()) == []
+        assert self_check(sweep_payload()) == []
         assert self_check(vcache_payload()) == []
+
+    def test_sweep_invariants_flagged(self):
+        failures = self_check(
+            sweep_payload(bitwise_equal=False, speedup=2.0, wall_s=200.0)
+        )
+        assert any("bitwise" in failure for failure in failures)
+        assert any("floor" in failure for failure in failures)
+        assert any("budget" in failure for failure in failures)
+
+    def test_sweep_point_count_mismatch_flagged(self):
+        failures = self_check(sweep_payload(sweep_points=4))
+        assert any("sweep_points" in failure for failure in failures)
 
     def test_fastpath_divergence_and_empty_run_flagged(self):
         failures = self_check(
@@ -219,7 +291,9 @@ class TestMainAndCommittedBaselines:
         assert "FAIL" in capsys.readouterr().out
 
     def test_committed_baselines_self_consistent(self):
-        for name in ("BENCH_fastpath.json", "BENCH_vcache.json"):
+        for name in (
+            "BENCH_fastpath.json", "BENCH_sweep.json", "BENCH_vcache.json"
+        ):
             with open(REPO_ROOT / name) as handle:
                 payload = json.load(handle)
             assert self_check(payload) == [], name

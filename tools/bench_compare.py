@@ -1,8 +1,9 @@
 """Benchmark-regression gate over the committed ``BENCH_*.json`` files.
 
 The repo's benchmark trajectory (``BENCH_fastpath.json``,
-``BENCH_vcache.json``) is part of its claims — the fast path is ~16x,
-the vector cache turns flat 878 QPS into thousands at high locality.  A
+``BENCH_sweep.json``, ``BENCH_vcache.json``) is part of its claims —
+the lookup fast path is ~16x, the serving sweep replay ~13x, the
+vector cache turns flat 878 QPS into thousands at high locality.  A
 PR can silently regress those numbers while every functional test still
 passes.  This tool makes the numbers enforceable:
 
@@ -28,11 +29,20 @@ bitwise_equal
 fastpath: speedup       wall-clock, machine-dependent: gated only by
                         the payload's own ``min_speedup`` floor
 fastpath: *_wall_s      ignored (raw wall-clock)
+sweep: model, queries,  exact (benchmark configuration)
+fractions,
+sweep_points, repeats,
+min_speedup, max_wall_s
+sweep: bitwise_equal    must be ``true`` (the equivalence contract)
+sweep: speedup          gated by the payload's own ``min_speedup``
+sweep: *_wall_s         ignored (raw wall-clock)
 vcache: ks, policy,     exact (benchmark configuration)
 capacity_rule,
 rows_per_table
 vcache: qps.*           higher-is-better, 2% relative tolerance
 vcache: hit_ratios.*    higher-is-better, 0.01 absolute tolerance
+any: wall_s             when the payload commits a ``max_wall_s``
+                        budget, its ``wall_s`` must stay within it
 any: missing key        regression (a metric disappeared)
 ======================  =============================================
 
@@ -85,6 +95,9 @@ def _load(path: str) -> dict:
 
 def detect_kind(payload: dict) -> str:
     """Which benchmark a payload came from, by its signature keys."""
+    # sweep before fastpath: both carry speedup + bitwise_equal.
+    if "sweep_points" in payload and "bitwise_equal" in payload:
+        return "sweep"
     if "speedup" in payload and "bitwise_equal" in payload:
         return "fastpath"
     if "hit_ratios" in payload and "qps" in payload:
@@ -121,6 +134,38 @@ def compare_fastpath(baseline: dict, fresh: dict) -> List[str]:
             f"speedup: {speedup:.2f}x fell below the {floor:.1f}x floor "
             f"(baseline was {baseline.get('speedup', float('nan')):.2f}x)"
         )
+    return failures
+
+
+def _check_wall_budget(payload: dict, failures: List[str]) -> None:
+    """Enforce a payload's committed wall-clock budget, if it has one."""
+    if "max_wall_s" not in payload:
+        return
+    budget = payload["max_wall_s"]
+    wall = _require(payload, "wall_s", "payload")
+    if wall > budget:
+        failures.append(
+            f"wall_s: {wall:.1f}s blew the committed {budget:.1f}s budget"
+        )
+
+
+def compare_sweep(baseline: dict, fresh: dict) -> List[str]:
+    failures: List[str] = []
+    for key in (
+        "model", "queries", "fractions", "sweep_points", "repeats",
+        "min_speedup", "max_wall_s",
+    ):
+        _check_exact(baseline, fresh, key, failures)
+    if not _require(fresh, "bitwise_equal", "fresh"):
+        failures.append("bitwise_equal: fast replay diverged from the DES")
+    floor = _require(fresh, "min_speedup", "fresh")
+    speedup = _require(fresh, "speedup", "fresh")
+    if speedup < floor:
+        failures.append(
+            f"speedup: {speedup:.2f}x fell below the {floor:.1f}x floor "
+            f"(baseline was {baseline.get('speedup', float('nan')):.2f}x)"
+        )
+    _check_wall_budget(fresh, failures)
     return failures
 
 
@@ -178,6 +223,8 @@ def compare(baseline: dict, fresh: dict, kind: str = None) -> List[str]:
             return [f"payload kinds differ: baseline {kind}, fresh {fresh_kind}"]
     if kind == "fastpath":
         return compare_fastpath(baseline, fresh)
+    if kind == "sweep":
+        return compare_sweep(baseline, fresh)
     if kind == "vcache":
         return compare_vcache(baseline, fresh)
     raise Regression(f"unknown benchmark kind {kind!r}")
@@ -195,6 +242,23 @@ def self_check_fastpath(payload: dict) -> List[str]:
         failures.append("vectors_read: benchmark read no vectors")
     if _require(payload, "simulated_ns", "payload") <= 0:
         failures.append("simulated_ns: no simulated time elapsed")
+    return failures
+
+
+def self_check_sweep(payload: dict) -> List[str]:
+    failures: List[str] = []
+    if not _require(payload, "bitwise_equal", "payload"):
+        failures.append("bitwise_equal: fast replay diverged from the DES")
+    speedup = _require(payload, "speedup", "payload")
+    floor = _require(payload, "min_speedup", "payload")
+    if speedup < floor:
+        failures.append(f"speedup {speedup:.2f}x below the {floor:.1f}x floor")
+    fractions = _require(payload, "fractions", "payload")
+    if _require(payload, "sweep_points", "payload") != len(fractions):
+        failures.append("sweep_points: does not match the fractions list")
+    if _require(payload, "queries", "payload") <= 0:
+        failures.append("queries: benchmark served no queries")
+    _check_wall_budget(payload, failures)
     return failures
 
 
@@ -249,6 +313,8 @@ def self_check(payload: dict, kind: str = None) -> List[str]:
         kind = detect_kind(payload)
     if kind == "fastpath":
         return self_check_fastpath(payload)
+    if kind == "sweep":
+        return self_check_sweep(payload)
     if kind == "vcache":
         return self_check_vcache(payload)
     raise Regression(f"unknown benchmark kind {kind!r}")
@@ -261,7 +327,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--baseline", help="committed BENCH_*.json")
     parser.add_argument("--fresh", help="freshly generated BENCH_*.json")
-    parser.add_argument("--kind", choices=("fastpath", "vcache"), default=None,
+    parser.add_argument("--kind", choices=("fastpath", "sweep", "vcache"),
+                        default=None,
                         help="payload kind (default: auto-detect)")
     parser.add_argument("--self-check", nargs="+", metavar="FILE",
                         help="validate files' internal invariants instead "

@@ -10,9 +10,10 @@ PYTHONPATH=src:. python -m tools.lint src tests benchmarks tools \
     --baseline tools/lint/baseline.json
 
 echo "== lint canary (R9 must fire on injected fast-path drift) =="
-# Deletes one fast-path profiler record in a scratch copy of src/ and
-# asserts the parity rule reports it; guards against the whole-program
-# analysis silently going blind.
+# Deletes one fast-path profiler record per parity contract (lookup
+# and serving) in scratch copies of src/ and asserts the parity rule
+# reports each; guards against the whole-program analysis silently
+# going blind.
 PYTHONPATH=src:. python -m tools.lint.canary
 
 echo "== compile =="
@@ -24,6 +25,12 @@ RMSSD_SANITIZE=1 python -m pytest -x -q tests/test_fastpath_equivalence.py -k sm
 echo "== vector-cache differential smoke (RMSSD_SANITIZE=1) =="
 RMSSD_SANITIZE=1 python -m pytest -x -q tests/test_vcache_equivalence.py \
     -k "inert or bitwise"
+
+echo "== serving-replay differential smoke (RMSSD_SANITIZE=1) =="
+# Closed-form pipeline replay vs the DES: saturated/zero-stage chains,
+# byte-identical profiles, and one load-sweep point on both paths.
+RMSSD_SANITIZE=1 python -m pytest -x -q \
+    tests/test_pipeline_fast_equivalence.py -k smoke
 
 echo "== trace smoke (RMSSD_TRACE=1) =="
 RMSSD_TRACE=1 python -m repro run rmc1 --backend rm-ssd \
@@ -51,9 +58,11 @@ echo "== bench-regression gate (tools/bench_compare.py) =="
 # Committed baselines must satisfy their own invariants and pass an
 # identity diff; an injected synthetic regression must be flagged.
 PYTHONPATH=src:. python -m tools.bench_compare \
-    --self-check BENCH_fastpath.json BENCH_vcache.json
+    --self-check BENCH_fastpath.json BENCH_sweep.json BENCH_vcache.json
 PYTHONPATH=src:. python -m tools.bench_compare \
     --baseline BENCH_fastpath.json --fresh BENCH_fastpath.json
+PYTHONPATH=src:. python -m tools.bench_compare \
+    --baseline BENCH_sweep.json --fresh BENCH_sweep.json
 PYTHONPATH=src:. python -m tools.bench_compare \
     --baseline BENCH_vcache.json --fresh BENCH_vcache.json
 python -c "import json; p = json.load(open('BENCH_vcache.json')); \
@@ -66,6 +75,19 @@ if PYTHONPATH=src:. python -m tools.bench_compare \
     exit 1
 else
     echo "ok   injected regression flagged"
+fi
+# The wall-clock budget must also have teeth: a run that doubles the
+# committed bench-harness budget fails the gate.
+python -c "import json; p = json.load(open('BENCH_sweep.json')); \
+p['wall_s'] = p['max_wall_s'] * 2; \
+json.dump(p, open('/tmp/rmssd_bench_slow.json', 'w'))"
+if PYTHONPATH=src:. python -m tools.bench_compare \
+    --baseline BENCH_sweep.json \
+    --fresh /tmp/rmssd_bench_slow.json > /dev/null; then
+    echo "bench_compare missed an injected wall-clock blowout" >&2
+    exit 1
+else
+    echo "ok   injected wall-clock blowout flagged"
 fi
 
 echo "== tests (RMSSD_SANITIZE=1) =="

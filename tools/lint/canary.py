@@ -1,14 +1,19 @@
 """Injected-drift canary for the R9 instrumentation-parity rule.
 
 ``python -m tools.lint.canary`` proves the whole-program analysis is
-actually live, not vacuously green: it copies ``src/`` to a scratch
-directory, deletes exactly one fast-path profiler record (the
-``record_busy`` call that closes a die's busy interval in
-:func:`repro.ssd.fastpath._replay_channel`), and asserts that
+actually live, not vacuously green: for each parity contract it copies
+``src/`` to a scratch directory, deletes exactly one fast-path
+profiler record, and asserts that
 
 * the **unmutated** copy is R9-clean (0 violations), and
 * the **mutated** copy trips R9 with a violation naming the now
-  DES-only ``die`` occupancy record.
+  DES-only record.
+
+Two contracts are exercised: the lookup path (the ``record_busy`` call
+that closes a die's busy interval in
+:func:`repro.ssd.fastpath._replay_channel`) and the serving path (the
+``record_service`` call that records every stage triple in
+:func:`repro.core.pipeline_fast._record_stage_services`).
 
 If a refactor ever blinds R9 — a renamed root, a broken call-graph
 edge, an over-wide provenance union — the clean/mutated runs stop
@@ -22,45 +27,72 @@ import ast
 import shutil
 import sys
 import tempfile
+from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from tools.lint.engine import Violation, lint_paths
 from tools.lint.rules_project import PROJECT_RULES_BY_ID
 
-#: The fast-path emission the canary deletes.
-TARGET_FILE = Path("repro") / "ssd" / "fastpath.py"
-TARGET_FUNCTION = "_replay_channel"
-TARGET_CALL = "record_busy"
-#: The DES-side value R9 must report as missing from the fast path.
-EXPECTED_TOKEN = "die"
+
+@dataclass(frozen=True)
+class Mutation:
+    """One fast-path emission to delete in a scratch copy of src/."""
+
+    label: str
+    #: File (relative to src/) holding the emission.
+    file: Path
+    #: Function containing the call to delete.
+    function: str
+    #: Method name of the call statement to replace with ``pass``.
+    call: str
+    #: The DES-side value R9 must report as missing from the fast path.
+    token: str
 
 
-def _find_call_statement(tree: ast.AST) -> Optional[ast.stmt]:
-    """The statement in ``TARGET_FUNCTION`` carrying the target call."""
+MUTATIONS: Tuple[Mutation, ...] = (
+    Mutation(
+        label="lookup",
+        file=Path("repro") / "ssd" / "fastpath.py",
+        function="_replay_channel",
+        call="record_busy",
+        token="die",
+    ),
+    Mutation(
+        label="serving",
+        file=Path("repro") / "core" / "pipeline_fast.py",
+        function="_record_stage_services",
+        call="record_service",
+        token="emb",
+    ),
+)
+
+
+def _find_call_statement(tree: ast.AST, mutation: Mutation) -> Optional[ast.stmt]:
+    """The statement in ``mutation.function`` carrying the target call."""
     for fn in ast.walk(tree):
-        if not isinstance(fn, ast.FunctionDef) or fn.name != TARGET_FUNCTION:
+        if not isinstance(fn, ast.FunctionDef) or fn.name != mutation.function:
             continue
         for node in ast.walk(fn):
             if (
                 isinstance(node, ast.Expr)
                 and isinstance(node.value, ast.Call)
                 and isinstance(node.value.func, ast.Attribute)
-                and node.value.func.attr == TARGET_CALL
+                and node.value.func.attr == mutation.call
             ):
                 return node
     return None
 
 
-def mutate_fastpath(src_root: Path) -> None:
+def mutate(src_root: Path, mutation: Mutation) -> None:
     """Replace the target profiler record with ``pass`` in place."""
-    target = src_root / TARGET_FILE
+    target = src_root / mutation.file
     source = target.read_text(encoding="utf-8")
-    statement = _find_call_statement(ast.parse(source))
+    statement = _find_call_statement(ast.parse(source), mutation)
     if statement is None:
         raise SystemExit(
-            f"canary: no {TARGET_CALL}() statement in "
-            f"{TARGET_FUNCTION}() of {target} — the mutation target "
+            f"canary: no {mutation.call}() statement in "
+            f"{mutation.function}() of {target} — the mutation target "
             f"moved; update tools/lint/canary.py"
         )
     lines = source.splitlines(keepends=True)
@@ -75,11 +107,7 @@ def _r9(paths: List[str]) -> List[Violation]:
     return lint_paths(paths, rules=(), project_rules=(PROJECT_RULES_BY_ID["R9"],))
 
 
-def run(src_dir: str = "src") -> int:
-    src = Path(src_dir)
-    if not (src / TARGET_FILE).is_file():
-        print(f"canary: {src / TARGET_FILE} not found", file=sys.stderr)
-        return 1
+def _check_mutation(src: Path, mutation: Mutation) -> int:
     with tempfile.TemporaryDirectory(prefix="rmssd-lint-canary-") as scratch:
         # The copy keeps a trailing ``src`` component so module paths
         # (anchored at the last ``src`` segment) resolve identically.
@@ -93,23 +121,38 @@ def run(src_dir: str = "src") -> int:
                 print("  " + violation.render())
             return 1
 
-        mutate_fastpath(copy)
+        mutate(copy, mutation)
         mutated = _r9([str(copy)])
-        named = [v for v in mutated if EXPECTED_TOKEN in v.message]
+        named = [v for v in mutated if mutation.token in v.message]
         if not named:
             print(
-                f"canary: deleted the fast-path {TARGET_CALL} record "
-                f"but R9 reported no violation naming "
-                f"'{EXPECTED_TOKEN}' — the parity analysis has gone "
-                f"blind"
+                f"canary: deleted the {mutation.label} fast-path "
+                f"{mutation.call} record but R9 reported no violation "
+                f"naming '{mutation.token}' — the parity analysis has "
+                f"gone blind"
             )
             for violation in mutated:
                 print("  " + violation.render())
             return 1
 
     print(
-        f"canary: R9 fired on the injected drift "
-        f"({len(named)} violation(s) naming '{EXPECTED_TOKEN}'); "
+        f"canary: R9 fired on injected {mutation.label} drift "
+        f"({len(named)} violation(s) naming '{mutation.token}')"
+    )
+    return 0
+
+
+def run(src_dir: str = "src") -> int:
+    src = Path(src_dir)
+    for mutation in MUTATIONS:
+        if not (src / mutation.file).is_file():
+            print(f"canary: {src / mutation.file} not found", file=sys.stderr)
+            return 1
+        status = _check_mutation(src, mutation)
+        if status:
+            return status
+    print(
+        f"canary: R9 fired on all {len(MUTATIONS)} injected drifts; "
         f"parity analysis is live"
     )
     return 0
