@@ -2,9 +2,9 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: check lint lint-strict compile test bench bench-fast bench-sweep \
-	bench-vcache trace-smoke profile-smoke bench-check
+	bench-vcache trace-smoke profile-smoke report-smoke bench-check
 
-check: lint compile test trace-smoke profile-smoke
+check: lint compile test trace-smoke profile-smoke report-smoke
 
 lint:
 	$(PYTHON) -m tools.lint src tests benchmarks
@@ -57,6 +57,18 @@ profile-smoke:
 	PYTHONPATH=src:. $(PYTHON) -m tools.check_trace \
 		/tmp/rmssd_profile_trace_smoke.json \
 		--profile /tmp/rmssd_profile_smoke.json
+
+# Tiny serving-report run; validates the windowed timeseries export
+# (schema, monotone windows, conservation, SLO section) and
+# cross-checks it against the metrics export of the same run.
+report-smoke:
+	RMSSD_SANITIZE=1 $(PYTHON) -m repro report rmc1 \
+		--queries 120 --rows 64 --window-ms 2.0 \
+		--timeseries-out /tmp/rmssd_timeseries_smoke.json \
+		--metrics-out /tmp/rmssd_report_metrics_smoke.json > /dev/null
+	PYTHONPATH=src:. $(PYTHON) -m tools.check_trace \
+		--timeseries /tmp/rmssd_timeseries_smoke.json \
+		--metrics /tmp/rmssd_report_metrics_smoke.json
 
 # Regenerate the benchmarks and diff them against the committed
 # BENCH_*.json baselines with per-metric tolerances (see

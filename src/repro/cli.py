@@ -144,10 +144,12 @@ def cmd_run(args) -> int:
         from repro.obs import Tracer
 
         tracer = Tracer()
-    if args.metrics_out:
+    if args.metrics_out or args.timeseries_out or args.prom_out:
         from repro.obs import MetricsRegistry, names
 
-        metrics = MetricsRegistry()
+        metrics = MetricsRegistry(
+            window_ns=args.window_ms * 1e6 if args.timeseries_out else None
+        )
     if (tracer or metrics) and args.backend not in ("rm-ssd", "rm-ssd-naive"):
         print(f"note: backend {args.backend!r} is not instrumented; "
               "trace/metrics cover the I/O statistics only")
@@ -200,8 +202,15 @@ def cmd_run(args) -> int:
         metrics.gauge(names.METRIC_RUN_QPS).set(result.qps)
         metrics.counter(names.METRIC_RUN_INFERENCES).inc(result.inferences)
         metrics.absorb_io(result.stats)
-        path = metrics.export_json(args.metrics_out)
-        print(f"metrics:        {path}")
+        if args.metrics_out:
+            path = metrics.export_json(args.metrics_out)
+            print(f"metrics:        {path}")
+        if args.timeseries_out:
+            path = metrics.export_timeseries(args.timeseries_out)
+            print(f"timeseries:     {path} (window {args.window_ms} ms)")
+        if args.prom_out:
+            path = metrics.export_prometheus(args.prom_out)
+            print(f"prometheus:     {path}")
     return 0
 
 
@@ -362,7 +371,16 @@ def cmd_sla(args) -> int:
         dec.vectors_per_inference, SSDGeometry(), SSDTimingModel(), config.ev_size
     )
     result = kernel_search(dec, flash)
-    serving = ServingSimulator(result.times, nbatch=result.nbatch, seed=args.seed)
+    window_ns = args.window_ms * 1e6
+    metrics = None
+    if args.timeseries_out:
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry(window_ns=window_ns)
+    serving = ServingSimulator(
+        result.times, nbatch=result.nbatch, seed=args.seed,
+        metrics=metrics, window_ns=window_ns,
+    )
     fast = False if args.no_fastpath else None
     path = "fast" if (fast is None and fastpath.enabled()) else "des"
     print(f"saturation throughput: {serving.saturation_qps:.0f} QPS "
@@ -389,7 +407,145 @@ def cmd_sla(args) -> int:
         f"{point.offered_qps:.0f}" for point in search.points
     )
     print(f"bisection trajectory (offered QPS): {trajectory}")
+    # Worst window at the highest passing load: the run aggregate can
+    # meet the SLA while one window blows through it.
+    passing = [
+        point for point in search.points
+        if point.offered_qps <= search.max_qps and point.windows
+    ]
+    if passing:
+        critical = max(passing, key=lambda point: point.offered_qps)
+        worst = critical.worst_window(99.0)
+        if worst is not None:
+            print(
+                f"worst window at {critical.offered_qps:.0f} QPS: "
+                f"window {worst.index} "
+                f"(t={worst.start_ns / 1e6:.1f} ms, {worst.count} batches) "
+                f"p99 {worst.percentile(99.0) / 1e6:.2f} ms"
+            )
+    if metrics is not None:
+        out = metrics.export_timeseries(args.timeseries_out)
+        print(f"timeseries: {out} (window {args.window_ms} ms)")
     return 0
+
+
+def cmd_report(args) -> int:
+    """Per-window serving dashboard: tails, utilization, SLO alerts."""
+    from repro.core.lookup_engine import flash_read_cycles
+    from repro.fpga.decompose import decompose_model
+    from repro.fpga.search import kernel_search
+    from repro.host.serving import ServingSimulator
+    from repro.obs import (
+        MetricsRegistry,
+        Profiler,
+        SLOEngine,
+        names,
+        utilization_series,
+    )
+    from repro.ssd import fastpath
+    from repro.ssd.geometry import SSDGeometry
+    from repro.ssd.timing import SSDTimingModel
+
+    config = get_config(args.model)
+    model = build_model(config, rows_per_table=args.rows)
+    dec = decompose_model(model, config.lookups_per_table)
+    flash = flash_read_cycles(
+        dec.vectors_per_inference, SSDGeometry(), SSDTimingModel(), config.ev_size
+    )
+    result = kernel_search(dec, flash)
+    window_ns = args.window_ms * 1e6
+    metrics = MetricsRegistry(window_ns=window_ns, sketch_k=args.sketch_k)
+    profiler = Profiler()
+    serving = ServingSimulator(
+        result.times, nbatch=result.nbatch, seed=args.seed,
+        metrics=metrics, profiler=profiler, window_ns=window_ns,
+    )
+    slo = SLOEngine(window_ns)
+    slo.objective(
+        names.SLO_SERVING_TAIL,
+        names.METRIC_SERVING_LATENCY,
+        quantile=args.quantile,
+        threshold_ns=args.sla_ms * 1e6,
+    )
+    fast = False if args.no_fastpath else None
+    path = "fast" if (fast is None and fastpath.enabled()) else "des"
+    qps = serving.saturation_qps * args.load
+    point = serving.offered_load(qps, queries=args.queries, fast=fast)
+    print(f"offered load:   {qps:.0f} QPS "
+          f"({args.load:.0%} of saturation; pipeline path: {path})")
+    print(f"run aggregate:  p50 {point.p50_ns / 1e6:.2f} ms / "
+          f"p99 {point.p99_ns / 1e6:.2f} ms / mean queue "
+          f"{point.mean_queue_ns / 1e6:.2f} ms")
+
+    alerts = slo.alerts(metrics)
+    alert_windows = {}
+    for alert in alerts:
+        alert_windows.setdefault(alert["window"], []).append(alert)
+    utilization = utilization_series(profiler, window_ns)
+    emb_windows = {
+        w["index"]: w["utilization"]
+        for w in utilization.get(names.STAGE_EMB, {}).get("windows", ())
+    }
+    series = metrics.series(names.METRIC_SERVING_LATENCY)
+    table = Table(
+        f"{config.name}: per-window dashboard "
+        f"(window {args.window_ms} ms, SLA p{args.quantile:g} <= "
+        f"{args.sla_ms} ms)",
+        ["win", "t0 ms", "batches", "p50 ms", f"p{args.quantile:g} ms",
+         "emb util", "alerts"],
+    )
+    for index in series.window_indices() if series is not None else ():
+        tail = series.window_percentile(index, args.quantile)
+        fired = ",".join(
+            a["severity"] for a in alert_windows.get(index, ())
+        )
+        table.add_row(
+            index,
+            f"{index * window_ns / 1e6:.1f}",
+            series.window_count(index),
+            f"{series.window_percentile(index, 50.0) / 1e6:.2f}",
+            f"{tail / 1e6:.2f}",
+            _utilization_bar(emb_windows.get(index, 0.0)),
+            fired or "-",
+        )
+    table.print()
+
+    sketch = metrics.histogram(names.METRIC_SERVING_LATENCY).sketch
+    if sketch is not None and sketch.n:
+        print(f"stream tails (sketch k={sketch.k}, n={sketch.n}, "
+              f"rank error <= {sketch.rank_error_bound()}): "
+              f"p99 {sketch.quantile(99.0) / 1e6:.2f} ms / "
+              f"p999 {sketch.quantile(99.9) / 1e6:.2f} ms / "
+              f"p9999 {sketch.quantile(99.99) / 1e6:.2f} ms")
+    if alerts:
+        print("alert timeline:")
+        for alert in alerts:
+            print(f"  t={alert['t_ns'] / 1e6:8.1f} ms  "
+                  f"[{alert['severity']}] {alert['type']} "
+                  f"on {alert['objective']} (window {alert['window']}; "
+                  f"burn {alert['long_burn']:.1f}x long / "
+                  f"{alert['short_burn']:.1f}x short)")
+    else:
+        print("alert timeline: quiet (no burn-rate alerts)")
+    if args.timeseries_out:
+        out = metrics.export_timeseries(
+            args.timeseries_out, profiler=profiler, slo=slo
+        )
+        print(f"timeseries: {out}")
+    if args.metrics_out:
+        out = metrics.export_json(args.metrics_out)
+        print(f"metrics: {out}")
+    if args.prom_out:
+        out = metrics.export_prometheus(args.prom_out)
+        print(f"prometheus: {out}")
+    return 0
+
+
+def _utilization_bar(fraction: float, width: int = 10) -> str:
+    """ASCII utilization bar, e.g. ``#######---  68%``."""
+    clamped = min(1.0, max(0.0, fraction))
+    filled = round(clamped * width)
+    return f"{'#' * filled}{'-' * (width - filled)} {clamped:4.0%}"
 
 
 def cmd_criteo_gen(args) -> int:
@@ -483,6 +639,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a Chrome-trace/Perfetto JSON of the run")
     p_run.add_argument("--metrics-out", default=None, metavar="PATH",
                        help="write latency histograms + I/O counters as JSON")
+    p_run.add_argument("--timeseries-out", default=None, metavar="PATH",
+                       help="write windowed metric series as JSON "
+                            "(schema rmssd-timeseries/v1)")
+    p_run.add_argument("--window-ms", type=float, default=1.0,
+                       help="window width for --timeseries-out, in "
+                            "simulated milliseconds")
+    p_run.add_argument("--prom-out", default=None, metavar="PATH",
+                       help="write a Prometheus text-format metrics snapshot")
     p_run.add_argument("--vcache-vectors", type=int, default=0,
                        help="controller-DRAM hot-vector cache capacity in "
                             "vectors (0 = disabled, the paper's design)")
@@ -553,7 +717,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_sla.add_argument("--no-fastpath", action="store_true",
                        help="force the event-driven pipeline (the "
                             "closed-form replay is bitwise-identical)")
+    p_sla.add_argument("--window-ms", type=float, default=5.0,
+                       help="window width for per-window summaries and "
+                            "--timeseries-out, in simulated milliseconds")
+    p_sla.add_argument("--timeseries-out", default=None, metavar="PATH",
+                       help="write windowed serving series as JSON "
+                            "(schema rmssd-timeseries/v1)")
     p_sla.set_defaults(func=cmd_sla)
+
+    p_report = sub.add_parser(
+        "report",
+        help="per-window serving dashboard: tails, utilization, SLO alerts",
+    )
+    p_report.add_argument("model", choices=sorted(MODEL_CONFIGS))
+    p_report.add_argument("--load", type=float, default=0.9,
+                          help="offered load as a fraction of saturation")
+    p_report.add_argument("--queries", type=int, default=400)
+    p_report.add_argument("--rows", type=int, default=512)
+    p_report.add_argument("--seed", type=int, default=0)
+    p_report.add_argument("--window-ms", type=float, default=5.0,
+                          help="window width in simulated milliseconds")
+    p_report.add_argument("--sla-ms", type=float, default=10.0,
+                          help="per-window tail-latency objective in ms")
+    p_report.add_argument("--quantile", type=float, default=99.0,
+                          help="objective quantile (e.g. 99, 99.9)")
+    p_report.add_argument("--sketch-k", type=int, default=1024,
+                          help="rank-sketch compactor capacity "
+                               "(rank error scales as ~8/k)")
+    p_report.add_argument("--no-fastpath", action="store_true",
+                          help="force the event-driven pipeline (the "
+                               "closed-form replay is bitwise-identical)")
+    p_report.add_argument("--timeseries-out", default=None, metavar="PATH",
+                          help="write the full rmssd-timeseries/v1 document "
+                               "(series + utilization + slo)")
+    p_report.add_argument("--metrics-out", default=None, metavar="PATH",
+                          help="also write the run-aggregate metrics JSON")
+    p_report.add_argument("--prom-out", default=None, metavar="PATH",
+                          help="write a Prometheus text-format snapshot")
+    p_report.set_defaults(func=cmd_report)
 
     p_cgen = sub.add_parser("criteo-gen", help="generate a Criteo-format TSV")
     p_cgen.add_argument("path")

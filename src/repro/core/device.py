@@ -331,7 +331,7 @@ class RMSSD:
         if self.profiler.enabled:
             self._profile_request(batch_start, timing, send_ns, recv_ns)
         if self.metrics is not None:
-            self._observe_metrics(timing)
+            self._observe_metrics(timing, batch_start + timing.latency_ns)
         return outputs, timing
 
     # ------------------------------------------------------------------
@@ -501,26 +501,47 @@ class RMSSD:
                 )
             cursor += max(d for _, d in pair)
 
-    def _observe_metrics(self, timing: DeviceTiming) -> None:
+    def _observe_metrics(self, timing: DeviceTiming, done_ns: float) -> None:
+        # Every observation is stamped with the batch's completion
+        # instant, so a windowed registry (repro.obs.timeseries) rolls
+        # device metrics into the window the batch finished in —
+        # identically on the DES and fast paths, whose timings are
+        # bitwise-equal.
         metrics = self.metrics
-        metrics.counter(names.METRIC_DEVICE_BATCHES).inc()
-        metrics.counter(names.METRIC_DEVICE_INFERENCES).inc(timing.nbatch)
-        metrics.histogram(names.METRIC_REQUEST_LATENCY).observe(timing.latency_ns)
-        metrics.histogram(names.METRIC_STAGE_EMB).observe(timing.emb_ns)
-        metrics.histogram(names.METRIC_STAGE_BOT).observe(timing.bot_ns)
-        metrics.histogram(names.METRIC_STAGE_TOP).observe(timing.top_ns)
-        metrics.histogram(names.METRIC_STAGE_IO).observe(timing.io_ns)
+        metrics.counter(names.METRIC_DEVICE_BATCHES).inc(t_ns=done_ns)
+        metrics.counter(names.METRIC_DEVICE_INFERENCES).inc(
+            timing.nbatch, t_ns=done_ns
+        )
+        metrics.histogram(names.METRIC_REQUEST_LATENCY).observe(
+            timing.latency_ns, t_ns=done_ns
+        )
+        metrics.histogram(names.METRIC_STAGE_EMB).observe(
+            timing.emb_ns, t_ns=done_ns
+        )
+        metrics.histogram(names.METRIC_STAGE_BOT).observe(
+            timing.bot_ns, t_ns=done_ns
+        )
+        metrics.histogram(names.METRIC_STAGE_TOP).observe(
+            timing.top_ns, t_ns=done_ns
+        )
+        metrics.histogram(names.METRIC_STAGE_IO).observe(
+            timing.io_ns, t_ns=done_ns
+        )
         vcache = self.controller.vcache
         if vcache is not None:
             hits, misses, evictions = self._vcache_observed
-            metrics.counter(names.METRIC_VCACHE_HITS).inc(vcache.hits - hits)
+            metrics.counter(names.METRIC_VCACHE_HITS).inc(
+                vcache.hits - hits, t_ns=done_ns
+            )
             metrics.counter(names.METRIC_VCACHE_MISSES).inc(
-                vcache.misses - misses
+                vcache.misses - misses, t_ns=done_ns
             )
             metrics.counter(names.METRIC_VCACHE_EVICTIONS).inc(
-                vcache.evictions - evictions
+                vcache.evictions - evictions, t_ns=done_ns
             )
-            metrics.gauge(names.METRIC_VCACHE_HIT_RATIO).set(vcache.hit_ratio)
+            metrics.gauge(names.METRIC_VCACHE_HIT_RATIO).set(
+                vcache.hit_ratio, t_ns=done_ns
+            )
             self._vcache_observed = (
                 vcache.hits, vcache.misses, vcache.evictions,
             )

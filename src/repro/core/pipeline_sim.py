@@ -102,6 +102,7 @@ class PipelineSimulator:
         top_ns,
         tracer=None,
         profiler=None,
+        metrics=None,
     ) -> None:
         # Raw values feed the fast replay (constants skip its
         # per-index evaluation loop); the DES always calls through
@@ -117,6 +118,14 @@ class PipelineSimulator:
         #: into its Simulator (Server.serve records the triples), the
         #: fast replay records the identical triples directly.
         self.profiler = resolve_profiler(profiler)
+        #: Optional MetricsRegistry: each path observes per-batch
+        #: latency/queue-wait into the serving histograms, stamped at
+        #: the batch's completion instant so a windowed registry rolls
+        #: them into simulated-clock windows (repro.obs.timeseries).
+        #: Both paths call _observe_completions with bitwise-equal
+        #: timestamps — lint R9's SERVING_PARITY spec diffs the two
+        #: emission sets, and the injected canary asserts drift fires.
+        self.metrics = metrics
 
     @staticmethod
     def _as_fn(value) -> Callable[[int], float]:
@@ -131,6 +140,7 @@ class PipelineSimulator:
         cycle_ns: float = 5.0,
         tracer=None,
         profiler=None,
+        metrics=None,
     ) -> "PipelineSimulator":
         return cls(
             emb_ns=times.temb * cycle_ns,
@@ -138,6 +148,7 @@ class PipelineSimulator:
             top_ns=times.ttop * cycle_ns,
             tracer=tracer,
             profiler=profiler,
+            metrics=metrics,
         )
 
     def run(
@@ -180,6 +191,30 @@ class PipelineSimulator:
             self._emit_spans(records)
         return PipelineRunResult(records=records, makespan_ns=makespan, path=path)
 
+    def _observe_completions(self, records: Sequence[BatchRecord]) -> None:
+        """Feed the serving metrics from a finished run's records.
+
+        One latency + one queue-wait observation per batch, plus the
+        batch counter, each stamped with the batch's *completion*
+        instant — a windowed registry rolls them into the window the
+        batch finished in.  Called once per path (DES and fast) on
+        records whose timestamps are bitwise-equal, so windowed
+        exports are byte-identical across paths.
+        """
+        metrics = self.metrics
+        if metrics is None:
+            return
+        latency_histogram = metrics.histogram(names.METRIC_SERVING_LATENCY)
+        queue_histogram = metrics.histogram(names.METRIC_SERVING_QUEUE)
+        batch_counter = metrics.counter(names.METRIC_SERVING_BATCHES)
+        for record in records:
+            done = record.top_done_ns
+            latency_histogram.observe(done - record.arrival_ns, t_ns=done)
+            queue_histogram.observe(
+                record.emb_start_ns - record.arrival_ns, t_ns=done
+            )
+            batch_counter.inc(1, t_ns=done)
+
     def _run_fast(self, arrivals: List[float]):
         """Closed-form replay; see :mod:`repro.core.pipeline_fast`."""
         timeline, makespan = pipeline_fast.replay_serving(
@@ -190,6 +225,7 @@ class PipelineSimulator:
             BatchRecord(i, arrival, *stamps)
             for i, (arrival, stamps) in enumerate(zip(arrivals, timeline.tolist()))
         ]
+        self._observe_completions(records)
         return records, makespan, "fast"
 
     def _run_des(self, arrivals: List[float]):
@@ -234,6 +270,7 @@ class PipelineSimulator:
         for record in records:
             sim.process(flow(record))
         sim.run()
+        self._observe_completions(records)
         return records, sim.now, "des"
 
     def _emit_spans(self, records: Sequence[BatchRecord]) -> None:

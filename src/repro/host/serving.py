@@ -18,8 +18,25 @@ import numpy as np
 
 from repro.analysis.metrics import percentile
 from repro.core.pipeline_sim import PipelineSimulator
-from repro.obs import names
 from repro.fpga.compose import StageTimes
+
+
+@dataclass(frozen=True)
+class WindowStat:
+    """Latencies of the batches that *completed* inside one window."""
+
+    index: int
+    start_ns: float
+    #: Latencies of the window's completions, in completion order.
+    latencies_ns: tuple
+
+    @property
+    def count(self) -> int:
+        return len(self.latencies_ns)
+
+    def percentile(self, q: float) -> float:
+        """The q-th latency percentile within this window."""
+        return percentile(self.latencies_ns, q)
 
 
 @dataclass(frozen=True)
@@ -38,6 +55,23 @@ class LoadPoint:
     #: Raw per-batch latencies behind the pinned percentiles, so SLA
     #: checks can use any quantile (empty for hand-built points).
     latencies_ns: tuple = ()
+    #: Per-window latency summaries (simulated-clock windows keyed by
+    #: completion instant), populated when the simulator was built
+    #: with ``window_ns=`` — the run aggregate can hide a bad window,
+    #: these don't.
+    windows: tuple = ()
+
+    def worst_window(self, quantile: float = 99.0):
+        """The :class:`WindowStat` with the highest ``quantile``-th
+        latency percentile (earliest wins ties); None when the point
+        carries no windows."""
+        worst = None
+        worst_value = -1.0
+        for window in self.windows:
+            value = window.percentile(quantile)
+            if value > worst_value:
+                worst, worst_value = window, value
+        return worst
 
     def meets_sla(self, sla_ns: float, quantile: float = 99.0) -> bool:
         """Whether the ``quantile``-th latency percentile is within SLA.
@@ -90,16 +124,27 @@ class ServingSimulator:
         tracer=None,
         metrics=None,
         profiler=None,
+        window_ns: Optional[float] = None,
     ) -> None:
         self.pipeline = PipelineSimulator.from_stage_times(
-            times, cycle_ns, tracer=tracer, profiler=profiler
+            times, cycle_ns, tracer=tracer, profiler=profiler,
+            metrics=metrics,
         )
         self.nbatch = max(1, nbatch)
         self.saturation_qps = times.throughput_qps(1e9 / cycle_ns)
         self._seed = seed
-        #: Optional MetricsRegistry: every offered_load() feeds the
-        #: ``serving.latency_ns`` / ``serving.queue_ns`` histograms.
+        #: Optional MetricsRegistry, observed by the pipeline itself
+        #: (both DES and fast paths): per-batch ``serving.latency_ns``
+        #: / ``serving.queue_ns`` observations and the
+        #: ``serving.batches`` counter, stamped at completion time so
+        #: a windowed registry builds per-window series.
         self.metrics = metrics
+        if window_ns is not None and window_ns <= 0:
+            raise ValueError("window width must be positive")
+        #: Fixed window width for LoadPoint.windows summaries (None
+        #: disables them); independent of the registry's window so SLA
+        #: tooling can summarize without a registry attached.
+        self.window_ns = window_ns
 
     def offered_load(
         self,
@@ -142,18 +187,11 @@ class ServingSimulator:
         )
         # Inlined latency_ns / queue_ns: this comprehension runs once
         # per batch per sweep point, where property dispatch is the
-        # single biggest cost of the fast replay path.
+        # single biggest cost of the fast replay path.  The metrics
+        # registry (when attached) was already fed by the pipeline's
+        # _observe_completions — identically on both paths.
         latencies = [r.top_done_ns - r.arrival_ns for r in result.records]
         queue_waits = [r.emb_start_ns - r.arrival_ns for r in result.records]
-        if self.metrics is not None:
-            latency_histogram = self.metrics.histogram(
-                names.METRIC_SERVING_LATENCY
-            )
-            queue_histogram = self.metrics.histogram(names.METRIC_SERVING_QUEUE)
-            for latency, wait in zip(latencies, queue_waits):
-                latency_histogram.observe(latency)
-                queue_histogram.observe(wait)
-            self.metrics.counter(names.METRIC_SERVING_BATCHES).inc(len(sizes))
         elapsed_s = result.makespan_ns / 1e9
         ordered = sorted(latencies)
         return LoadPoint(
@@ -165,6 +203,27 @@ class ServingSimulator:
             mean_ns=sum(latencies) / len(latencies),
             mean_queue_ns=sum(queue_waits) / len(queue_waits),
             latencies_ns=tuple(latencies),
+            windows=self._window_stats(result.records, latencies),
+        )
+
+    def _window_stats(self, records, latencies) -> tuple:
+        """Group each batch's latency into the window containing its
+        completion instant (matching the windowed-registry semantics
+        of :mod:`repro.obs.timeseries`)."""
+        width = self.window_ns
+        if width is None:
+            return ()
+        grouped: dict = {}
+        for record, latency in zip(records, latencies):
+            index = int(record.top_done_ns // width)
+            grouped.setdefault(index, []).append(latency)
+        return tuple(
+            WindowStat(
+                index=index,
+                start_ns=index * width,
+                latencies_ns=tuple(grouped[index]),
+            )
+            for index in sorted(grouped)
         )
 
     def load_sweep(

@@ -10,6 +10,15 @@ Three pieces, all keyed to the *simulated* clock:
   latency histograms (p50/p95/p99/max), absorbing
   :class:`repro.ssd.stats.IOStatistics` snapshots so device traffic
   and latency export as one ``metrics.json``.
+* :mod:`repro.obs.timeseries` — windowed metric series over the
+  simulated clock (per-window rates, deltas, quantiles; profiler
+  busy timelines resampled into utilization series), exported as one
+  versioned ``rmssd-timeseries/v1`` document.
+* :mod:`repro.obs.sketch` — deterministic streaming rank sketch
+  (KLL-style, alternating-parity compaction) for deep tails
+  (p999/p9999) with a checkable rank-error bound.
+* :mod:`repro.obs.slo` — declarative SLOs over the windowed series
+  with SRE-style multi-window burn-rate alerts.
 * :mod:`repro.obs.profiler` — per-resource busy/idle timelines,
   utilization fractions, queue depths, and stage-level bottleneck
   attribution (checks the paper's embedding-stage-bottleneck
@@ -32,6 +41,19 @@ from repro.obs.metrics import (
     Gauge,
     LatencyHistogram,
     MetricsRegistry,
+    render_prometheus,
+)
+from repro.obs.sketch import QuantileSketch
+from repro.obs.slo import DEFAULT_RULES, BurnRateRule, Objective, SLOEngine
+from repro.obs.timeseries import (
+    TIMESERIES_SCHEMA,
+    WindowedCounter,
+    WindowedGauge,
+    WindowedLatency,
+    build_document,
+    export_document,
+    utilization_series,
+    window_index,
 )
 from repro.obs.profiler import (
     ENV_FLAG_PROFILE,
@@ -55,8 +77,10 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "BurnRateRule",
     "Counter",
     "DEFAULT_BOUNDS_NS",
+    "DEFAULT_RULES",
     "ENV_FLAG",
     "ENV_FLAG_PROFILE",
     "Gauge",
@@ -66,15 +90,27 @@ __all__ = [
     "NULL_TRACER",
     "NullProfiler",
     "NullTracer",
+    "Objective",
     "PROFILE_SCHEMA",
     "Profiler",
+    "QuantileSketch",
+    "SLOEngine",
     "Span",
+    "TIMESERIES_SCHEMA",
     "Tracer",
+    "WindowedCounter",
+    "WindowedGauge",
+    "WindowedLatency",
+    "build_document",
+    "export_document",
     "global_profiler",
     "global_tracer",
     "names",
     "profiling_from_env",
+    "render_prometheus",
     "resolve_profiler",
     "resolve_tracer",
     "tracing_from_env",
+    "utilization_series",
+    "window_index",
 ]

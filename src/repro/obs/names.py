@@ -105,6 +105,20 @@ METRIC_SERVING_LATENCY = "serving.latency_ns"
 METRIC_SERVING_QUEUE = "serving.queue_ns"
 METRIC_SERVING_BATCHES = "serving.batches"
 
+# ---------------------------------------------------------------------------
+# SLO objective and alert names (repro.obs.slo) — objective names are
+# fed to SLOEngine.objective (R12-checked like any emission name);
+# alert events carry the type/severity constants below.
+# ---------------------------------------------------------------------------
+#: The serving tail-latency objective declared by ``rmssd-repro report``
+#: and the SLA tooling: ``p<q>(serving.latency_ns) < threshold``.
+SLO_SERVING_TAIL = "serving-tail-latency"
+#: Structured alert event type emitted by the burn-rate engine.
+ALERT_BURN_RATE = "burn-rate"
+#: Alert severities of the default fast/slow burn-rate rule pair.
+ALERT_PAGE = "page"
+ALERT_TICKET = "ticket"
+
 
 # ---------------------------------------------------------------------------
 # Factory helpers for per-instance names

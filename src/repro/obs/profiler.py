@@ -265,6 +265,22 @@ class Profiler:
             "mean_depth": sum(depths) / len(depths),
         }
 
+    def busy_timelines(self) -> Dict[str, Tuple[str, List[Tuple[float, float]]]]:
+        """Untruncated union-merged busy intervals per resource, with
+        each resource's kind.
+
+        The raw input of the per-window utilization resampler
+        (:func:`repro.obs.timeseries.utilization_series`) — unlike
+        :meth:`resource_report` this never truncates at
+        :data:`TIMELINE_LIMIT`, so window busy times sum exactly to
+        the resource's total busy time (the conservation invariant
+        ``tools/check_trace.py --timeseries`` checks).
+        """
+        return {
+            name: (self._kinds[name], self._resource_intervals(name))
+            for name in sorted(self._kinds)
+        }
+
     def resource_report(self, elapsed: Optional[float] = None) -> Dict[str, dict]:
         """Per-resource busy/idle timeline, utilization, queue stats."""
         if elapsed is None:
@@ -444,6 +460,9 @@ class NullProfiler:
         return 0.0
 
     def utilizations(self, elapsed=None) -> dict:
+        return {}
+
+    def busy_timelines(self) -> dict:
         return {}
 
     def resource_report(self, elapsed=None) -> dict:

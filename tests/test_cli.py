@@ -96,3 +96,65 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "lookups=" in out
         assert "occurrence" in out
+
+    def test_report(self, capsys, tmp_path):
+        ts = tmp_path / "ts.json"
+        prom = tmp_path / "prom.txt"
+        code = main([
+            "report", "rmc1", "--rows", "64", "--queries", "60",
+            "--window-ms", "2", "--timeseries-out", str(ts),
+            "--prom-out", str(prom),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-window dashboard" in out
+        assert "run aggregate" in out
+        assert "alert timeline" in out
+        assert "stream tails" in out
+        import json
+
+        document = json.loads(ts.read_text())
+        assert document["schema"] == "rmssd-timeseries/v1"
+        assert "serving.latency_ns" in document["series"]
+        assert "slo" in document
+        assert "utilization" in document
+        assert "rmssd_serving_batches_total" in prom.read_text()
+
+    def test_report_overload_fires_alerts(self, capsys, tmp_path):
+        code = main([
+            "report", "rmc1", "--rows", "64", "--queries", "300",
+            "--load", "1.02", "--window-ms", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[page]" in out or "[ticket]" in out
+
+    def test_run_timeseries_and_prom_out(self, capsys, tmp_path):
+        ts = tmp_path / "ts.json"
+        prom = tmp_path / "prom.txt"
+        code = main([
+            "run", "rmc1", "--backend", "rm-ssd", "--requests", "2",
+            "--rows", "64", "--no-compute",
+            "--timeseries-out", str(ts), "--prom-out", str(prom),
+        ])
+        assert code == 0
+        import json
+
+        document = json.loads(ts.read_text())
+        assert document["schema"] == "rmssd-timeseries/v1"
+        assert document["series"], "device run produced no windowed series"
+        assert "rmssd_" in prom.read_text()
+
+    def test_sla_timeseries_and_worst_window(self, capsys, tmp_path):
+        ts = tmp_path / "ts.json"
+        code = main([
+            "sla", "rmc1", "--rows", "256", "--queries", "40",
+            "--sla-ms", "20", "--timeseries-out", str(ts),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "worst window" in out
+        assert "timeseries:" in out
+        import json
+
+        assert json.loads(ts.read_text())["schema"] == "rmssd-timeseries/v1"

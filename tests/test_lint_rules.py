@@ -642,3 +642,142 @@ class TestEngineMechanics:
         violation = violations("import heapq\n")[0]
         assert violation.render().endswith("R3 " + violation.message)
         assert "src/repro/example.py:1" in violation.render()
+
+
+# ----------------------------------------------------------------------
+# R9 serving parity over the timeseries emitters (PR 8)
+# ----------------------------------------------------------------------
+#: Synthetic serving corpus mirroring the production shape: both paths
+#: feed the windowed metrics through one shared helper, so deleting
+#: either call site makes the metric emissions one-sided.
+_SERVING_CATALOGUE = """
+    METRIC_SERVING_LATENCY = "serving.latency_ns"
+    METRIC_SERVING_BATCHES = "serving.batches"
+"""
+
+_SERVING_PIPELINE = """
+    from repro.obs import names
+
+    class PipelineSimulator:
+        def _observe_completions(self, metrics):
+            metrics.histogram(names.METRIC_SERVING_LATENCY)
+            metrics.counter(names.METRIC_SERVING_BATCHES)
+
+        def _run_des(self, metrics):
+            self._observe_completions(metrics)
+
+        def _run_fast(self, metrics):
+            self._observe_completions(metrics)
+"""
+
+_SERVING_PIPELINE_MUTATED = """
+    from repro.obs import names
+
+    class PipelineSimulator:
+        def _observe_completions(self, metrics):
+            metrics.histogram(names.METRIC_SERVING_LATENCY)
+            metrics.counter(names.METRIC_SERVING_BATCHES)
+
+        def _run_des(self, metrics):
+            self._observe_completions(metrics)
+
+        def _run_fast(self, metrics):
+            pass
+"""
+
+
+class TestR9TimeseriesParity:
+    FILES = {"src/repro/obs/names.py": _SERVING_CATALOGUE}
+
+    def test_shared_observer_is_clean(self):
+        out = project_violations(
+            {**self.FILES, "src/repro/core/pipeline_sim.py": _SERVING_PIPELINE},
+            "R9",
+        )
+        assert out == []
+
+    def test_deleted_fast_call_site_fires_per_metric(self):
+        # The canary mutation in miniature: dropping the fast path's
+        # _observe_completions call leaves every windowed serving
+        # metric DES-only, and R9 names each one.
+        out = project_violations(
+            {
+                **self.FILES,
+                "src/repro/core/pipeline_sim.py": _SERVING_PIPELINE_MUTATED,
+            },
+            "R9",
+        )
+        assert [v.rule for v in out] == ["R9", "R9"]
+        named = {v.message.split("'")[1] for v in out}
+        assert named == {"serving.latency_ns", "serving.batches"}
+        assert all("fast-path" in v.message for v in out)
+
+
+class TestR12SLOObjectives:
+    CATALOGUE = """
+        SLO_SERVING_TAIL = "serving-tail-latency"
+        METRIC_SERVING_LATENCY = "serving.latency_ns"
+    """
+
+    def test_catalogued_objective_is_clean(self):
+        out = project_violations(
+            {
+                "src/repro/obs/names.py": self.CATALOGUE,
+                "src/repro/host/slo_wiring.py": """
+                    from repro.obs import names
+
+                    def declare(slo):
+                        slo.objective(
+                            names.SLO_SERVING_TAIL,
+                            names.METRIC_SERVING_LATENCY,
+                            quantile=99.9,
+                        )
+                """,
+            },
+            "R12",
+        )
+        assert out == []
+
+    def test_hardcoded_objective_name_fires(self):
+        out = project_violations(
+            {
+                "src/repro/obs/names.py": self.CATALOGUE,
+                "src/repro/host/slo_wiring.py": """
+                    from repro.obs import names
+
+                    def declare(slo):
+                        slo.objective(
+                            "ad-hoc-slo", names.METRIC_SERVING_LATENCY
+                        )
+                        slo.objective(
+                            names.SLO_SERVING_TAIL,
+                            names.METRIC_SERVING_LATENCY,
+                        )
+                """,
+            },
+            "R12",
+        )
+        assert [v.rule for v in out] == ["R12"]
+        assert "'ad-hoc-slo'" in out[0].message
+
+    def test_hardcoded_objective_metric_fires(self):
+        out = project_violations(
+            {
+                "src/repro/obs/names.py": self.CATALOGUE,
+                "src/repro/host/slo_wiring.py": """
+                    from repro.obs import names
+
+                    def declare(slo):
+                        slo.objective(
+                            names.SLO_SERVING_TAIL, "serving.latency_ns"
+                        )
+                        slo.objective(
+                            names.SLO_SERVING_TAIL,
+                            names.METRIC_SERVING_LATENCY,
+                        )
+                """,
+            },
+            "R12",
+        )
+        assert [v.rule for v in out] == ["R12"]
+        assert "'serving.latency_ns'" in out[0].message

@@ -1,0 +1,141 @@
+"""Streaming quantile sketch: error-bound contract and determinism.
+
+The sketch's whole value is the contract it states about itself:
+``rank_error_bound()`` is a *hard* bound on how far any reported
+quantile's true rank can sit from the target rank.  The property test
+checks that contract against an exact sort for arbitrary streams and
+capacities; the rest pins exactness below capacity, deterministic
+compaction (same stream twice -> same retained items), and the
+exported summary shape.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import QuantileSketch
+from repro.obs.sketch import DEFAULT_K, resolve_sketch
+
+
+def exact_rank(values, threshold):
+    """Number of values <= threshold."""
+    return sum(1 for v in values if v <= threshold)
+
+
+def test_exact_below_capacity():
+    sketch = QuantileSketch(k=64)
+    values = [float(v) for v in range(50)]
+    sketch.extend(values)
+    assert sketch.rank_error_bound() == 0
+    for q in (1.0, 50.0, 99.0, 100.0):
+        target = max(1, int(np.ceil(q / 100.0 * len(values))))
+        assert sketch.quantile(q) == sorted(values)[target - 1]
+
+
+def test_empty_sketch():
+    sketch = QuantileSketch(k=8)
+    assert sketch.n == 0
+    assert sketch.quantile(99.0) == 0.0
+    assert sketch.rank_error_bound() == 0
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ValueError):
+        QuantileSketch(k=1)
+
+
+def test_invalid_quantile_rejected():
+    sketch = QuantileSketch(k=8)
+    sketch.insert(1.0)
+    with pytest.raises(ValueError):
+        sketch.quantile(-1.0)
+    with pytest.raises(ValueError):
+        sketch.quantile(101.0)
+
+
+def test_deterministic_compaction():
+    """Two sketches fed the same stream retain identical items —
+    compaction is parity-alternating, not randomized."""
+    rng = np.random.default_rng(7)
+    stream = rng.exponential(1000.0, size=5000).tolist()
+    a, b = QuantileSketch(k=16), QuantileSketch(k=16)
+    a.extend(stream)
+    b.extend(stream)
+    assert a._weighted_items() == b._weighted_items()
+    assert a.as_dict() == b.as_dict()
+
+
+def test_retained_is_bounded():
+    """Memory stays O(k log(n/k)) — far below n."""
+    sketch = QuantileSketch(k=32)
+    sketch.extend(float(v) for v in range(100_000))
+    assert sketch.n == 100_000
+    assert sketch.retained < 32 * 20
+
+
+def test_as_dict_fields():
+    sketch = QuantileSketch(k=64)
+    sketch.extend(float(v) for v in range(1, 101))
+    data = sketch.as_dict()
+    for field in (
+        "k", "n", "retained", "rank_error_bound",
+        "p99_ns", "p999_ns", "p9999_ns", "max_ns",
+    ):
+        assert field in data
+    assert data["n"] == 100
+    assert data["max_ns"] == 100.0
+
+
+def test_resolve_sketch():
+    assert resolve_sketch(None) is None
+    assert resolve_sketch(128).k == 128
+    assert QuantileSketch().k == DEFAULT_K
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n=st.integers(min_value=1, max_value=4000),
+    k=st.sampled_from([4, 8, 16, 64, 256]),
+    q=st.sampled_from([50.0, 90.0, 99.0, 99.9, 99.99]),
+)
+def test_rank_error_bound_holds(seed, n, k, q):
+    """The contract: the reported quantile's true rank is within
+    rank_error_bound() of the target rank, for any stream."""
+    rng = np.random.default_rng(seed)
+    # Heavy-tailed with duplicates — the hard case for rank queries.
+    values = np.round(rng.lognormal(10.0, 2.0, size=n)).tolist()
+    sketch = QuantileSketch(k=k)
+    sketch.extend(values)
+    assert sketch.n == n
+    reported = sketch.quantile(q)
+    bound = sketch.rank_error_bound()
+    target = max(1, int(np.ceil(q / 100.0 * n)))
+    # True ranks of the reported value: it occupies the closed rank
+    # interval [count(< v) + 1, count(<= v)].
+    rank_high = exact_rank(values, reported)
+    rank_low = sum(1 for v in values if v < reported) + 1
+    assert rank_low - bound <= target <= rank_high + bound, (
+        f"target rank {target} outside [{rank_low - bound}, "
+        f"{rank_high + bound}] (bound {bound}, n {n}, k {k})"
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_p999_bound_at_scale(seed):
+    """Acceptance pin: p999 satisfies the stated rank-error bound on a
+    realistic latency-shaped stream at the CLI's default capacity."""
+    rng = np.random.default_rng(seed)
+    values = rng.gamma(2.0, 5e5, size=3000).tolist()
+    sketch = QuantileSketch(k=1024)
+    sketch.extend(values)
+    bound = sketch.rank_error_bound()
+    target = max(1, int(np.ceil(0.999 * len(values))))
+    reported = sketch.quantile(99.9)
+    rank_high = exact_rank(values, reported)
+    rank_low = sum(1 for v in values if v < reported) + 1
+    assert rank_low - bound <= target <= rank_high + bound
+    # At n ~ 3k and k = 1024 the sketch should still be near-exact.
+    assert bound <= 8 * len(values) // 1024

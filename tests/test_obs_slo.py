@@ -1,0 +1,177 @@
+"""SLO engine: declarative objectives and burn-rate alerting.
+
+The load-bearing pin: an *injected* SLA violation fires the alert in
+exactly the window where it happened — and nowhere else.  Plus
+rising-edge semantics (no re-fire while the condition holds, re-arm
+after it clears), default fast/slow rule pairing, validation, and the
+report shape embedded in the timeseries document.
+"""
+
+import pytest
+
+from repro.obs import BurnRateRule, MetricsRegistry, Objective, SLOEngine, names
+
+WINDOW_NS = 1000.0
+
+
+def windowed_metrics(latency_by_window):
+    """A registry whose serving-latency series has one observation per
+    (window, latency) pair."""
+    metrics = MetricsRegistry(window_ns=WINDOW_NS)
+    histogram = metrics.histogram(names.METRIC_SERVING_LATENCY)
+    for index, latencies in latency_by_window.items():
+        for latency in latencies:
+            histogram.observe(latency, t_ns=index * WINDOW_NS + 1.0)
+    return metrics
+
+
+def engine_with_objective(threshold_ns=1000.0, quantile=99.0):
+    engine = SLOEngine(WINDOW_NS)
+    engine.objective(
+        names.SLO_SERVING_TAIL,
+        names.METRIC_SERVING_LATENCY,
+        quantile=quantile,
+        threshold_ns=threshold_ns,
+    )
+    return engine
+
+
+def test_injected_violation_fires_in_that_window_only():
+    # Windows 0-9 comply; window 5 blows through the threshold.
+    data = {i: [100.0] for i in range(10)}
+    data[5] = [5000.0]
+    metrics = windowed_metrics(data)
+    engine = engine_with_objective()
+    alerts = engine.alerts(metrics)
+    assert alerts, "injected violation produced no alert"
+    assert {a["window"] for a in alerts} == {5}
+    assert {a["severity"] for a in alerts} == {
+        names.ALERT_PAGE, names.ALERT_TICKET,
+    }
+    for alert in alerts:
+        assert alert["type"] == names.ALERT_BURN_RATE
+        assert alert["objective"] == names.SLO_SERVING_TAIL
+        assert alert["t_ns"] == 6 * WINDOW_NS  # end of window 5
+
+
+def test_no_violation_no_alert():
+    metrics = windowed_metrics({i: [100.0] for i in range(30)})
+    engine = engine_with_objective()
+    assert engine.alerts(metrics) == []
+    report = engine.evaluate(metrics)[0]
+    assert all(w["ok"] for w in report["windows"])
+
+
+def test_rising_edge_no_refire_while_held():
+    # Consecutive violating windows: one page alert, at the first.
+    data = {i: [100.0] for i in range(10)}
+    data[5] = data[6] = [5000.0]
+    metrics = windowed_metrics(data)
+    engine = engine_with_objective()
+    pages = [
+        a for a in engine.alerts(metrics)
+        if a["severity"] == names.ALERT_PAGE
+    ]
+    assert [a["window"] for a in pages] == [5]
+
+
+def test_rearm_after_clear():
+    # Two incidents separated by a long compliant gap: two page alerts.
+    data = {i: [100.0] for i in range(30)}
+    data[5] = [5000.0]
+    data[20] = [5000.0]
+    metrics = windowed_metrics(data)
+    engine = engine_with_objective()
+    pages = [
+        a for a in engine.alerts(metrics)
+        if a["severity"] == names.ALERT_PAGE
+    ]
+    assert [a["window"] for a in pages] == [5, 20]
+
+
+def test_windows_without_data_comply():
+    # A gap in completions (windows 3-7 empty) is not a violation.
+    data = {0: [100.0], 1: [100.0], 2: [100.0], 8: [100.0]}
+    metrics = windowed_metrics(data)
+    engine = engine_with_objective()
+    report = engine.evaluate(metrics)[0]
+    by_index = {w["index"]: w for w in report["windows"]}
+    assert by_index[5]["count"] == 0
+    assert by_index[5]["ok"]
+    assert engine.alerts(metrics) == []
+
+
+def test_quantile_respects_threshold():
+    # One 5 us outlier among 100 fast requests: invisible to a p50
+    # objective, a violation for a p99.9 one (target rank 99.9 crosses
+    # into the outlier's bucket; rank 99 stays in the fast bucket).
+    data = {0: [100.0] * 99 + [5000.0]}
+    metrics = windowed_metrics(data)
+    p50_engine = engine_with_objective(quantile=50.0)
+    tail_engine = engine_with_objective(quantile=99.9)
+    assert p50_engine.evaluate(metrics)[0]["windows"][0]["ok"]
+    assert not tail_engine.evaluate(metrics)[0]["windows"][0]["ok"]
+
+
+def test_missing_metric_is_empty_report():
+    metrics = MetricsRegistry(window_ns=WINDOW_NS)
+    engine = engine_with_objective()
+    report = engine.evaluate(metrics)[0]
+    assert report["windows"] == []
+    assert report["alerts"] == []
+
+
+def test_report_dict_shape():
+    metrics = windowed_metrics({0: [100.0]})
+    engine = engine_with_objective()
+    report = engine.report_dict(metrics)
+    assert report["window_ns"] == WINDOW_NS
+    assert [rule["severity"] for rule in report["rules"]] == [
+        names.ALERT_PAGE, names.ALERT_TICKET,
+    ]
+    (objective,) = report["objectives"]
+    assert objective["name"] == names.SLO_SERVING_TAIL
+    assert objective["metric"] == names.METRIC_SERVING_LATENCY
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SLOEngine(0.0)
+    with pytest.raises(ValueError):
+        Objective("o", "m", quantile=0.0, threshold_ns=1.0)
+    with pytest.raises(ValueError):
+        Objective("o", "m", quantile=50.0, threshold_ns=0.0)
+    with pytest.raises(ValueError):
+        Objective("o", "m", quantile=50.0, threshold_ns=1.0, budget=0.0)
+    with pytest.raises(ValueError):
+        BurnRateRule("sev", long_windows=2, short_windows=4, burn_threshold=1.0)
+    with pytest.raises(ValueError):
+        BurnRateRule("sev", long_windows=0, short_windows=0, burn_threshold=1.0)
+    with pytest.raises(ValueError):
+        BurnRateRule("sev", long_windows=4, short_windows=2, burn_threshold=0.0)
+
+
+def test_custom_rule_threshold():
+    # A rule needing 100% of the short span violating fires only once
+    # both trailing windows are bad.
+    data = {i: [100.0] for i in range(10)}
+    data[4] = data[5] = [5000.0]
+    metrics = windowed_metrics(data)
+    engine = SLOEngine(
+        WINDOW_NS,
+        rules=(
+            BurnRateRule(
+                severity=names.ALERT_PAGE,
+                long_windows=2,
+                short_windows=2,
+                burn_threshold=100.0,  # 2/2/0.01 == 100: both bad
+            ),
+        ),
+    )
+    engine.objective(
+        names.SLO_SERVING_TAIL,
+        names.METRIC_SERVING_LATENCY,
+        quantile=99.0,
+        threshold_ns=1000.0,
+    )
+    assert [a["window"] for a in engine.alerts(metrics)] == [5]

@@ -146,3 +146,52 @@ class TestServingSimulator:
         # a small multiple of it.
         assert point.p99_ns < 5e6
         assert point.p50_ns > 1e6
+
+
+class TestWindowStats:
+    def test_windows_off_by_default(self):
+        serving = ServingSimulator(simple_times(), seed=6)
+        point = serving.offered_load(serving.saturation_qps * 0.5, queries=20)
+        assert point.windows == ()
+        assert point.worst_window() is None
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            ServingSimulator(simple_times(), window_ns=0.0)
+
+    def test_windows_partition_completions(self):
+        window_ns = 5e6
+        serving = ServingSimulator(simple_times(), seed=6, window_ns=window_ns)
+        point = serving.offered_load(serving.saturation_qps * 0.5, queries=40)
+        assert point.windows
+        # Every batch lands in exactly one window.
+        assert sum(w.count for w in point.windows) == len(point.latencies_ns)
+        indices = [w.index for w in point.windows]
+        assert indices == sorted(indices)
+        assert len(set(indices)) == len(indices)
+        for window in point.windows:
+            assert window.start_ns == pytest.approx(window.index * window_ns)
+            assert window.count >= 1
+
+    def test_worst_window_is_max_percentile(self):
+        serving = ServingSimulator(simple_times(), seed=7, window_ns=5e6)
+        point = serving.offered_load(serving.saturation_qps * 0.9, queries=60)
+        worst = point.worst_window(99.0)
+        assert worst is not None
+        assert worst.percentile(99.0) == max(
+            w.percentile(99.0) for w in point.windows
+        )
+        # The worst window's tail can only be >= the run aggregate p99.
+        assert worst.percentile(99.0) >= point.p99_ns * 0.999
+
+    def test_worst_window_earliest_wins_ties(self):
+        from repro.host.serving import LoadPoint, WindowStat
+
+        a = WindowStat(index=0, start_ns=0.0, latencies_ns=(100.0,))
+        b = WindowStat(index=3, start_ns=3.0, latencies_ns=(100.0,))
+        point = LoadPoint(
+            offered_qps=1.0, achieved_qps=1.0, p50_ns=100.0,
+            p95_ns=100.0, p99_ns=100.0, mean_ns=100.0,
+            windows=(a, b),
+        )
+        assert point.worst_window().index == 0

@@ -1,0 +1,144 @@
+"""Differential suite: DES and fast paths emit byte-identical
+``rmssd-timeseries/v1`` exports.
+
+The repo's core contract — bitwise-equal timestamps across the
+event-driven reference and the closed-form/vectorized replays —
+extends to the windowed telemetry layer: identical timestamps rolled
+through identical window arithmetic must serialize to identical bytes.
+Pinned here for the serving pipeline (Poisson and bursty arrivals,
+with and without an SLO section) and for the full device (rmc1/rmc2,
+with and without a vector cache).  Every export also passes the
+``tools/check_trace.py --timeseries`` validator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.device import RMSSD
+from repro.core.pipeline_sim import PipelineSimulator
+from repro.host.serving import ServingSimulator
+from repro.models import build_model, get_config
+from repro.obs import MetricsRegistry, SLOEngine, names
+from repro.ssd.vcache import VectorCache
+from tools.check_trace import check_timeseries
+
+WINDOW_NS = 50_000.0
+
+
+def poisson_arrivals(n, rate_per_ns, seed):
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate_per_ns, size=n)
+    arrivals = np.cumsum(gaps)
+    return (arrivals - arrivals[0]).tolist()
+
+
+def bursty_arrivals(n, burst=8, gap_ns=200_000.0):
+    """Batches arrive in back-to-back bursts separated by idle gaps —
+    the flash-crowd shape that exercises many-windows-per-burst."""
+    return [
+        (i // burst) * gap_ns + (i % burst) * 50.0
+        for i in range(n)
+    ]
+
+
+def pipeline_export(arrivals, fast, tmp_path, tag, with_slo=False):
+    metrics = MetricsRegistry(window_ns=WINDOW_NS)
+    simulator = PipelineSimulator(
+        emb_ns=9_000.0, bot_ns=4_000.0, top_ns=6_000.0, metrics=metrics
+    )
+    simulator.run(len(arrivals), arrival_times_ns=arrivals, fast=fast)
+    slo = None
+    if with_slo:
+        slo = SLOEngine(WINDOW_NS)
+        slo.objective(
+            names.SLO_SERVING_TAIL,
+            names.METRIC_SERVING_LATENCY,
+            quantile=99.0,
+            threshold_ns=25_000.0,
+        )
+    path = tmp_path / f"{tag}-{'fast' if fast else 'des'}.json"
+    metrics.export_timeseries(str(path), slo=slo)
+    return path
+
+
+class TestServingTimeseries:
+    def test_poisson_byte_identical(self, tmp_path):
+        arrivals = poisson_arrivals(64, rate_per_ns=1 / 12_000.0, seed=3)
+        fast = pipeline_export(arrivals, True, tmp_path, "poisson")
+        des = pipeline_export(arrivals, False, tmp_path, "poisson")
+        assert fast.read_bytes() == des.read_bytes()
+        assert check_timeseries(str(fast)) == []
+
+    def test_bursty_byte_identical_with_slo(self, tmp_path):
+        arrivals = bursty_arrivals(48)
+        fast = pipeline_export(arrivals, True, tmp_path, "bursty", with_slo=True)
+        des = pipeline_export(arrivals, False, tmp_path, "bursty", with_slo=True)
+        assert fast.read_bytes() == des.read_bytes()
+        assert check_timeseries(str(fast)) == []
+
+    def test_serving_simulator_byte_identical(self, tmp_path):
+        """Full serving front end (Erlang-thinned Poisson batches)."""
+        from repro.fpga.compose import StageTimes
+
+        times = StageTimes(
+            temb=2000, tbot=800, ttop=1200, nbatch=4, flash_cycles=1500
+        )
+        paths = {}
+        for fast in (True, False):
+            metrics = MetricsRegistry(window_ns=WINDOW_NS)
+            serving = ServingSimulator(
+                times, nbatch=4, seed=11, metrics=metrics,
+                window_ns=WINDOW_NS,
+            )
+            serving.offered_load(
+                serving.saturation_qps * 0.8, queries=80, fast=fast
+            )
+            path = tmp_path / f"serving-{fast}.json"
+            metrics.export_timeseries(str(path))
+            paths[fast] = path
+        assert paths[True].read_bytes() == paths[False].read_bytes()
+        assert check_timeseries(str(paths[True])) == []
+
+
+def device_export(config_key, vcache_capacity, fastpath, tmp_path):
+    config = get_config(config_key)
+    model = build_model(config, rows_per_table=64, seed=7)
+    metrics = MetricsRegistry(window_ns=1e6)
+    vcache = VectorCache(vcache_capacity) if vcache_capacity else None
+    device = RMSSD(
+        model,
+        config.lookups_per_table,
+        fastpath=fastpath,
+        metrics=metrics,
+        vcache=vcache,
+    )
+    rng = np.random.default_rng(5)
+    batches = []
+    for _ in range(4):
+        sparse = [
+            [
+                list(rng.integers(0, 64, size=config.lookups_per_table))
+                for _ in range(config.num_tables)
+            ]
+            for _ in range(2)
+        ]
+        batches.append(sparse)
+    dense = [
+        rng.standard_normal((2, config.dense_dim)).astype(np.float32)
+        for _ in range(4)
+    ]
+    device.run_workload(dense, batches)
+    tag = f"{config_key}-{vcache_capacity}-{'fast' if fastpath else 'des'}"
+    path = tmp_path / f"{tag}.json"
+    metrics.export_timeseries(str(path))
+    return path
+
+
+class TestDeviceTimeseries:
+    @pytest.mark.parametrize("config_key", ["rmc1", "rmc2"])
+    @pytest.mark.parametrize("vcache_capacity", [0, 32])
+    def test_device_byte_identical(self, config_key, vcache_capacity, tmp_path):
+        fast = device_export(config_key, vcache_capacity, True, tmp_path)
+        des = device_export(config_key, vcache_capacity, False, tmp_path)
+        assert fast.read_bytes() == des.read_bytes()
+        assert check_timeseries(str(fast)) == []

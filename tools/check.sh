@@ -54,6 +54,19 @@ PYTHONPATH=src:. python -m tools.check_trace \
     /tmp/rmssd_profile_trace_smoke.json \
     --profile /tmp/rmssd_profile_smoke.json
 
+echo "== report smoke (timeseries DES vs fast byte-identical) =="
+RMSSD_SANITIZE=1 python -m repro report rmc1 \
+    --queries 120 --rows 64 --window-ms 2.0 \
+    --timeseries-out /tmp/rmssd_timeseries_smoke.json \
+    --metrics-out /tmp/rmssd_report_metrics_smoke.json > /dev/null
+RMSSD_SANITIZE=1 python -m repro report rmc1 \
+    --queries 120 --rows 64 --window-ms 2.0 --no-fastpath \
+    --timeseries-out /tmp/rmssd_timeseries_smoke_des.json > /dev/null
+cmp /tmp/rmssd_timeseries_smoke.json /tmp/rmssd_timeseries_smoke_des.json
+PYTHONPATH=src:. python -m tools.check_trace \
+    --timeseries /tmp/rmssd_timeseries_smoke.json \
+    --metrics /tmp/rmssd_report_metrics_smoke.json
+
 echo "== bench-regression gate (tools/bench_compare.py) =="
 # Committed baselines must satisfy their own invariants and pass an
 # identity diff; an injected synthetic regression must be flagged.

@@ -19,7 +19,18 @@ inference and pipe the resulting JSON through this checker:
 * with *both* a trace and ``--profile``, the two exports of the same
   run are cross-checked: the profile's busy intervals for span-mapped
   resources (FTL MUX, channel buses, EV Sum) must lie inside the
-  union of the corresponding trace spans.
+  union of the corresponding trace spans;
+* with ``--timeseries``, the windowed export has the
+  ``rmssd-timeseries/v1`` schema and is internally consistent:
+  strictly increasing window indices located at ``index * window_ns``,
+  per-kind invariants (ordered latency quantiles, gauge min <= last <=
+  max, non-negative counter deltas), conservation (window deltas/counts
+  sum to each series' total; per-window busy time sums to each
+  resource's total busy time; utilizations in [0, 1]), and a
+  well-formed ``slo`` section whose alerts reference declared
+  objectives inside the evaluated window range.  When ``--metrics`` is
+  also given, series totals are cross-checked against the registry
+  export's counters and histogram counts.
 
 Exit status 0 on success; 1 with a diagnostic on the first failure.
 
@@ -27,7 +38,8 @@ Usage::
 
     python -m tools.check_trace trace.json \
         --require translate flash_read ev_sum \
-        --metrics metrics.json --profile profile.json
+        --metrics metrics.json --profile profile.json \
+        --timeseries timeseries.json
 """
 
 from __future__ import annotations
@@ -42,6 +54,12 @@ HISTOGRAM_FIELDS = (
 )
 
 PROFILE_SCHEMA = "rmssd-profile/v1"
+
+TIMESERIES_SCHEMA = "rmssd-timeseries/v1"
+
+#: Relative slack for float conservation sums (window busy times are
+#: exact interval differences re-added in a different order).
+CONSERVATION_RTOL = 1e-9
 
 STAGE_KEYS = ("emb", "bot", "top", "io")
 
@@ -226,6 +244,244 @@ def check_profile(path: str) -> List[str]:
     return problems
 
 
+def _check_window_list(
+    prefix: str, windows, window_ns: float, problems: List[str]
+) -> None:
+    """Shared shape checks: strictly increasing indices, aligned
+    ``start_ns``.  Appends diagnostics to ``problems``."""
+    if not isinstance(windows, list):
+        problems.append(f"{prefix}: windows is not a list")
+        return
+    previous = None
+    for window in windows:
+        index = window.get("index")
+        if not isinstance(index, int) or index < 0:
+            problems.append(f"{prefix}: invalid window index {index!r}")
+            return
+        if previous is not None and index <= previous:
+            problems.append(
+                f"{prefix}: window indices not strictly increasing "
+                f"({previous} then {index})"
+            )
+        previous = index
+        start = window.get("start_ns")
+        if start != index * window_ns:
+            problems.append(
+                f"{prefix}: window {index} start_ns {start!r} != "
+                f"index * window_ns ({index * window_ns})"
+            )
+
+
+def _sums_match(total: float, parts: float) -> bool:
+    return abs(parts - total) <= max(CONSERVATION_RTOL * abs(total), 1e-6)
+
+
+def check_timeseries(path: str, metrics_path: Optional[str] = None) -> List[str]:
+    """Internal consistency of a ``rmssd-timeseries/v1`` export.
+
+    With ``metrics_path``, series totals are also cross-checked against
+    the registry export of the same run: a windowed counter's deltas
+    must sum to the exported counter value and a latency series' window
+    counts to the exported histogram count — i.e. every timestamped
+    observation landed in exactly one window.
+    """
+    problems: List[str] = []
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as error:
+        return [f"{path}: cannot load: {error}"]
+    if document.get("schema") != TIMESERIES_SCHEMA:
+        return [f"{path}: schema {document.get('schema')!r} is not "
+                f"{TIMESERIES_SCHEMA!r}"]
+    window_ns = document.get("window_ns")
+    if not isinstance(window_ns, (int, float)) or window_ns <= 0:
+        return [f"{path}: invalid window_ns {window_ns!r}"]
+    series = document.get("series")
+    if not isinstance(series, dict):
+        return [f"{path}: missing series section"]
+
+    for name, entry in series.items():
+        prefix = f"{path}: series {name!r}"
+        kind = entry.get("kind")
+        windows = entry.get("windows", [])
+        _check_window_list(prefix, windows, window_ns, problems)
+        if not isinstance(windows, list):
+            continue
+        if kind == "counter":
+            running = 0
+            for window in windows:
+                delta = window.get("delta", -1)
+                if delta < 0:
+                    problems.append(
+                        f"{prefix}: window {window.get('index')} has "
+                        f"negative delta {delta}"
+                    )
+                running += delta
+                rate = window.get("rate_per_s")
+                if rate is not None and not _sums_match(
+                    rate, delta / (window_ns / 1e9)
+                ):
+                    problems.append(
+                        f"{prefix}: window {window.get('index')} rate "
+                        f"{rate} inconsistent with delta {delta}"
+                    )
+            if running != entry.get("total"):
+                problems.append(
+                    f"{prefix}: window deltas sum to {running} but total "
+                    f"says {entry.get('total')}"
+                )
+        elif kind == "latency":
+            running = 0
+            for window in windows:
+                count = window.get("count", 0)
+                if count < 1:
+                    problems.append(
+                        f"{prefix}: window {window.get('index')} has "
+                        f"count {count} < 1 (empty windows are omitted)"
+                    )
+                running += count
+                p50 = window.get("p50_ns", 0.0)
+                p95 = window.get("p95_ns", 0.0)
+                p99 = window.get("p99_ns", 0.0)
+                low = window.get("min_ns", 0.0)
+                high = window.get("max_ns", 0.0)
+                if not low <= p50 <= p95 <= p99 <= high:
+                    problems.append(
+                        f"{prefix}: window {window.get('index')} quantiles "
+                        f"not ordered: min {low} p50 {p50} p95 {p95} "
+                        f"p99 {p99} max {high}"
+                    )
+            if running != entry.get("total"):
+                problems.append(
+                    f"{prefix}: window counts sum to {running} but total "
+                    f"says {entry.get('total')}"
+                )
+        elif kind == "gauge":
+            for window in windows:
+                low = window.get("min", 0.0)
+                high = window.get("max", 0.0)
+                last = window.get("last", 0.0)
+                if not low <= last <= high:
+                    problems.append(
+                        f"{prefix}: window {window.get('index')} gauge "
+                        f"min {low} last {last} max {high} not ordered"
+                    )
+        else:
+            problems.append(f"{prefix}: unknown kind {kind!r}")
+
+    utilization = document.get("utilization")
+    if utilization is not None:
+        if not isinstance(utilization, dict):
+            problems.append(f"{path}: utilization section is not a dict")
+            utilization = {}
+        for name, entry in utilization.items():
+            prefix = f"{path}: utilization {name!r}"
+            windows = entry.get("windows", [])
+            _check_window_list(prefix, windows, window_ns, problems)
+            if not isinstance(windows, list):
+                continue
+            covered = 0.0
+            for window in windows:
+                fraction = window.get("utilization", -1.0)
+                if not 0.0 <= fraction <= 1.0 + CONSERVATION_RTOL:
+                    problems.append(
+                        f"{prefix}: window {window.get('index')} "
+                        f"utilization {fraction} outside [0, 1]"
+                    )
+                busy = window.get("busy_ns", -1.0)
+                if busy < 0 or busy > window_ns * (1 + CONSERVATION_RTOL):
+                    problems.append(
+                        f"{prefix}: window {window.get('index')} busy_ns "
+                        f"{busy} outside [0, window_ns={window_ns}]"
+                    )
+                else:
+                    covered += busy
+            total_busy = entry.get("busy_ns", 0.0)
+            if not _sums_match(total_busy, covered):
+                problems.append(
+                    f"{prefix}: window busy times sum to {covered} ns but "
+                    f"busy_ns says {total_busy}"
+                )
+
+    slo = document.get("slo")
+    if slo is not None:
+        if not isinstance(slo, dict):
+            problems.append(f"{path}: slo section is not a dict")
+            slo = {}
+        objectives = slo.get("objectives", [])
+        declared = set()
+        spans: Dict[str, Tuple[int, int]] = {}
+        for objective in objectives:
+            name = objective.get("name")
+            declared.add(name)
+            indices = [w.get("index", -1) for w in objective.get("windows", [])]
+            if indices:
+                if indices != list(range(indices[0], indices[-1] + 1)):
+                    problems.append(
+                        f"{path}: slo objective {name!r}: evaluated "
+                        f"windows are not a contiguous range"
+                    )
+                spans[name] = (indices[0], indices[-1])
+            for window in objective.get("windows", []):
+                if not isinstance(window.get("ok"), bool):
+                    problems.append(
+                        f"{path}: slo objective {name!r} window "
+                        f"{window.get('index')} missing 'ok' verdict"
+                    )
+                    break
+        for objective in objectives:
+            for alert in objective.get("alerts", []):
+                target = alert.get("objective")
+                if target not in declared:
+                    problems.append(
+                        f"{path}: slo alert references undeclared "
+                        f"objective {target!r}"
+                    )
+                    continue
+                span = spans.get(target)
+                window = alert.get("window", -1)
+                if span is None or not span[0] <= window <= span[1]:
+                    problems.append(
+                        f"{path}: slo alert for {target!r} fires in window "
+                        f"{window}, outside the evaluated range {span}"
+                    )
+
+    if metrics_path:
+        try:
+            with open(metrics_path) as handle:
+                registry = json.load(handle)
+        except (OSError, ValueError) as error:
+            return problems + [f"{metrics_path}: cannot load: {error}"]
+        counters = registry.get("counters", {})
+        histograms = registry.get("histograms", {})
+        shared = 0
+        for name, entry in series.items():
+            kind = entry.get("kind")
+            if kind == "counter" and name in counters:
+                shared += 1
+                if entry.get("total") != counters[name]:
+                    problems.append(
+                        f"cross-check: counter {name!r}: timeseries total "
+                        f"{entry.get('total')} != metrics value "
+                        f"{counters[name]}"
+                    )
+            elif kind == "latency" and name in histograms:
+                shared += 1
+                if entry.get("total") != histograms[name].get("count"):
+                    problems.append(
+                        f"cross-check: latency {name!r}: timeseries total "
+                        f"{entry.get('total')} != histogram count "
+                        f"{histograms[name].get('count')}"
+                    )
+        if shared == 0 and series and not problems:
+            problems.append(
+                "cross-check: no shared series between timeseries and "
+                "metrics exports"
+            )
+    return problems
+
+
 #: Profile resource name -> trace span name, for resources that appear
 #: in both exports.  Dies have no spans (the trace shows the channel,
 #: not its dies) and the MLP/host spans use lanes, so the overlap check
@@ -337,9 +593,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="also validate a utilization-profile JSON export "
              "(cross-checked against the trace when both are given)",
     )
+    parser.add_argument(
+        "--timeseries", default=None,
+        help="also validate a windowed timeseries JSON export "
+             "(cross-checked against --metrics when both are given)",
+    )
     args = parser.parse_args(argv)
-    if args.trace is None and args.profile is None:
-        parser.error("need a trace file and/or --profile")
+    if args.trace is None and args.profile is None and args.timeseries is None:
+        parser.error("need a trace file, --profile, and/or --timeseries")
     problems: List[str] = []
     if args.trace is not None:
         problems += check_trace(args.trace, args.require)
@@ -349,11 +610,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         problems += check_profile(args.profile)
         if args.trace is not None:
             problems += cross_check(args.trace, args.profile)
+    if args.timeseries:
+        problems += check_timeseries(args.timeseries, args.metrics)
     if problems:
         for problem in problems:
             print(f"check_trace: {problem}", file=sys.stderr)
         return 1
-    print(f"check_trace: {args.trace or args.profile} OK")
+    print(f"check_trace: {args.trace or args.profile or args.timeseries} OK")
     return 0
 
 

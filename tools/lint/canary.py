@@ -9,11 +9,14 @@ profiler record, and asserts that
 * the **mutated** copy trips R9 with a violation naming the now
   DES-only record.
 
-Two contracts are exercised: the lookup path (the ``record_busy`` call
-that closes a die's busy interval in
-:func:`repro.ssd.fastpath._replay_channel`) and the serving path (the
+Three contracts are exercised: the lookup path (the ``record_busy``
+call that closes a die's busy interval in
+:func:`repro.ssd.fastpath._replay_channel`), the serving path (the
 ``record_service`` call that records every stage triple in
-:func:`repro.core.pipeline_fast._record_stage_services`).
+:func:`repro.core.pipeline_fast._record_stage_services`), and the
+serving *timeseries* feed (the fast path's ``_observe_completions``
+call in :meth:`repro.core.pipeline_sim.PipelineSimulator._run_fast`,
+whose deletion leaves the windowed serving metrics DES-only).
 
 If a refactor ever blinds R9 — a renamed root, a broken call-graph
 edge, an over-wide provenance union — the clean/mutated runs stop
@@ -64,6 +67,16 @@ MUTATIONS: Tuple[Mutation, ...] = (
         function="_record_stage_services",
         call="record_service",
         token="emb",
+    ),
+    # Timeseries drift: drop the fast path's _observe_completions call
+    # (the sole feeder of the windowed serving metrics), leaving the
+    # serving histograms DES-only.
+    Mutation(
+        label="timeseries",
+        file=Path("repro") / "core" / "pipeline_sim.py",
+        function="_run_fast",
+        call="_observe_completions",
+        token="serving.latency_ns",
     ),
 )
 

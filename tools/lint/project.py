@@ -54,6 +54,11 @@ INSTRUMENTATION_APIS: Dict[str, Tuple[int, str, Optional[int], Optional[str], Op
     "counter": (0, "name", None, None, None),
     "gauge": (0, "name", None, None, None),
     "histogram": (0, "name", None, None, None),
+    # SLOEngine.objective(name, metric, ...): both strings are
+    # instrumentation names — the objective's own name and the metric
+    # it watches — so both ride the catalogue discipline (the metric
+    # goes through the kind slot of the spec tuple).
+    "objective": (0, "name", 1, "metric", None),
 }
 
 #: Metric-factory calls only count with one of these receivers, so
@@ -70,6 +75,7 @@ API_GROUPS = {
     "record_service": "record_service",
     "record_busy": "record_busy",
     "record_queue_depth": "record_queue_depth",
+    "objective": "slo",
 }
 
 

@@ -90,6 +90,8 @@ _FACET_DESC = {
     ("span", "name"): "span",
     ("metric", "name"): "metric",
     ("stats", "field"): "IOStatistics counter",
+    ("slo", "name"): "SLO objective",
+    ("slo", "kind"): "SLO metric",
 }
 
 
