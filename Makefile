@@ -2,7 +2,8 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: check lint lint-strict compile test bench bench-fast bench-sweep \
-	bench-vcache trace-smoke profile-smoke report-smoke bench-check
+	bench-vcache bench-autoscale trace-smoke profile-smoke report-smoke \
+	bench-check
 
 check: lint compile test trace-smoke profile-smoke report-smoke
 
@@ -35,6 +36,11 @@ bench-sweep:
 
 bench-vcache:
 	$(PYTHON) -m pytest benchmarks/bench_vcache_locality.py -q -s
+
+# Flash-crowd autoscaling: the burn-rate controller must meet the p99
+# SLA a fixed one-replica fleet violates, on both pipeline paths.
+bench-autoscale:
+	$(PYTHON) -m pytest benchmarks/bench_ext_autoscale.py -q -s
 
 # Tiny traced RMC1 run; validates the exported trace/metrics JSON
 # (balanced B/E, monotonic timestamps, required spans, schema).
@@ -75,10 +81,11 @@ report-smoke:
 # tools/bench_compare.py).  Slow: re-runs the full DES speedup bench.
 # To refresh baselines instead, run bench-fast/bench-vcache and commit
 # the rewritten BENCH_*.json (see docs/performance.md).
-bench-check: bench-fast bench-sweep bench-vcache
+bench-check: bench-fast bench-sweep bench-vcache bench-autoscale
 	git show HEAD:BENCH_fastpath.json > /tmp/rmssd_bench_fastpath_base.json
 	git show HEAD:BENCH_sweep.json > /tmp/rmssd_bench_sweep_base.json
 	git show HEAD:BENCH_vcache.json > /tmp/rmssd_bench_vcache_base.json
+	git show HEAD:BENCH_autoscale.json > /tmp/rmssd_bench_autoscale_base.json
 	PYTHONPATH=src:. $(PYTHON) -m tools.bench_compare \
 		--baseline /tmp/rmssd_bench_fastpath_base.json \
 		--fresh BENCH_fastpath.json
@@ -88,3 +95,6 @@ bench-check: bench-fast bench-sweep bench-vcache
 	PYTHONPATH=src:. $(PYTHON) -m tools.bench_compare \
 		--baseline /tmp/rmssd_bench_vcache_base.json \
 		--fresh BENCH_vcache.json
+	PYTHONPATH=src:. $(PYTHON) -m tools.bench_compare \
+		--baseline /tmp/rmssd_bench_autoscale_base.json \
+		--fresh BENCH_autoscale.json

@@ -355,6 +355,119 @@ def cmd_advise(args) -> int:
     return 0
 
 
+def _cluster_trace(kind: str, qps: float, duration_ns: float, seed: int):
+    """Build the requested arrival trace for the cluster CLI modes."""
+    from repro.workloads.arrivals import (
+        diurnal_trace,
+        flash_crowd_trace,
+        poisson_trace,
+    )
+
+    if kind == "poisson":
+        queries = max(1, int(qps * duration_ns / 1e9))
+        return poisson_trace(qps, queries, seed=seed)
+    if kind == "diurnal":
+        return diurnal_trace(
+            qps, duration_ns, period_ns=duration_ns / 2, seed=seed
+        )
+    return flash_crowd_trace(
+        qps,
+        duration_ns,
+        burst_start_ns=0.3 * duration_ns,
+        burst_duration_ns=0.4 * duration_ns,
+        burst_factor=4.0,
+        seed=seed,
+    )
+
+
+def _print_scaling_events(events) -> None:
+    if not events:
+        print("scaling events: none")
+        return
+    print("scaling events:")
+    for event in events:
+        print(
+            f"  t={event.t_ns / 1e6:8.1f} ms  [{event.action}] "
+            f"{event.from_replicas} -> {event.to_replicas} replicas "
+            f"({event.reason}; util {event.utilization:.0%}; "
+            f"bottleneck {event.bottleneck_stage})"
+        )
+
+
+def _cmd_sla_cluster(args, config, result) -> int:
+    """``sla --cluster``: open-loop traffic against a replica fleet."""
+    from repro.host.autoscale import Autoscaler
+    from repro.host.cluster_serving import ClusterServingSimulator
+    from repro.obs import MetricsRegistry, names
+    from repro.ssd import fastpath
+
+    window_ns = args.window_ms * 1e6
+    sla_ns = args.sla_ms * 1e6
+    fast = False if args.no_fastpath else None
+    path = "fast" if (fast is None and fastpath.enabled()) else "des"
+    replica_qps = result.times.throughput_qps(1e9 / 5.0)
+    base_qps = args.qps or 0.6 * replica_qps * args.replicas
+    duration_ns = args.duration_ms * 1e6
+    trace = _cluster_trace(args.arrivals, base_qps, duration_ns, args.seed)
+    print(f"cluster SLA study: {config.name}, {args.arrivals} arrivals "
+          f"({trace.count} queries, {trace.mean_qps:.0f} QPS mean), "
+          f"{args.replicas} replica(s) @ {replica_qps:.0f} QPS each, "
+          f"balancer {args.balancer}, pipeline path: {path}")
+
+    def run(autoscale: bool):
+        scaler = None
+        if autoscale:
+            scaler = Autoscaler(
+                sla_ns=sla_ns,
+                quantile=args.quantile,
+                window_ns=window_ns,
+                min_replicas=args.min_replicas,
+                max_replicas=args.max_replicas,
+            )
+        metrics = MetricsRegistry(window_ns=window_ns)
+        sim = ClusterServingSimulator(
+            result.times,
+            nbatch=result.nbatch,
+            replicas=args.replicas,
+            balancer=args.balancer,
+            autoscaler=scaler,
+            metrics=metrics,
+        )
+        return sim, sim.serve_trace(trace, fast=fast)
+
+    table = Table(
+        f"p{args.quantile:g} <= {args.sla_ms} ms?",
+        ["fleet", "p50 ms", "p99 ms", "achieved QPS", "replicas", "SLA"],
+    )
+
+    def add_row(label, point):
+        table.add_row(
+            label,
+            f"{point.p50_ns / 1e6:.2f}",
+            f"{point.p99_ns / 1e6:.2f}",
+            f"{point.achieved_qps:.0f}",
+            f"{point.initial_replicas}->{point.final_replicas}",
+            "ok" if point.meets_sla(sla_ns, args.quantile) else "VIOLATED",
+        )
+
+    sim, fixed = run(autoscale=False)
+    add_row("fixed", fixed)
+    point = fixed
+    if args.autoscale:
+        sim, point = run(autoscale=True)
+        add_row("autoscaled", point)
+    table.print()
+    _print_scaling_events(point.scale_events)
+    if args.timeseries_out:
+        from repro.obs.timeseries import export_document
+
+        out = export_document(sim.timeseries_document(), args.timeseries_out)
+        print(f"timeseries: {out} (window {args.window_ms} ms; "
+              f"cluster section: {names.METRIC_CLUSTER_REPLICAS} gauge + "
+              f"scaling events)")
+    return 0
+
+
 def cmd_sla(args) -> int:
     from repro.core.lookup_engine import flash_read_cycles
     from repro.fpga.decompose import decompose_model
@@ -371,6 +484,8 @@ def cmd_sla(args) -> int:
         dec.vectors_per_inference, SSDGeometry(), SSDTimingModel(), config.ev_size
     )
     result = kernel_search(dec, flash)
+    if args.cluster:
+        return _cmd_sla_cluster(args, config, result)
     window_ns = args.window_ms * 1e6
     metrics = None
     if args.timeseries_out:
@@ -429,6 +544,100 @@ def cmd_sla(args) -> int:
     return 0
 
 
+def _cmd_report_cluster(args, config, result) -> int:
+    """``report --cluster``: per-window fleet dashboard with scaling log."""
+    from repro.host.autoscale import Autoscaler
+    from repro.host.cluster_serving import ClusterServingSimulator
+    from repro.obs import MetricsRegistry, Profiler, SLOEngine, names
+    from repro.obs.timeseries import export_document
+    from repro.ssd import fastpath
+
+    window_ns = args.window_ms * 1e6
+    sla_ns = args.sla_ms * 1e6
+    fast = False if args.no_fastpath else None
+    path = "fast" if (fast is None and fastpath.enabled()) else "des"
+    replica_qps = result.times.throughput_qps(1e9 / 5.0)
+    base_qps = args.qps or 0.6 * replica_qps * args.replicas
+    duration_ns = args.duration_ms * 1e6
+    trace = _cluster_trace(args.arrivals, base_qps, duration_ns, args.seed)
+    scaler = None
+    if args.autoscale:
+        scaler = Autoscaler(
+            sla_ns=sla_ns,
+            quantile=args.quantile,
+            window_ns=window_ns,
+            min_replicas=args.min_replicas,
+            max_replicas=args.max_replicas,
+        )
+    metrics = MetricsRegistry(window_ns=window_ns, sketch_k=args.sketch_k)
+    profiler = Profiler()
+    sim = ClusterServingSimulator(
+        result.times, nbatch=result.nbatch, replicas=args.replicas,
+        balancer=args.balancer, autoscaler=scaler,
+        metrics=metrics, profiler=profiler,
+    )
+    slo = SLOEngine(window_ns)
+    slo.objective(
+        names.SLO_SERVING_TAIL,
+        names.METRIC_SERVING_LATENCY,
+        quantile=args.quantile,
+        threshold_ns=sla_ns,
+    )
+    point = sim.serve_trace(trace, fast=fast)
+    print(f"cluster report: {config.name}, {args.arrivals} arrivals "
+          f"({trace.count} queries, {trace.mean_qps:.0f} QPS mean), "
+          f"balancer {args.balancer}, pipeline path: {path}")
+    print(f"run aggregate:  p50 {point.p50_ns / 1e6:.2f} ms / "
+          f"p99 {point.p99_ns / 1e6:.2f} ms / achieved "
+          f"{point.achieved_qps:.0f} QPS / replicas "
+          f"{point.initial_replicas}->{point.final_replicas}")
+
+    alerts = slo.alerts(metrics)
+    alert_windows = {}
+    for alert in alerts:
+        alert_windows.setdefault(alert["window"], []).append(alert)
+    series = metrics.series(names.METRIC_SERVING_LATENCY)
+    table = Table(
+        f"{config.name}: per-window cluster dashboard "
+        f"(window {args.window_ms} ms, SLA p{args.quantile:g} <= "
+        f"{args.sla_ms} ms)",
+        ["win", "t0 ms", "batches", "p50 ms", f"p{args.quantile:g} ms",
+         "replicas", "alerts"],
+    )
+    for index in series.window_indices() if series is not None else ():
+        t0_ns = index * window_ns
+        replicas = point.initial_replicas
+        for event in point.scale_events:
+            if event.t_ns <= t0_ns:
+                replicas = event.to_replicas
+        fired = ",".join(
+            a["severity"] for a in alert_windows.get(index, ())
+        )
+        table.add_row(
+            index,
+            f"{t0_ns / 1e6:.1f}",
+            series.window_count(index),
+            f"{series.window_percentile(index, 50.0) / 1e6:.2f}",
+            f"{series.window_percentile(index, args.quantile) / 1e6:.2f}",
+            replicas,
+            fired or "-",
+        )
+    table.print()
+    _print_scaling_events(point.scale_events)
+    if args.timeseries_out:
+        out = export_document(
+            sim.timeseries_document(slo=slo), args.timeseries_out
+        )
+        print(f"timeseries: {out}")
+    if args.metrics_out:
+        out = metrics.export_json(args.metrics_out)
+        print(f"metrics: {out}")
+    if args.prom_out:
+        out = metrics.export_prometheus(args.prom_out)
+        print(f"prometheus: {out}")
+    return 0
+
+
 def cmd_report(args) -> int:
     """Per-window serving dashboard: tails, utilization, SLO alerts."""
     from repro.core.lookup_engine import flash_read_cycles
@@ -453,6 +662,8 @@ def cmd_report(args) -> int:
         dec.vectors_per_inference, SSDGeometry(), SSDTimingModel(), config.ev_size
     )
     result = kernel_search(dec, flash)
+    if args.cluster:
+        return _cmd_report_cluster(args, config, result)
     window_ns = args.window_ms * 1e6
     metrics = MetricsRegistry(window_ns=window_ns, sketch_k=args.sketch_k)
     profiler = Profiler()
@@ -723,6 +934,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_sla.add_argument("--timeseries-out", default=None, metavar="PATH",
                        help="write windowed serving series as JSON "
                             "(schema rmssd-timeseries/v1)")
+    p_sla.add_argument("--cluster", action="store_true",
+                       help="serve an open-loop arrival trace against a "
+                            "replica fleet instead of the single-device "
+                            "load sweep")
+    p_sla.add_argument("--replicas", type=int, default=2,
+                       help="initial replica count (cluster mode)")
+    p_sla.add_argument("--balancer", default="round-robin",
+                       choices=["round-robin", "jsq", "latency-weighted"],
+                       help="cluster load balancer")
+    p_sla.add_argument("--arrivals", default="flash-crowd",
+                       choices=["poisson", "diurnal", "flash-crowd"],
+                       help="arrival-trace shape (cluster mode)")
+    p_sla.add_argument("--duration-ms", type=float, default=200.0,
+                       help="trace duration in simulated ms (cluster mode)")
+    p_sla.add_argument("--qps", type=float, default=None,
+                       help="mean offered load in QPS (cluster mode; "
+                            "default 60%% of fleet saturation)")
+    p_sla.add_argument("--autoscale", action="store_true",
+                       help="close the loop: scale replicas on SLO "
+                            "burn-rate alerts (cluster mode)")
+    p_sla.add_argument("--min-replicas", type=int, default=1,
+                       help="autoscaler floor (cluster mode)")
+    p_sla.add_argument("--max-replicas", type=int, default=8,
+                       help="autoscaler ceiling (cluster mode)")
+    p_sla.add_argument("--quantile", type=float, default=99.0,
+                       help="SLA quantile (cluster mode)")
     p_sla.set_defaults(func=cmd_sla)
 
     p_report = sub.add_parser(
@@ -754,6 +991,30 @@ def build_parser() -> argparse.ArgumentParser:
                           help="also write the run-aggregate metrics JSON")
     p_report.add_argument("--prom-out", default=None, metavar="PATH",
                           help="write a Prometheus text-format snapshot")
+    p_report.add_argument("--cluster", action="store_true",
+                          help="report on a replica fleet fed by an "
+                               "open-loop arrival trace")
+    p_report.add_argument("--replicas", type=int, default=2,
+                          help="initial replica count (cluster mode)")
+    p_report.add_argument("--balancer", default="round-robin",
+                          choices=["round-robin", "jsq", "latency-weighted"],
+                          help="cluster load balancer")
+    p_report.add_argument("--arrivals", default="flash-crowd",
+                          choices=["poisson", "diurnal", "flash-crowd"],
+                          help="arrival-trace shape (cluster mode)")
+    p_report.add_argument("--duration-ms", type=float, default=200.0,
+                          help="trace duration in simulated ms "
+                               "(cluster mode)")
+    p_report.add_argument("--qps", type=float, default=None,
+                          help="mean offered load in QPS (cluster mode; "
+                               "default 60%% of fleet saturation)")
+    p_report.add_argument("--autoscale", action="store_true",
+                          help="close the loop: scale replicas on SLO "
+                               "burn-rate alerts (cluster mode)")
+    p_report.add_argument("--min-replicas", type=int, default=1,
+                          help="autoscaler floor (cluster mode)")
+    p_report.add_argument("--max-replicas", type=int, default=8,
+                          help="autoscaler ceiling (cluster mode)")
     p_report.set_defaults(func=cmd_report)
 
     p_cgen = sub.add_parser("criteo-gen", help="generate a Criteo-format TSV")

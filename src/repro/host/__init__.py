@@ -1,6 +1,20 @@
 """Host-side models: CPU/framework/I/O-stack costs and the runtime."""
 
+from repro.host.autoscale import Autoscaler, ScalingEvent
+from repro.host.cluster_serving import (
+    BALANCERS,
+    ClusterLoadPoint,
+    ClusterServingSimulator,
+)
 from repro.host.costs import HostCostModel
 from repro.host.runtime import HostPipeline
 
-__all__ = ["HostCostModel", "HostPipeline"]
+__all__ = [
+    "Autoscaler",
+    "BALANCERS",
+    "ClusterLoadPoint",
+    "ClusterServingSimulator",
+    "HostCostModel",
+    "HostPipeline",
+    "ScalingEvent",
+]

@@ -179,9 +179,12 @@ class ServingSimulator:
         if remainder:
             sizes.append(remainder)
         # Inter-arrival of a size-k batch: Erlang(k, qps) — the k-fold
-        # thinning of the Poisson query process.
+        # thinning of the Poisson query process.  The first gap is the
+        # wait for the first batch to fill and is kept: clamping batch
+        # 0 to t=0 deterministically biased window-0 stats and
+        # short-run tails.
         gaps = rng.gamma(shape=np.asarray(sizes, dtype=float), scale=1e9 / qps)
-        arrivals = np.cumsum(gaps) - gaps[0]
+        arrivals = np.cumsum(gaps)
         result = self.pipeline.run(
             len(sizes), arrival_times_ns=list(arrivals), fast=fast
         )

@@ -104,6 +104,11 @@ METRIC_VCACHE_HIT_RATIO = "vcache.hit_ratio"
 METRIC_SERVING_LATENCY = "serving.latency_ns"
 METRIC_SERVING_QUEUE = "serving.queue_ns"
 METRIC_SERVING_BATCHES = "serving.batches"
+#: Cluster-serving metrics (repro.host.cluster_serving): active replica
+#: count sampled at t=0 and at every scaling event, and the running
+#: count of autoscaler actions.
+METRIC_CLUSTER_REPLICAS = "cluster.replicas"
+METRIC_CLUSTER_SCALE_EVENTS = "cluster.scale_events"
 
 # ---------------------------------------------------------------------------
 # SLO objective and alert names (repro.obs.slo) — objective names are
@@ -118,6 +123,9 @@ ALERT_BURN_RATE = "burn-rate"
 #: Alert severities of the default fast/slow burn-rate rule pair.
 ALERT_PAGE = "page"
 ALERT_TICKET = "ticket"
+#: Scaling-event actions emitted by the autoscaler (repro.host.autoscale).
+EVENT_SCALE_UP = "scale-up"
+EVENT_SCALE_DOWN = "scale-down"
 
 
 # ---------------------------------------------------------------------------

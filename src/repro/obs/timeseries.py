@@ -249,6 +249,7 @@ def build_document(
     profiler=None,
     slo=None,
     window_ns: Optional[float] = None,
+    cluster: Optional[dict] = None,
 ) -> dict:
     """Assemble the ``rmssd-timeseries/v1`` document.
 
@@ -256,7 +257,10 @@ def build_document(
     :class:`~repro.obs.metrics.MetricsRegistry`), ``profiler`` the
     per-resource utilization series, ``slo`` (an
     :class:`~repro.obs.slo.SLOEngine`) the objective evaluations and
-    burn-rate alerts.  Any subset may be present.
+    burn-rate alerts, ``cluster`` the cluster-serving section (replica
+    counts and the autoscaler's scaling-event log, from
+    :meth:`~repro.host.cluster_serving.ClusterLoadPoint.
+    cluster_section`).  Any subset may be present.
     """
     if window_ns is None and metrics is not None:
         window_ns = metrics.window_ns
@@ -271,6 +275,8 @@ def build_document(
         document["utilization"] = utilization_series(profiler, window_ns)
     if slo is not None:
         document["slo"] = slo.report_dict(metrics)
+    if cluster is not None:
+        document["cluster"] = cluster
     return document
 
 

@@ -8,6 +8,14 @@ a hot/cold mixture generator whose hot-access fraction is the target
 hit ratio, plus the statistics of Fig. 4.
 """
 
+from repro.workloads.arrivals import (
+    ArrivalTrace,
+    batch_arrivals,
+    diurnal_trace,
+    flash_crowd_trace,
+    merge_traces,
+    poisson_trace,
+)
 from repro.workloads.inputs import InferenceRequest, RequestGenerator
 from repro.workloads.locality import (
     K_TO_HIT_RATIO,
@@ -18,11 +26,17 @@ from repro.workloads.stats import TraceStatistics
 from repro.workloads.tracegen import TraceGenerator
 
 __all__ = [
+    "ArrivalTrace",
     "InferenceRequest",
     "K_TO_HIT_RATIO",
     "RequestGenerator",
     "TraceGenerator",
     "TraceStatistics",
+    "batch_arrivals",
+    "diurnal_trace",
+    "flash_crowd_trace",
     "hit_ratio_for_k",
     "measured_cache_hit_ratio",
+    "merge_traces",
+    "poisson_trace",
 ]

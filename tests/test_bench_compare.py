@@ -77,6 +77,35 @@ def vcache_payload(**overrides):
     return payload
 
 
+def autoscale_payload(**overrides):
+    payload = {
+        "model": "rmc1",
+        "arrivals": "flash-crowd",
+        "queries": 398,
+        "balancer": "jsq",
+        "sla_ms": 40.0,
+        "quantile": 99.0,
+        "alert_threshold_ms": 10.0,
+        "window_ms": 2.0,
+        "burst_factor": 4.0,
+        "initial_replicas": 1,
+        "max_replicas": 6,
+        "scale_up_step": 2,
+        "fixed": {"p99_ms": 208.25, "meets_sla": False, "final_replicas": 1},
+        "autoscaled": {
+            "p99_ms": 33.37,
+            "meets_sla": True,
+            "scale_ups": 1,
+            "scale_downs": 2,
+            "final_replicas": 1,
+        },
+        "bitwise_equal": True,
+        "wall_s": 0.2,
+    }
+    payload.update(overrides)
+    return payload
+
+
 class TestDetectKind:
     def test_detects_all_kinds(self):
         assert detect_kind(fastpath_payload()) == "fastpath"
@@ -84,6 +113,8 @@ class TestDetectKind:
         # win the detection race over fastpath.
         assert detect_kind(sweep_payload()) == "sweep"
         assert detect_kind(vcache_payload()) == "vcache"
+        # autoscale carries bitwise_equal too: autoscaled must win.
+        assert detect_kind(autoscale_payload()) == "autoscale"
 
     def test_unknown_payload_raises(self):
         with pytest.raises(Regression, match="unrecognized"):
@@ -212,11 +243,80 @@ class TestCompareVcache:
         assert any("policy" in failure for failure in failures)
 
 
+class TestCompareAutoscale:
+    def test_identity_passes(self):
+        assert compare(autoscale_payload(), autoscale_payload()) == []
+
+    def test_wall_clock_drift_is_ignored(self):
+        assert compare(autoscale_payload(), autoscale_payload(wall_s=9.0)) == []
+
+    def test_configuration_drift_is_exact(self):
+        failures = compare(autoscale_payload(), autoscale_payload(sla_ms=50.0))
+        assert any("sla_ms" in failure for failure in failures)
+        failures = compare(
+            autoscale_payload(), autoscale_payload(max_replicas=8)
+        )
+        assert any("max_replicas" in failure for failure in failures)
+
+    def test_outcome_drift_is_exact(self):
+        fresh = autoscale_payload()
+        fresh["autoscaled"] = dict(fresh["autoscaled"], p99_ms=34.0)
+        failures = compare(autoscale_payload(), fresh)
+        assert any("autoscaled" in failure for failure in failures)
+
+    def test_bitwise_divergence_flagged(self):
+        failures = compare(
+            autoscale_payload(), autoscale_payload(bitwise_equal=False)
+        )
+        assert any("bitwise" in failure for failure in failures)
+
+    def test_missing_metric_flagged(self):
+        fresh = autoscale_payload()
+        del fresh["fixed"]
+        with pytest.raises(Regression, match="missing"):
+            compare(autoscale_payload(), fresh)
+
+
 class TestSelfCheck:
     def test_good_payloads_pass(self):
         assert self_check(fastpath_payload()) == []
         assert self_check(sweep_payload()) == []
         assert self_check(vcache_payload()) == []
+        assert self_check(autoscale_payload()) == []
+
+    def test_autoscale_lost_sla_flagged(self):
+        bad = autoscale_payload()
+        bad["autoscaled"] = dict(
+            bad["autoscaled"], p99_ms=45.0, meets_sla=False
+        )
+        failures = self_check(bad)
+        assert any("lost the SLA" in failure for failure in failures)
+        assert any("exceeds the SLA" in failure for failure in failures)
+
+    def test_autoscale_baseline_within_sla_flagged(self):
+        bad = autoscale_payload()
+        bad["fixed"] = dict(bad["fixed"], p99_ms=30.0, meets_sla=True)
+        failures = self_check(bad)
+        assert any("no longer violates" in failure for failure in failures)
+        # 33.37 >= 30.0: the controller must also beat the baseline.
+        assert any("no better" in failure for failure in failures)
+
+    def test_autoscale_no_scaling_flagged(self):
+        bad = autoscale_payload()
+        bad["autoscaled"] = dict(
+            bad["autoscaled"], scale_ups=0, scale_downs=0
+        )
+        failures = self_check(bad)
+        assert any("scale-out" in failure for failure in failures)
+        assert any("drained" in failure for failure in failures)
+
+    def test_autoscale_loose_alerting_and_divergence_flagged(self):
+        bad = autoscale_payload(
+            alert_threshold_ms=50.0, bitwise_equal=False
+        )
+        failures = self_check(bad)
+        assert any("looser" in failure for failure in failures)
+        assert any("bitwise" in failure for failure in failures)
 
     def test_sweep_invariants_flagged(self):
         failures = self_check(
@@ -292,7 +392,8 @@ class TestMainAndCommittedBaselines:
 
     def test_committed_baselines_self_consistent(self):
         for name in (
-            "BENCH_fastpath.json", "BENCH_sweep.json", "BENCH_vcache.json"
+            "BENCH_fastpath.json", "BENCH_sweep.json", "BENCH_vcache.json",
+            "BENCH_autoscale.json",
         ):
             with open(REPO_ROOT / name) as handle:
                 payload = json.load(handle)

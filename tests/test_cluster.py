@@ -3,8 +3,16 @@
 import numpy as np
 import pytest
 
-from repro.core.cluster import MODE_REPLICA, MODE_TABLE_SHARD, RMSSDCluster
+from repro.core.cluster import (
+    MODE_REPLICA,
+    MODE_TABLE_SHARD,
+    ClusterTiming,
+    RMSSDCluster,
+)
+from repro.embedding.table import EmbeddingTable, EmbeddingTableSet
 from repro.models import build_model, get_config
+from repro.models.dlrm import DLRM
+from repro.models.mlp import MLP
 
 ROWS = 64
 
@@ -87,6 +95,70 @@ class TestScaling:
         assert len(timing.per_device_emb_ns) == 2
         assert timing.latency_ns >= timing.interval_ns
         assert timing.gather_ns > 0
+
+    def test_interval_and_latency_accounting_separate(self):
+        """Regression: latency is the serial critical path, not the
+        pipelined interval term.  With emb=4, bot=6, top=5 the serial
+        MLP latency is max(emb, bot) + top = 11, while the interval is
+        bounded by the slowest stage (bot = 6); the old accounting
+        collapsed both into max(bot, top) and understated latency."""
+        timing = ClusterTiming(
+            nbatch=1,
+            per_device_emb_ns=[4.0],
+            gather_ns=0.0,
+            bot_ns=6.0,
+            top_ns=5.0,
+            io_ns=2.0,
+        )
+        assert timing.mlp_ns == pytest.approx(6.0)
+        assert timing.interval_ns == pytest.approx(6.0)
+        # Serial path: bot (6) overlaps emb (4), then top (5) + io (2).
+        assert timing.latency_ns == pytest.approx(13.0)
+        # The buggy composition emb + max(bot, top) + io would be 12.
+        assert timing.latency_ns > timing.emb_ns + timing.mlp_ns + timing.io_ns
+
+    def test_replica_latency_is_serial_not_interval(self):
+        config, _, cluster = build(devices=2, mode=MODE_REPLICA)
+        dense, sparse = random_batch(config, seed=8)
+        _, timing = cluster.infer_batch(dense, sparse)
+        # Latency follows the device's serial accounting (bottom MLP
+        # overlaps embedding, top MLP after both, I/O on the edges)...
+        expected = (
+            max(timing.emb_ns, timing.bot_ns) + timing.top_ns + timing.io_ns
+        )
+        assert timing.latency_ns == pytest.approx(expected)
+        # ...while the throughput interval stays the max-stage term.
+        assert timing.interval_ns == pytest.approx(
+            max(timing.emb_ns, timing.bot_ns, timing.top_ns, timing.io_ns, 1.0)
+        )
+
+
+class TestHeterogeneousTables:
+    def build_hetero(self, mode=MODE_REPLICA, devices=2):
+        tables = EmbeddingTableSet(
+            [
+                EmbeddingTable("large", 512, 16, seed=1),
+                EmbeddingTable("tiny", 4, 16, seed=2),
+            ]
+        )
+        bottom = MLP.from_widths(8, [16], seed=3)
+        top = MLP.from_widths(2 * 16 + 16, [8, 1], seed=4)
+        model = DLRM("hetero", tables, bottom, top)
+        return RMSSDCluster(
+            model, lookups_per_table=2, num_devices=devices, mode=mode
+        )
+
+    def test_throughput_qps_draws_per_table_indices(self):
+        """Regression: random requests must respect each table's own
+        row count.  Drawing every table's indices from tables[0].rows
+        (512) sent out-of-range indices to the 4-row table."""
+        cluster = self.build_hetero()
+        qps = cluster.throughput_qps(nbatch=2, seed=0)
+        assert qps > 0
+
+    def test_throughput_qps_sharded_heterogeneous(self):
+        cluster = self.build_hetero(mode=MODE_TABLE_SHARD, devices=2)
+        assert cluster.throughput_qps(nbatch=1, seed=1) > 0
 
 
 class TestValidation:

@@ -121,6 +121,36 @@ class TestServingSimulator:
         assert point.meets_sla(100.0, quantile=10.0)
         assert not point.meets_sla(299.0, quantile=99.5)
 
+    def test_meets_sla_edge_quantiles_with_raw_latencies(self):
+        """q=0 and q=100 miss the pinned 50/95/99 dict and must read
+        the raw latency extremes."""
+        from repro.host.serving import LoadPoint
+
+        point = LoadPoint(
+            offered_qps=1.0, achieved_qps=1.0,
+            p50_ns=200.0, p95_ns=400.0, p99_ns=500.0, mean_ns=250.0,
+            latencies_ns=(100.0, 200.0, 300.0, 400.0, 500.0),
+        )
+        # q=0 is the observed minimum, q=100 the observed maximum.
+        assert point.meets_sla(100.0, quantile=0.0)
+        assert not point.meets_sla(99.0, quantile=0.0)
+        assert point.meets_sla(500.0, quantile=100.0)
+        assert not point.meets_sla(499.0, quantile=100.0)
+
+    def test_meets_sla_edge_quantiles_interpolation_clamps(self):
+        """Without raw latencies, q=0 clamps to the pinned p50 and
+        q=100 clamps to the pinned p99 (np.interp endpoint clamping)."""
+        from repro.host.serving import LoadPoint
+
+        point = LoadPoint(
+            offered_qps=1.0, achieved_qps=1.0,
+            p50_ns=100.0, p95_ns=200.0, p99_ns=300.0, mean_ns=120.0,
+        )
+        assert point.meets_sla(100.0, quantile=0.0)
+        assert not point.meets_sla(99.0, quantile=0.0)
+        assert point.meets_sla(300.0, quantile=100.0)
+        assert not point.meets_sla(299.0, quantile=100.0)
+
     def test_sla_search_between_zero_and_saturation(self):
         serving = ServingSimulator(simple_times(), seed=3)
         unloaded_ns = (200_000 + 30_000) * 5.0
@@ -138,6 +168,17 @@ class TestServingSimulator:
         tight = serving.max_qps_under_sla(sla_ns=1.3 * unloaded_ns, queries=120)
         loose = serving.max_qps_under_sla(sla_ns=5 * unloaded_ns, queries=120)
         assert loose >= tight
+
+    def test_first_batch_keeps_its_arrival_gap(self):
+        """Regression: batch 0's Erlang gap must not be clamped to
+        t=0 — the clamp deterministically pinned the first completion
+        into window 0 and biased short-run tails."""
+        window_ns = 1e6
+        serving = ServingSimulator(simple_times(), seed=9, window_ns=window_ns)
+        # Mean inter-arrival 20 ms >> the 1 ms windows: batch 0 arrives
+        # well after window 0, so its completion cannot land there.
+        point = serving.offered_load(50.0, queries=5)
+        assert point.windows[0].index > 0
 
     def test_rmc1_sla_study_runs(self):
         serving = rmc1_serving()
@@ -195,3 +236,23 @@ class TestWindowStats:
             windows=(a, b),
         )
         assert point.worst_window().index == 0
+
+    def test_worst_window_empty_and_singleton(self):
+        from repro.host.serving import LoadPoint, WindowStat
+
+        empty = LoadPoint(
+            offered_qps=1.0, achieved_qps=1.0, p50_ns=100.0,
+            p95_ns=100.0, p99_ns=100.0, mean_ns=100.0, windows=(),
+        )
+        assert empty.worst_window() is None
+        only = WindowStat(index=7, start_ns=7.0, latencies_ns=(42.0,))
+        singleton = LoadPoint(
+            offered_qps=1.0, achieved_qps=1.0, p50_ns=42.0,
+            p95_ns=42.0, p99_ns=42.0, mean_ns=42.0, windows=(only,),
+        )
+        # A singleton window is the worst window at any quantile, and
+        # a one-sample window reports that sample at every quantile.
+        assert singleton.worst_window(0.0) is only
+        assert singleton.worst_window(100.0) is only
+        assert only.percentile(0.0) == pytest.approx(42.0)
+        assert only.percentile(100.0) == pytest.approx(42.0)

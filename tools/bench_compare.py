@@ -1,9 +1,11 @@
 """Benchmark-regression gate over the committed ``BENCH_*.json`` files.
 
 The repo's benchmark trajectory (``BENCH_fastpath.json``,
-``BENCH_sweep.json``, ``BENCH_vcache.json``) is part of its claims —
-the lookup fast path is ~16x, the serving sweep replay ~13x, the
-vector cache turns flat 878 QPS into thousands at high locality.  A
+``BENCH_sweep.json``, ``BENCH_vcache.json``, ``BENCH_autoscale.json``)
+is part of its claims — the lookup fast path is ~16x, the serving
+sweep replay ~13x, the vector cache turns flat 878 QPS into thousands
+at high locality, the autoscaler rides out a flash crowd the fixed
+fleet cannot.  A
 PR can silently regress those numbers while every functional test still
 passes.  This tool makes the numbers enforceable:
 
@@ -41,6 +43,11 @@ capacity_rule,
 rows_per_table
 vcache: qps.*           higher-is-better, 2% relative tolerance
 vcache: hit_ratios.*    higher-is-better, 0.01 absolute tolerance
+autoscale: config keys, exact — the flash-crowd trace is seeded and
+fixed, autoscaled       both fleets are simulated, so every outcome
+                        (p99, scaling-event counts) is deterministic
+autoscale:              must be ``true`` (cluster DES and fast replay
+bitwise_equal           export byte-identical timeseries documents)
 any: wall_s             when the payload commits a ``max_wall_s``
                         budget, its ``wall_s`` must stay within it
 any: missing key        regression (a metric disappeared)
@@ -95,6 +102,9 @@ def _load(path: str) -> dict:
 
 def detect_kind(payload: dict) -> str:
     """Which benchmark a payload came from, by its signature keys."""
+    # autoscale before sweep/fastpath: it carries bitwise_equal too.
+    if "autoscaled" in payload and "bitwise_equal" in payload:
+        return "autoscale"
     # sweep before fastpath: both carry speedup + bitwise_equal.
     if "sweep_points" in payload and "bitwise_equal" in payload:
         return "sweep"
@@ -214,6 +224,30 @@ def compare_vcache(baseline: dict, fresh: dict) -> List[str]:
     return failures
 
 
+#: Autoscale benchmark configuration keys, compared exactly.
+_AUTOSCALE_CONFIG_KEYS = (
+    "model", "arrivals", "queries", "balancer", "sla_ms", "quantile",
+    "alert_threshold_ms", "window_ms", "burst_factor",
+    "initial_replicas", "max_replicas", "scale_up_step",
+)
+
+
+def compare_autoscale(baseline: dict, fresh: dict) -> List[str]:
+    failures: List[str] = []
+    for key in _AUTOSCALE_CONFIG_KEYS:
+        _check_exact(baseline, fresh, key, failures)
+    # The trace and both fleets are seeded and simulated: every
+    # outcome (p99, scaling-event counts) is deterministic, so any
+    # drift is a behavior change, not noise.
+    for key in ("fixed", "autoscaled"):
+        _check_exact(baseline, fresh, key, failures)
+    if not _require(fresh, "bitwise_equal", "fresh"):
+        failures.append(
+            "bitwise_equal: cluster fast replay diverged from the DES"
+        )
+    return failures
+
+
 def compare(baseline: dict, fresh: dict, kind: str = None) -> List[str]:
     """All regressions of ``fresh`` against ``baseline`` (empty = pass)."""
     if kind is None:
@@ -227,6 +261,8 @@ def compare(baseline: dict, fresh: dict, kind: str = None) -> List[str]:
         return compare_sweep(baseline, fresh)
     if kind == "vcache":
         return compare_vcache(baseline, fresh)
+    if kind == "autoscale":
+        return compare_autoscale(baseline, fresh)
     raise Regression(f"unknown benchmark kind {kind!r}")
 
 
@@ -307,6 +343,38 @@ def self_check_vcache(payload: dict) -> List[str]:
     return failures
 
 
+def self_check_autoscale(payload: dict) -> List[str]:
+    failures: List[str] = []
+    if not _require(payload, "bitwise_equal", "payload"):
+        failures.append(
+            "bitwise_equal: cluster fast replay diverged from the DES"
+        )
+    sla = _require(payload, "sla_ms", "payload")
+    if _require(payload, "alert_threshold_ms", "payload") > sla:
+        failures.append("alert_threshold_ms: alerting looser than the SLA")
+    if _require(payload, "queries", "payload") <= 0:
+        failures.append("queries: benchmark served no queries")
+    fixed = _require(payload, "fixed", "payload")
+    auto = _require(payload, "autoscaled", "payload")
+    # The claim: the burst breaks the fixed fleet, the controller
+    # rides it out.
+    if _require(fixed, "meets_sla", "payload.fixed"):
+        failures.append("fixed.meets_sla: the baseline no longer violates")
+    if _require(fixed, "p99_ms", "payload.fixed") <= sla:
+        failures.append("fixed.p99_ms: within the SLA it must violate")
+    if not _require(auto, "meets_sla", "payload.autoscaled"):
+        failures.append("autoscaled.meets_sla: the controller lost the SLA")
+    if _require(auto, "p99_ms", "payload.autoscaled") > sla:
+        failures.append("autoscaled.p99_ms: exceeds the SLA")
+    if auto["p99_ms"] >= fixed["p99_ms"]:
+        failures.append("autoscaled.p99_ms: no better than the fixed fleet")
+    if _require(auto, "scale_ups", "payload.autoscaled") < 1:
+        failures.append("autoscaled.scale_ups: the burst forced no scale-out")
+    if _require(auto, "scale_downs", "payload.autoscaled") < 1:
+        failures.append("autoscaled.scale_downs: the fleet never drained")
+    return failures
+
+
 def self_check(payload: dict, kind: str = None) -> List[str]:
     """Internal-invariant violations of one payload (empty = pass)."""
     if kind is None:
@@ -317,6 +385,8 @@ def self_check(payload: dict, kind: str = None) -> List[str]:
         return self_check_sweep(payload)
     if kind == "vcache":
         return self_check_vcache(payload)
+    if kind == "autoscale":
+        return self_check_autoscale(payload)
     raise Regression(f"unknown benchmark kind {kind!r}")
 
 
@@ -327,7 +397,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--baseline", help="committed BENCH_*.json")
     parser.add_argument("--fresh", help="freshly generated BENCH_*.json")
-    parser.add_argument("--kind", choices=("fastpath", "sweep", "vcache"),
+    parser.add_argument("--kind",
+                        choices=("fastpath", "sweep", "vcache", "autoscale"),
                         default=None,
                         help="payload kind (default: auto-detect)")
     parser.add_argument("--self-check", nargs="+", metavar="FILE",

@@ -67,17 +67,40 @@ PYTHONPATH=src:. python -m tools.check_trace \
     --timeseries /tmp/rmssd_timeseries_smoke.json \
     --metrics /tmp/rmssd_report_metrics_smoke.json
 
+echo "== cluster autoscale smoke (DES vs fast byte-identical; scale-up) =="
+# Flash-crowd trace against a one-replica fleet with the burn-rate
+# autoscaler: the controller must scale out at least once, and the
+# DES and closed-form replay must export byte-identical timeseries
+# documents, scaling-event log included.
+RMSSD_SANITIZE=1 python -m repro sla rmc1 --cluster --autoscale \
+    --replicas 1 --balancer jsq --rows 64 --duration-ms 100 \
+    --window-ms 2.0 --sla-ms 0.5 \
+    --timeseries-out /tmp/rmssd_autoscale_smoke.json > /dev/null
+RMSSD_SANITIZE=1 python -m repro sla rmc1 --cluster --autoscale \
+    --replicas 1 --balancer jsq --rows 64 --duration-ms 100 \
+    --window-ms 2.0 --sla-ms 0.5 --no-fastpath \
+    --timeseries-out /tmp/rmssd_autoscale_smoke_des.json > /dev/null
+cmp /tmp/rmssd_autoscale_smoke.json /tmp/rmssd_autoscale_smoke_des.json
+python -c "import json; \
+events = json.load(open('/tmp/rmssd_autoscale_smoke.json'))['cluster']['scaling_events']; \
+ups = sum(1 for e in events if e['action'] == 'scale-up'); \
+assert ups >= 1, 'autoscaler never scaled up'; \
+print('ok   %d scale-up(s), timeseries byte-identical' % ups)"
+
 echo "== bench-regression gate (tools/bench_compare.py) =="
 # Committed baselines must satisfy their own invariants and pass an
 # identity diff; an injected synthetic regression must be flagged.
 PYTHONPATH=src:. python -m tools.bench_compare \
-    --self-check BENCH_fastpath.json BENCH_sweep.json BENCH_vcache.json
+    --self-check BENCH_fastpath.json BENCH_sweep.json BENCH_vcache.json \
+    BENCH_autoscale.json
 PYTHONPATH=src:. python -m tools.bench_compare \
     --baseline BENCH_fastpath.json --fresh BENCH_fastpath.json
 PYTHONPATH=src:. python -m tools.bench_compare \
     --baseline BENCH_sweep.json --fresh BENCH_sweep.json
 PYTHONPATH=src:. python -m tools.bench_compare \
     --baseline BENCH_vcache.json --fresh BENCH_vcache.json
+PYTHONPATH=src:. python -m tools.bench_compare \
+    --baseline BENCH_autoscale.json --fresh BENCH_autoscale.json
 python -c "import json; p = json.load(open('BENCH_vcache.json')); \
 p['qps']['rmc1/RM-SSD+cache'][0] *= 0.5; \
 json.dump(p, open('/tmp/rmssd_bench_regressed.json', 'w'))"
@@ -88,6 +111,20 @@ if PYTHONPATH=src:. python -m tools.bench_compare \
     exit 1
 else
     echo "ok   injected regression flagged"
+fi
+# A controller that loses the SLA it is benchmarked on must be
+# flagged, even if every config key still matches.
+python -c "import json; p = json.load(open('BENCH_autoscale.json')); \
+p['autoscaled']['meets_sla'] = False; \
+p['autoscaled']['p99_ms'] = p['sla_ms'] * 2; \
+json.dump(p, open('/tmp/rmssd_bench_autoscale_bad.json', 'w'))"
+if PYTHONPATH=src:. python -m tools.bench_compare \
+    --baseline BENCH_autoscale.json \
+    --fresh /tmp/rmssd_bench_autoscale_bad.json > /dev/null; then
+    echo "bench_compare missed an injected SLA loss" >&2
+    exit 1
+else
+    echo "ok   injected autoscaler SLA loss flagged"
 fi
 # The wall-clock budget must also have teeth: a run that doubles the
 # committed bench-harness budget fails the gate.

@@ -85,6 +85,16 @@ SERVING_PARITY = ParitySpec(
     fast_roots=("_run_fast",),
 )
 
+#: And for cluster serving (repro/host/cluster_serving.py): both
+#: replay roots must reach the same replica-pipeline emissions and the
+#: same cluster gauges/counters, so the timeseries documents the two
+#: paths export stay byte-identical.
+CLUSTER_PARITY = ParitySpec(
+    label="cluster",
+    des_roots=("_serve_des",),
+    fast_roots=("_serve_fast",),
+)
+
 #: (group, facet) -> human description used in violation messages.
 _FACET_DESC = {
     ("span", "name"): "span",
@@ -103,7 +113,11 @@ class InstrumentationParityRule(ProjectRule):
         "reached from the DES lookup path match the fast path's"
     )
 
-    specs: Tuple[ParitySpec, ...] = (LOOKUP_PARITY, SERVING_PARITY)
+    specs: Tuple[ParitySpec, ...] = (
+        LOOKUP_PARITY,
+        SERVING_PARITY,
+        CLUSTER_PARITY,
+    )
 
     def check_project(self, project: ProjectContext) -> Iterator[Violation]:
         for spec in self.specs:
