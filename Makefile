@@ -2,10 +2,10 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: check lint lint-strict compile test bench bench-fast bench-sweep \
-	bench-vcache bench-autoscale trace-smoke profile-smoke report-smoke \
-	bench-check
+	bench-vcache bench-autoscale bench-attribution trace-smoke \
+	profile-smoke report-smoke explain-smoke bench-check
 
-check: lint compile test trace-smoke profile-smoke report-smoke
+check: lint compile test trace-smoke profile-smoke report-smoke explain-smoke
 
 lint:
 	$(PYTHON) -m tools.lint src tests benchmarks
@@ -42,6 +42,12 @@ bench-vcache:
 bench-autoscale:
 	$(PYTHON) -m pytest benchmarks/bench_ext_autoscale.py -q -s
 
+# Tail-blame attribution across saturation: the p99 tail's blame must
+# shift from service to queueing as the flash crowd saturates the
+# fleet, with byte-identical explain documents on both paths.
+bench-attribution:
+	$(PYTHON) -m pytest benchmarks/bench_ext_tail_attribution.py -q -s
+
 # Tiny traced RMC1 run; validates the exported trace/metrics JSON
 # (balanced B/E, monotonic timestamps, required spans, schema).
 trace-smoke:
@@ -64,6 +70,23 @@ profile-smoke:
 		/tmp/rmssd_profile_trace_smoke.json \
 		--profile /tmp/rmssd_profile_smoke.json
 
+# Tiny attributed RMC1 run on both pipeline paths; the DES and
+# closed-form replay must export byte-identical rmssd-explain/v1
+# documents (cmp), validated and cross-checked against the Chrome
+# trace of the same run.
+explain-smoke:
+	RMSSD_SANITIZE=1 $(PYTHON) -m repro explain rmc1 \
+		--queries 120 --rows 64 \
+		--explain-out /tmp/rmssd_explain_smoke_fast.json \
+		--trace-out /tmp/rmssd_explain_trace_smoke.json > /dev/null
+	RMSSD_SANITIZE=1 $(PYTHON) -m repro explain rmc1 \
+		--queries 120 --rows 64 --no-fastpath \
+		--explain-out /tmp/rmssd_explain_smoke_des.json > /dev/null
+	cmp /tmp/rmssd_explain_smoke_fast.json /tmp/rmssd_explain_smoke_des.json
+	PYTHONPATH=src:. $(PYTHON) -m tools.check_trace \
+		/tmp/rmssd_explain_trace_smoke.json \
+		--explain /tmp/rmssd_explain_smoke_fast.json
+
 # Tiny serving-report run; validates the windowed timeseries export
 # (schema, monotone windows, conservation, SLO section) and
 # cross-checks it against the metrics export of the same run.
@@ -81,11 +104,13 @@ report-smoke:
 # tools/bench_compare.py).  Slow: re-runs the full DES speedup bench.
 # To refresh baselines instead, run bench-fast/bench-vcache and commit
 # the rewritten BENCH_*.json (see docs/performance.md).
-bench-check: bench-fast bench-sweep bench-vcache bench-autoscale
+bench-check: bench-fast bench-sweep bench-vcache bench-autoscale \
+		bench-attribution
 	git show HEAD:BENCH_fastpath.json > /tmp/rmssd_bench_fastpath_base.json
 	git show HEAD:BENCH_sweep.json > /tmp/rmssd_bench_sweep_base.json
 	git show HEAD:BENCH_vcache.json > /tmp/rmssd_bench_vcache_base.json
 	git show HEAD:BENCH_autoscale.json > /tmp/rmssd_bench_autoscale_base.json
+	git show HEAD:BENCH_attribution.json > /tmp/rmssd_bench_attribution_base.json
 	PYTHONPATH=src:. $(PYTHON) -m tools.bench_compare \
 		--baseline /tmp/rmssd_bench_fastpath_base.json \
 		--fresh BENCH_fastpath.json
@@ -98,3 +123,6 @@ bench-check: bench-fast bench-sweep bench-vcache bench-autoscale
 	PYTHONPATH=src:. $(PYTHON) -m tools.bench_compare \
 		--baseline /tmp/rmssd_bench_autoscale_base.json \
 		--fresh BENCH_autoscale.json
+	PYTHONPATH=src:. $(PYTHON) -m tools.bench_compare \
+		--baseline /tmp/rmssd_bench_attribution_base.json \
+		--fresh BENCH_attribution.json

@@ -10,6 +10,8 @@ experiment flows without writing code:
   throughput/latency/traffic.
 * ``sweep MODEL`` — batch-size sweep across backends (Fig. 12-style).
 * ``trace-stats`` — generate a trace and print its Fig. 4 statistics.
+* ``explain MODEL`` — per-request critical-path attribution with tail
+  exemplars; ``explain --diff A B`` attributes a cross-run regression.
 """
 
 from __future__ import annotations
@@ -390,8 +392,147 @@ def _print_scaling_events(events) -> None:
             f"  t={event.t_ns / 1e6:8.1f} ms  [{event.action}] "
             f"{event.from_replicas} -> {event.to_replicas} replicas "
             f"({event.reason}; util {event.utilization:.0%}; "
-            f"bottleneck {event.bottleneck_stage})"
+            f"bottleneck {event.bottleneck_stage} "
+            f"@ replica {event.bottleneck_replica})"
         )
+
+
+def _print_explain_summary(document: dict) -> None:
+    """Tail-attribution digest of an ``rmssd-explain/v1`` document."""
+    totals = document["totals"]
+    print(f"requests:       {totals['count']} "
+          f"(mean latency {totals['mean_latency_ns'] / 1e6:.2f} ms)")
+    for entry in document["quantiles"]:
+        blame = entry["tail"]["blame"]
+        parts = " / ".join(
+            f"{component[:-3]} {blame[component]:.0%}"
+            for component in document["components"]
+            if blame[component] > 0
+        )
+        print(f"p{entry['q']:g} {entry['latency_ns'] / 1e6:.2f} ms — "
+              f"tail of {entry['tail']['count']}; blame: {parts or 'none'}")
+        for exemplar in entry["exemplars"]:
+            print(
+                f"  batch {exemplar['batch']} "
+                f"(replica {exemplar['replica']}, "
+                f"t={exemplar['arrival_ns'] / 1e6:.2f} ms): "
+                f"{exemplar['latency_ns'] / 1e6:.3f} ms = "
+                f"queue {exemplar['queue_ns'] / 1e6:.3f} + "
+                f"emb {exemplar['emb_ns'] / 1e6:.3f} + "
+                f"bot {exemplar['bot_ns'] / 1e6:.3f} + "
+                f"top {exemplar['top_ns'] / 1e6:.3f}"
+            )
+
+
+def _export_explain(document: dict, path: str) -> None:
+    from repro.obs import export_explain_document
+
+    out = export_explain_document(document, path)
+    print(f"explain: {out} (schema {document['schema']})")
+
+
+def cmd_explain(args) -> int:
+    """Per-request critical-path attribution, or a cross-run diff."""
+    import json
+
+    if args.diff:
+        from repro.obs.explain import diff_documents, render_diff
+
+        with open(args.diff[0]) as handle:
+            baseline = json.load(handle)
+        with open(args.diff[1]) as handle:
+            fresh = json.load(handle)
+        print(f"regression explainer: {args.diff[0]} -> {args.diff[1]}")
+        for line in render_diff(diff_documents(baseline, fresh)):
+            print(f"  {line}")
+        return 0
+    if args.model is None:
+        print("explain: a model is required unless --diff is given",
+              file=sys.stderr)
+        return 2
+    from repro.core.lookup_engine import flash_read_cycles
+    from repro.fpga.decompose import decompose_model
+    from repro.fpga.search import kernel_search
+    from repro.obs import CritPathCollector, build_explain_document
+    from repro.ssd import fastpath
+    from repro.ssd.geometry import SSDGeometry
+    from repro.ssd.timing import SSDTimingModel
+
+    config = get_config(args.model)
+    model = build_model(config, rows_per_table=args.rows)
+    dec = decompose_model(model, config.lookups_per_table)
+    flash = flash_read_cycles(
+        dec.vectors_per_inference, SSDGeometry(), SSDTimingModel(),
+        config.ev_size,
+    )
+    result = kernel_search(dec, flash)
+    collector = CritPathCollector()
+    fast = False if args.no_fastpath else None
+    path = "fast" if (fast is None and fastpath.enabled()) else "des"
+    if args.cluster:
+        from repro.host.autoscale import Autoscaler
+        from repro.host.cluster_serving import ClusterServingSimulator
+
+        replica_qps = result.times.throughput_qps(1e9 / 5.0)
+        base_qps = args.qps or 0.6 * replica_qps * args.replicas
+        duration_ns = args.duration_ms * 1e6
+        trace = _cluster_trace(args.arrivals, base_qps, duration_ns, args.seed)
+        scaler = None
+        if args.autoscale:
+            scaler = Autoscaler(
+                sla_ns=args.sla_ms * 1e6,
+                quantile=args.quantile,
+                window_ns=args.window_ms * 1e6,
+                min_replicas=args.min_replicas,
+                max_replicas=args.max_replicas,
+            )
+        sim = ClusterServingSimulator(
+            result.times, nbatch=result.nbatch, replicas=args.replicas,
+            balancer=args.balancer, autoscaler=scaler, critpath=collector,
+        )
+        point = sim.serve_trace(trace, fast=fast)
+        print(f"critical paths: {config.name}, {args.arrivals} arrivals "
+              f"({trace.count} queries), balancer {args.balancer}, "
+              f"replicas {point.initial_replicas}->{point.final_replicas}, "
+              f"pipeline path: {path}")
+        # Meta is path-independent on purpose: the exported document
+        # must stay byte-identical between the DES and fast replays.
+        meta = {
+            "model": args.model, "mode": "cluster",
+            "arrivals": args.arrivals, "balancer": args.balancer,
+            "replicas": args.replicas, "queries": trace.count,
+            "seed": args.seed,
+        }
+    else:
+        from repro.host.serving import ServingSimulator
+
+        tracer = None
+        if args.trace_out:
+            from repro.obs import Tracer
+
+            tracer = Tracer()
+        serving = ServingSimulator(
+            result.times, nbatch=result.nbatch, seed=args.seed,
+            critpath=collector, tracer=tracer,
+        )
+        qps = serving.saturation_qps * args.load
+        serving.offered_load(qps, queries=args.queries, fast=fast)
+        print(f"critical paths: {config.name} at {qps:.0f} QPS "
+              f"({args.load:.0%} of saturation; pipeline path: {path})")
+        if tracer is not None:
+            out = tracer.export_chrome(args.trace_out)
+            print(f"trace:          {out} ({len(tracer)} spans)")
+        meta = {
+            "model": args.model, "mode": "device", "load": args.load,
+            "queries": args.queries, "seed": args.seed,
+        }
+    document = build_explain_document(
+        collector.requests, top_k=args.top_k, meta=meta
+    )
+    _print_explain_summary(document)
+    if args.explain_out:
+        _export_explain(document, args.explain_out)
+    return 0
 
 
 def _cmd_sla_cluster(args, config, result) -> int:
@@ -571,10 +712,15 @@ def _cmd_report_cluster(args, config, result) -> int:
         )
     metrics = MetricsRegistry(window_ns=window_ns, sketch_k=args.sketch_k)
     profiler = Profiler()
+    critpath = None
+    if args.explain or args.explain_out:
+        from repro.obs import CritPathCollector
+
+        critpath = CritPathCollector()
     sim = ClusterServingSimulator(
         result.times, nbatch=result.nbatch, replicas=args.replicas,
         balancer=args.balancer, autoscaler=scaler,
-        metrics=metrics, profiler=profiler,
+        metrics=metrics, profiler=profiler, critpath=critpath,
     )
     slo = SLOEngine(window_ns)
     slo.objective(
@@ -624,6 +770,21 @@ def _cmd_report_cluster(args, config, result) -> int:
         )
     table.print()
     _print_scaling_events(point.scale_events)
+    if critpath is not None:
+        from repro.obs import build_explain_document
+
+        document = build_explain_document(
+            critpath.requests,
+            meta={
+                "model": args.model, "mode": "cluster",
+                "arrivals": args.arrivals, "balancer": args.balancer,
+                "replicas": args.replicas, "queries": trace.count,
+                "seed": args.seed,
+            },
+        )
+        _print_explain_summary(document)
+        if args.explain_out:
+            _export_explain(document, args.explain_out)
     if args.timeseries_out:
         out = export_document(
             sim.timeseries_document(slo=slo), args.timeseries_out
@@ -667,9 +828,15 @@ def cmd_report(args) -> int:
     window_ns = args.window_ms * 1e6
     metrics = MetricsRegistry(window_ns=window_ns, sketch_k=args.sketch_k)
     profiler = Profiler()
+    critpath = None
+    if args.explain or args.explain_out:
+        from repro.obs import CritPathCollector
+
+        critpath = CritPathCollector()
     serving = ServingSimulator(
         result.times, nbatch=result.nbatch, seed=args.seed,
         metrics=metrics, profiler=profiler, window_ns=window_ns,
+        critpath=critpath,
     )
     slo = SLOEngine(window_ns)
     slo.objective(
@@ -738,6 +905,19 @@ def cmd_report(args) -> int:
                   f"{alert['short_burn']:.1f}x short)")
     else:
         print("alert timeline: quiet (no burn-rate alerts)")
+    if critpath is not None:
+        from repro.obs import build_explain_document
+
+        document = build_explain_document(
+            critpath.requests,
+            meta={
+                "model": args.model, "mode": "device", "load": args.load,
+                "queries": args.queries, "seed": args.seed,
+            },
+        )
+        _print_explain_summary(document)
+        if args.explain_out:
+            _export_explain(document, args.explain_out)
     if args.timeseries_out:
         out = metrics.export_timeseries(
             args.timeseries_out, profiler=profiler, slo=slo
@@ -1015,7 +1195,75 @@ def build_parser() -> argparse.ArgumentParser:
                           help="autoscaler floor (cluster mode)")
     p_report.add_argument("--max-replicas", type=int, default=8,
                           help="autoscaler ceiling (cluster mode)")
+    p_report.add_argument("--explain", action="store_true",
+                          help="append the per-request critical-path "
+                               "attribution (tail blame + exemplars)")
+    p_report.add_argument("--explain-out", default=None, metavar="PATH",
+                          help="write the rmssd-explain/v1 attribution "
+                               "document (implies --explain)")
     p_report.set_defaults(func=cmd_report)
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="per-request critical-path attribution and tail exemplars, "
+             "or a cross-run regression diff (--diff)",
+    )
+    p_explain.add_argument("model", nargs="?", default=None,
+                           choices=sorted(MODEL_CONFIGS))
+    p_explain.add_argument("--diff", nargs=2, default=None,
+                           metavar=("BASELINE", "FRESH"),
+                           help="diff two exported explain/profile/"
+                                "timeseries JSON documents and attribute "
+                                "the regression instead of running")
+    p_explain.add_argument("--explain-out", default=None, metavar="PATH",
+                           help="write the rmssd-explain/v1 document")
+    p_explain.add_argument("--trace-out", default=None, metavar="PATH",
+                           help="also write a Chrome-trace JSON of the run "
+                                "(single-device mode; tools/check_trace.py "
+                                "cross-checks it against --explain-out)")
+    p_explain.add_argument("--top-k", type=int, default=3,
+                           help="exemplar requests listed per quantile")
+    p_explain.add_argument("--load", type=float, default=0.9,
+                           help="offered load as a fraction of saturation")
+    p_explain.add_argument("--queries", type=int, default=400)
+    p_explain.add_argument("--rows", type=int, default=512)
+    p_explain.add_argument("--seed", type=int, default=0)
+    p_explain.add_argument("--sla-ms", type=float, default=10.0,
+                           help="tail objective in ms (cluster autoscale)")
+    p_explain.add_argument("--window-ms", type=float, default=5.0,
+                           help="SLO window in simulated ms (cluster "
+                                "autoscale)")
+    p_explain.add_argument("--quantile", type=float, default=99.0,
+                           help="SLA quantile (cluster autoscale)")
+    p_explain.add_argument("--no-fastpath", action="store_true",
+                           help="force the event-driven pipeline (the "
+                                "closed-form replay exports a "
+                                "byte-identical document)")
+    p_explain.add_argument("--cluster", action="store_true",
+                           help="attribute an open-loop cluster run "
+                                "instead of the single-device load point")
+    p_explain.add_argument("--replicas", type=int, default=2,
+                           help="initial replica count (cluster mode)")
+    p_explain.add_argument("--balancer", default="round-robin",
+                           choices=["round-robin", "jsq", "latency-weighted"],
+                           help="cluster load balancer")
+    p_explain.add_argument("--arrivals", default="flash-crowd",
+                           choices=["poisson", "diurnal", "flash-crowd"],
+                           help="arrival-trace shape (cluster mode)")
+    p_explain.add_argument("--duration-ms", type=float, default=200.0,
+                           help="trace duration in simulated ms "
+                                "(cluster mode)")
+    p_explain.add_argument("--qps", type=float, default=None,
+                           help="mean offered load in QPS (cluster mode; "
+                                "default 60%% of fleet saturation)")
+    p_explain.add_argument("--autoscale", action="store_true",
+                           help="close the loop: scale replicas on SLO "
+                                "burn-rate alerts (cluster mode)")
+    p_explain.add_argument("--min-replicas", type=int, default=1,
+                           help="autoscaler floor (cluster mode)")
+    p_explain.add_argument("--max-replicas", type=int, default=8,
+                           help="autoscaler ceiling (cluster mode)")
+    p_explain.set_defaults(func=cmd_explain)
 
     p_cgen = sub.add_parser("criteo-gen", help="generate a Criteo-format TSV")
     p_cgen.add_argument("path")

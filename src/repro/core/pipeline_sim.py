@@ -103,6 +103,7 @@ class PipelineSimulator:
         tracer=None,
         profiler=None,
         metrics=None,
+        critpath=None,
     ) -> None:
         # Raw values feed the fast replay (constants skip its
         # per-index evaluation loop); the DES always calls through
@@ -126,6 +127,12 @@ class PipelineSimulator:
         #: timestamps — lint R9's SERVING_PARITY spec diffs the two
         #: emission sets, and the injected canary asserts drift fires.
         self.metrics = metrics
+        #: Optional CritPathCollector (repro.obs.critpath): each path
+        #: feeds it the finished run's per-batch records through its
+        #: own wrapper (_explain_des / _explain_fast) so the R9
+        #: EXPLAIN_PARITY spec can diff the two feeds — the canary
+        #: deletes the fast one and asserts R9 names the stream.
+        self.critpath = critpath
 
     @staticmethod
     def _as_fn(value) -> Callable[[int], float]:
@@ -141,6 +148,7 @@ class PipelineSimulator:
         tracer=None,
         profiler=None,
         metrics=None,
+        critpath=None,
     ) -> "PipelineSimulator":
         return cls(
             emb_ns=times.temb * cycle_ns,
@@ -149,6 +157,7 @@ class PipelineSimulator:
             tracer=tracer,
             profiler=profiler,
             metrics=metrics,
+            critpath=critpath,
         )
 
     def run(
@@ -215,6 +224,25 @@ class PipelineSimulator:
             )
             batch_counter.inc(1, t_ns=done)
 
+    def _explain_des(self, records: Sequence[BatchRecord]) -> None:
+        """DES-side per-request feed (R9 EXPLAIN_PARITY root).
+
+        Kept as a separate method per path (rather than one shared
+        helper) so the parity analysis — and its injected canary —
+        can see each path's feed independently.
+        """
+        collector = self.critpath
+        if collector is None:
+            return
+        collector.record_requests(names.CRITPATH_REQUESTS, records)
+
+    def _explain_fast(self, records: Sequence[BatchRecord]) -> None:
+        """Fast-side per-request feed (R9 EXPLAIN_PARITY root)."""
+        collector = self.critpath
+        if collector is None:
+            return
+        collector.record_requests(names.CRITPATH_REQUESTS, records)
+
     def _run_fast(self, arrivals: List[float]):
         """Closed-form replay; see :mod:`repro.core.pipeline_fast`."""
         timeline, makespan = pipeline_fast.replay_serving(
@@ -226,6 +254,7 @@ class PipelineSimulator:
             for i, (arrival, stamps) in enumerate(zip(arrivals, timeline.tolist()))
         ]
         self._observe_completions(records)
+        self._explain_fast(records)
         return records, makespan, "fast"
 
     def _run_des(self, arrivals: List[float]):
@@ -271,6 +300,7 @@ class PipelineSimulator:
             sim.process(flow(record))
         sim.run()
         self._observe_completions(records)
+        self._explain_des(records)
         return records, sim.now, "des"
 
     def _emit_spans(self, records: Sequence[BatchRecord]) -> None:

@@ -56,6 +56,9 @@ class ScalingEvent:
     #: bottleneck_report signal, evaluated on the stage composition.
     bottleneck_stage: str
     invariant_holds: bool
+    #: The replica with the deepest backlog at the decision instant
+    #: (ties -> lowest id) — the fleet member the page traces to.
+    bottleneck_replica: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -68,6 +71,7 @@ class ScalingEvent:
             "utilization": self.utilization,
             "bottleneck_stage": self.bottleneck_stage,
             "invariant_holds": self.invariant_holds,
+            "bottleneck_replica": self.bottleneck_replica,
         }
 
 
@@ -83,6 +87,9 @@ class EpochSignal:
     capacity_qps: float
     bottleneck_stage: str
     invariant_holds: bool
+    #: Deepest-backlog replica id at the epoch boundary (0 when the
+    #: caller does not track per-replica backlogs).
+    bottleneck_replica: int = 0
 
     @property
     def utilization(self) -> float:
@@ -239,6 +246,7 @@ class Autoscaler:
                 utilization=signal.utilization,
                 bottleneck_stage=signal.bottleneck_stage,
                 invariant_holds=signal.invariant_holds,
+                bottleneck_replica=signal.bottleneck_replica,
             )
         )
 

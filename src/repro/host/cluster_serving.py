@@ -288,6 +288,7 @@ class ClusterServingSimulator:
         autoscaler: Optional[Autoscaler] = None,
         metrics=None,
         profiler=None,
+        critpath=None,
     ) -> None:
         if replicas < 1:
             raise ValueError("need at least one replica")
@@ -308,6 +309,11 @@ class ClusterServingSimulator:
         #: replica busy").
         self.metrics = metrics
         self.profiler = profiler
+        #: Optional CritPathCollector: replicas replay in id order with
+        #: the collector's replica context set before each replay, so
+        #: per-request breakdowns carry the serving replica id —
+        #: identically on both paths.
+        self.critpath = critpath
         self.stage_ns = {
             "emb": times.temb * self.cycle_ns,
             "bot": times.tbot * self.cycle_ns,
@@ -413,6 +419,13 @@ class ClusterServingSimulator:
             arrivals_array, (t_ns - scaler.epoch_ns, t_ns), side="right"
         )
         epoch_offered = (hi - lo) / (scaler.epoch_ns / 1e9)
+        # The replica carrying the deepest backlog at the decision
+        # instant (ties -> lowest id): the fleet-level analogue of the
+        # stage bottleneck, logged on the scaling event so a page can
+        # be traced to the member that caused it.
+        bottleneck_replica = max(
+            active, key=lambda rid: pool[rid].backlog(t_ns)
+        )
         signal = EpochSignal(
             t_ns=t_ns,
             replicas=len(active),
@@ -421,6 +434,7 @@ class ClusterServingSimulator:
             capacity_qps=len(active) * self.replica_qps,
             bottleneck_stage=bottleneck_stage,
             invariant_holds=invariant_holds,
+            bottleneck_replica=bottleneck_replica,
         )
         delta = scaler.evaluate(signal)
         if delta > 0:
@@ -458,12 +472,15 @@ class ClusterServingSimulator:
             per_replica.append(len(assigned))
             if not assigned:
                 continue
+            if self.critpath is not None:
+                self.critpath.set_replica(rid)
             pipeline = PipelineSimulator(
                 emb_ns=self.stage_ns["emb"],
                 bot_ns=self.stage_ns["bot"],
                 top_ns=self.stage_ns["top"],
                 metrics=self.metrics,
                 profiler=self.profiler,
+                critpath=self.critpath,
             )
             result = pipeline.run(
                 len(assigned), arrival_times_ns=assigned, fast=fast

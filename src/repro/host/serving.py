@@ -125,10 +125,11 @@ class ServingSimulator:
         metrics=None,
         profiler=None,
         window_ns: Optional[float] = None,
+        critpath=None,
     ) -> None:
         self.pipeline = PipelineSimulator.from_stage_times(
             times, cycle_ns, tracer=tracer, profiler=profiler,
-            metrics=metrics,
+            metrics=metrics, critpath=critpath,
         )
         self.nbatch = max(1, nbatch)
         self.saturation_qps = times.throughput_qps(1e9 / cycle_ns)
@@ -145,6 +146,10 @@ class ServingSimulator:
         #: disables them); independent of the registry's window so SLA
         #: tooling can summarize without a registry attached.
         self.window_ns = window_ns
+        #: Optional CritPathCollector (repro.obs.critpath), fed by the
+        #: pipeline with per-request critical-path breakdowns —
+        #: identically on both paths, like the metrics registry.
+        self.critpath = critpath
 
     def offered_load(
         self,

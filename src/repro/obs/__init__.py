@@ -35,6 +35,17 @@ how to open traces in Perfetto.
 """
 
 from repro.obs import names
+from repro.obs.critpath import (
+    COMPONENTS,
+    EXPLAIN_SCHEMA,
+    CritPathCollector,
+    build_explain_document,
+    component_sum,
+    export_explain_document,
+    request_breakdown,
+    tail_exemplars,
+)
+from repro.obs.explain import diff_documents, render_diff
 from repro.obs.metrics import (
     DEFAULT_BOUNDS_NS,
     Counter,
@@ -78,11 +89,14 @@ from repro.obs.tracer import (
 
 __all__ = [
     "BurnRateRule",
+    "COMPONENTS",
     "Counter",
+    "CritPathCollector",
     "DEFAULT_BOUNDS_NS",
     "DEFAULT_RULES",
     "ENV_FLAG",
     "ENV_FLAG_PROFILE",
+    "EXPLAIN_SCHEMA",
     "Gauge",
     "LatencyHistogram",
     "MetricsRegistry",
@@ -102,14 +116,21 @@ __all__ = [
     "WindowedGauge",
     "WindowedLatency",
     "build_document",
+    "build_explain_document",
+    "component_sum",
+    "diff_documents",
     "export_document",
+    "export_explain_document",
     "global_profiler",
     "global_tracer",
     "names",
     "profiling_from_env",
+    "render_diff",
     "render_prometheus",
+    "request_breakdown",
     "resolve_profiler",
     "resolve_tracer",
+    "tail_exemplars",
     "tracing_from_env",
     "utilization_series",
     "window_index",

@@ -127,6 +127,13 @@ ALERT_TICKET = "ticket"
 EVENT_SCALE_UP = "scale-up"
 EVENT_SCALE_DOWN = "scale-down"
 
+# ---------------------------------------------------------------------------
+# Critical-path attribution (repro.obs.critpath) — the per-request
+# breakdown stream both pipeline paths feed into a CritPathCollector;
+# the R9 EXPLAIN_PARITY spec diffs the DES and fast feeds.
+# ---------------------------------------------------------------------------
+CRITPATH_REQUESTS = "critpath.requests"
+
 
 # ---------------------------------------------------------------------------
 # Factory helpers for per-instance names

@@ -106,6 +106,55 @@ def autoscale_payload(**overrides):
     return payload
 
 
+def embedded_explain(p99_ns=7e8, queue_ns=6.5e8):
+    mean = {
+        "dispatch_wait_ns": 0.0,
+        "queue_ns": queue_ns,
+        "emb_ns": 8e6,
+        "bot_ns": 0.0,
+        "top_ns": 2e6,
+    }
+    mean["latency_ns"] = sum(mean.values())
+    return {
+        "schema": "rmssd-explain/v1",
+        "quantiles": [
+            {
+                "q": 99.0,
+                "latency_ns": p99_ns,
+                "tail": {
+                    "count": 3,
+                    "mean_ns": mean,
+                    "blame": {},
+                    "queue_share_by_replica": {"0": 0.3, "1": 0.7},
+                },
+                "exemplars": [],
+            }
+        ],
+        "requests": {"count": 500},
+    }
+
+
+def attribution_payload(**overrides):
+    payload = {
+        "model": "rmc2",
+        "arrivals": "flash-crowd",
+        "replicas": 2,
+        "balancer": "jsq",
+        "burst_factor": 3.0,
+        "quantile": 99.0,
+        "loads": [0.05, 0.5, 0.85],
+        "queries": [26, 319, 532],
+        "p99_ms": [6.9, 271.5, 708.7],
+        "queue_share_p99": [0.0, 0.97, 0.99],
+        "service_share_p99": [1.0, 0.03, 0.01],
+        "bitwise_equal": True,
+        "explain": embedded_explain(),
+        "wall_s": 0.8,
+    }
+    payload.update(overrides)
+    return payload
+
+
 class TestDetectKind:
     def test_detects_all_kinds(self):
         assert detect_kind(fastpath_payload()) == "fastpath"
@@ -115,6 +164,8 @@ class TestDetectKind:
         assert detect_kind(vcache_payload()) == "vcache"
         # autoscale carries bitwise_equal too: autoscaled must win.
         assert detect_kind(autoscale_payload()) == "autoscale"
+        # attribution carries bitwise_equal too: queue_share_p99 wins.
+        assert detect_kind(attribution_payload()) == "attribution"
 
     def test_unknown_payload_raises(self):
         with pytest.raises(Regression, match="unrecognized"):
@@ -277,12 +328,44 @@ class TestCompareAutoscale:
             compare(autoscale_payload(), fresh)
 
 
+class TestCompareAttribution:
+    def test_identity_passes(self):
+        assert compare(attribution_payload(), attribution_payload()) == []
+
+    def test_wall_clock_drift_is_ignored(self):
+        fresh = attribution_payload(wall_s=9.0)
+        assert compare(attribution_payload(), fresh) == []
+
+    def test_configuration_drift_is_exact(self):
+        fresh = attribution_payload(loads=[0.05, 0.5, 0.9])
+        failures = compare(attribution_payload(), fresh)
+        assert any("loads" in failure for failure in failures)
+
+    def test_blame_share_drift_is_exact(self):
+        fresh = attribution_payload(queue_share_p99=[0.0, 0.97, 0.995])
+        failures = compare(attribution_payload(), fresh)
+        assert any("queue_share_p99" in failure for failure in failures)
+
+    def test_bitwise_divergence_flagged(self):
+        failures = compare(
+            attribution_payload(), attribution_payload(bitwise_equal=False)
+        )
+        assert any("bitwise" in failure for failure in failures)
+
+    def test_missing_metric_flagged(self):
+        fresh = attribution_payload()
+        del fresh["p99_ms"]
+        with pytest.raises(Regression, match="missing"):
+            compare(attribution_payload(), fresh)
+
+
 class TestSelfCheck:
     def test_good_payloads_pass(self):
         assert self_check(fastpath_payload()) == []
         assert self_check(sweep_payload()) == []
         assert self_check(vcache_payload()) == []
         assert self_check(autoscale_payload()) == []
+        assert self_check(attribution_payload()) == []
 
     def test_autoscale_lost_sla_flagged(self):
         bad = autoscale_payload()
@@ -360,6 +443,37 @@ class TestSelfCheck:
         failures = self_check(bad)
         assert any("monotone" in failure for failure in failures)
 
+    def test_attribution_blame_never_shifting_flagged(self):
+        bad = attribution_payload(
+            queue_share_p99=[0.9, 0.5, 0.2],
+            service_share_p99=[0.1, 0.5, 0.8],
+        )
+        failures = self_check(bad)
+        assert any("never shifted" in failure for failure in failures)
+
+    def test_attribution_share_partition_violations_flagged(self):
+        bad = attribution_payload(
+            queue_share_p99=[0.0, 0.97, 1.2],
+            service_share_p99=[1.0, 0.3, 0.01],
+        )
+        failures = self_check(bad)
+        assert any("outside [0, 1]" in failure for failure in failures)
+        assert any("partition" in failure for failure in failures)
+
+    def test_attribution_unsorted_loads_flagged(self):
+        failures = self_check(attribution_payload(loads=[0.5, 0.05, 0.85]))
+        assert any("increasing" in failure for failure in failures)
+
+    def test_attribution_point_count_mismatch_flagged(self):
+        failures = self_check(attribution_payload(p99_ms=[6.9, 271.5]))
+        assert any("expected 3 points" in failure for failure in failures)
+
+    def test_attribution_wrong_embedded_schema_flagged(self):
+        failures = self_check(
+            attribution_payload(explain={"schema": "rmssd-profile/v1"})
+        )
+        assert any("rmssd-explain/v1" in failure for failure in failures)
+
 
 class TestMainAndCommittedBaselines:
     @staticmethod
@@ -390,10 +504,28 @@ class TestMainAndCommittedBaselines:
         assert main(["--self-check", good, bad]) == 1
         assert "FAIL" in capsys.readouterr().out
 
+    def test_regression_with_embedded_explain_is_attributed(
+        self, tmp_path, capsys
+    ):
+        base = self.dump(tmp_path, "base.json", attribution_payload())
+        regressed = attribution_payload(
+            p99_ms=[6.9, 271.5, 1063.0],
+            explain=embedded_explain(p99_ns=1063e6, queue_ns=1004e6),
+        )
+        fresh = self.dump(tmp_path, "fresh.json", regressed)
+        assert main(["--baseline", base, "--fresh", fresh]) == 1
+        out = capsys.readouterr().out
+        assert "p99_ms" in out
+        # The gate prints the regression explainer's attribution: the
+        # stage (queue) and the replica carrying the queueing.
+        assert "explain: p99 +363.00 ms" in out
+        assert "100% queue" in out
+        assert "replica 1" in out
+
     def test_committed_baselines_self_consistent(self):
         for name in (
             "BENCH_fastpath.json", "BENCH_sweep.json", "BENCH_vcache.json",
-            "BENCH_autoscale.json",
+            "BENCH_autoscale.json", "BENCH_attribution.json",
         ):
             with open(REPO_ROOT / name) as handle:
                 payload = json.load(handle)

@@ -1,0 +1,208 @@
+"""Unit tests for per-request critical-path attribution
+(:mod:`repro.obs.critpath`).
+
+The exactness contract is the headline: every breakdown's
+``latency_ns`` *is* the fixed-order component sum (an equality, not a
+tolerance), tail exemplars break latency ties deterministically, and
+empty runs export an empty document rather than raising.
+"""
+
+import json
+
+import pytest
+
+from repro.core.pipeline_sim import BatchRecord, PipelineSimulator
+from repro.obs import names
+from repro.obs.critpath import (
+    COMPONENTS,
+    EXPLAIN_SCHEMA,
+    CritPathCollector,
+    build_explain_document,
+    canonical_order,
+    component_sum,
+    export_explain_document,
+    request_breakdown,
+    tail_exemplars,
+)
+
+
+def record(index=0, arrival=0.0, emb=(10.0, 30.0), bot=(10.0, 25.0),
+           top=(30.0, 42.0)):
+    return BatchRecord(
+        index=index,
+        arrival_ns=arrival,
+        emb_start_ns=emb[0],
+        emb_done_ns=emb[1],
+        bot_start_ns=bot[0],
+        bot_done_ns=bot[1],
+        top_start_ns=top[0],
+        top_done_ns=top[1],
+    )
+
+
+class TestRequestBreakdown:
+    def test_emb_critical_branch(self):
+        b = request_breakdown(record())
+        assert b["critical_stage"] == "emb"
+        assert b["emb_ns"] == 20.0
+        assert b["bot_ns"] == 0.0  # hidden behind the embedding branch
+        assert b["queue_ns"] == 10.0  # 10 pre-branch + 0 pre-top
+        assert b["top_ns"] == 12.0
+        assert b["latency_ns"] == 42.0
+
+    def test_bot_critical_branch(self):
+        b = request_breakdown(record(emb=(10.0, 20.0), bot=(10.0, 35.0),
+                                     top=(35.0, 50.0)))
+        assert b["critical_stage"] == "bot"
+        assert b["bot_ns"] == 25.0
+        assert b["emb_ns"] == 0.0
+
+    def test_tie_blames_embedding(self):
+        b = request_breakdown(record(emb=(10.0, 30.0), bot=(10.0, 30.0)))
+        assert b["critical_stage"] == "emb"
+
+    def test_conservation_is_exact_equality(self):
+        b = request_breakdown(record(arrival=7.5, emb=(9.25, 30.125),
+                                     bot=(9.25, 12.0), top=(31.0, 44.875)))
+        assert b["latency_ns"] == component_sum(b)
+
+    def test_latency_is_the_sum_not_the_raw_difference(self):
+        # Float addition is not associative: at these timestamps the
+        # fixed-order component sum and the telescoped top_done -
+        # arrival differ by an ulp.  The breakdown must define latency
+        # as the sum, so validators can demand exact equality.
+        b = request_breakdown(record(
+            arrival=240.69652516689467,
+            emb=(422.6654473531057, 5491.2433158643835),
+            bot=(422.6654473531057, 2967.2594321868987),
+            top=(5556.864159137114, 14155.69838035173),
+        ))
+        raw = 14155.69838035173 - 240.69652516689467
+        assert b["latency_ns"] == component_sum(b)
+        assert b["latency_ns"] != raw  # differs by an ulp, by design
+
+    def test_replica_stamp(self):
+        assert request_breakdown(record(), replica=3)["replica"] == 3
+
+
+class TestCollector:
+    def test_records_stream_and_replica_context(self):
+        collector = CritPathCollector()
+        collector.record_requests(names.CRITPATH_REQUESTS, [record(0)])
+        collector.set_replica(2)
+        collector.record_requests(names.CRITPATH_REQUESTS, [record(1)])
+        assert collector.stream == names.CRITPATH_REQUESTS
+        assert len(collector) == 2
+        assert [r["replica"] for r in collector.requests] == [0, 2]
+
+    def test_reset_keeps_replica_context(self):
+        collector = CritPathCollector()
+        collector.set_replica(5)
+        collector.record_requests(names.CRITPATH_REQUESTS, [record(0)])
+        collector.reset()
+        assert len(collector) == 0
+        collector.record_requests(names.CRITPATH_REQUESTS, [record(1)])
+        assert collector.requests[0]["replica"] == 5
+
+    def test_pipeline_feeds_collector_on_both_paths(self):
+        for fast in (False, True):
+            collector = CritPathCollector()
+            simulator = PipelineSimulator(
+                emb_ns=9_000.0, bot_ns=4_000.0, top_ns=6_000.0,
+                critpath=collector,
+            )
+            simulator.run(5, fast=fast)
+            assert len(collector) == 5
+            assert collector.stream == names.CRITPATH_REQUESTS
+
+
+class TestTailExemplars:
+    def test_empty_requests(self):
+        assert tail_exemplars([], threshold_ns=0.0, top_k=3) == []
+
+    def test_single_request(self):
+        b = request_breakdown(record())
+        assert tail_exemplars([b], b["latency_ns"], top_k=3) == [b]
+        assert tail_exemplars([b], b["latency_ns"] + 1.0, top_k=3) == []
+
+    def test_identical_latencies_tie_break_is_deterministic(self):
+        # Same latency everywhere: order must fall back to (arrival,
+        # replica, batch), so the exemplar list is stable.
+        requests = [
+            request_breakdown(record(index=i, arrival=float(10 - i),
+                                     emb=(10.0 - i + 1, 30.0 - i + 1),
+                                     bot=(10.0 - i + 1, 25.0 - i + 1),
+                                     top=(30.0 - i + 1, 42.0 - i + 1)))
+            for i in range(4)
+        ]
+        assert len({r["latency_ns"] for r in requests}) == 1
+        exemplars = tail_exemplars(requests, requests[0]["latency_ns"], 2)
+        assert [e["batch"] for e in exemplars] == [3, 2]
+
+    def test_top_k_zero_and_negative(self):
+        b = request_breakdown(record())
+        assert tail_exemplars([b], 0.0, top_k=0) == []
+        assert tail_exemplars([b], 0.0, top_k=-1) == []
+
+
+class TestExplainDocument:
+    def test_empty_document(self):
+        document = build_explain_document([])
+        assert document["schema"] == EXPLAIN_SCHEMA
+        assert document["quantiles"] == []
+        assert document["totals"] == {
+            "count": 0, "mean_latency_ns": 0.0, "blame": {},
+        }
+        assert document["requests"] == {"count": 0, "records": []}
+
+    def test_single_request_document(self):
+        b = request_breakdown(record())
+        document = build_explain_document([b], quantiles=(99.0,))
+        (entry,) = document["quantiles"]
+        assert entry["latency_ns"] == b["latency_ns"]
+        assert entry["tail"]["count"] == 1
+        assert entry["exemplars"] == [b]
+        # Blame shares partition the tail's latency.
+        assert sum(entry["tail"]["blame"].values()) == pytest.approx(1.0)
+
+    def test_exemplar_breakdowns_sum_exactly(self):
+        collector = CritPathCollector()
+        simulator = PipelineSimulator(
+            emb_ns=9_000.0, bot_ns=4_000.0, top_ns=6_000.0,
+            critpath=collector,
+        )
+        simulator.run(20, arrival_interval_ns=5_000.0)
+        document = build_explain_document(collector.requests)
+        assert document["quantiles"]
+        for entry in document["quantiles"]:
+            for exemplar in entry["exemplars"]:
+                assert exemplar["latency_ns"] == component_sum(exemplar)
+                assert exemplar["latency_ns"] >= entry["latency_ns"]
+
+    def test_canonical_order_and_meta(self, tmp_path):
+        requests = [
+            request_breakdown(record(index=1, arrival=5.0, emb=(15.0, 35.0),
+                                     bot=(15.0, 30.0), top=(35.0, 47.0))),
+            request_breakdown(record(index=0, arrival=0.0)),
+        ]
+        document = build_explain_document(requests, meta={"model": "rmc1"})
+        arrivals = [r["arrival_ns"] for r in document["requests"]["records"]]
+        assert arrivals == sorted(arrivals)
+        assert document["meta"] == {"model": "rmc1"}
+        path = export_explain_document(document, str(tmp_path / "e.json"))
+        loaded = json.load(open(path))
+        assert loaded == document
+
+    def test_include_requests_false_drops_records(self):
+        document = build_explain_document(
+            [request_breakdown(record())], include_requests=False
+        )
+        assert document["requests"] == {"count": 1}
+
+    def test_components_are_canonical(self):
+        assert build_explain_document([])["components"] == list(COMPONENTS)
+
+    def test_canonical_order_unique_key(self):
+        a = request_breakdown(record(index=0), replica=1)
+        b = request_breakdown(record(index=0), replica=0)
+        assert canonical_order([a, b]) == [b, a]

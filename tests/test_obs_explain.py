@@ -1,0 +1,185 @@
+"""Unit tests for the cross-run regression explainer
+(:mod:`repro.obs.explain`).
+
+Synthetic documents of all three understood schemas exercise the
+structured diff, the attribution math (component shares of the tail
+delta, worst queue replica), the renderer, and the best-effort
+``explain_failure`` entry point the benchmark gate calls.
+"""
+
+import pytest
+
+from repro.obs.explain import (
+    diff_documents,
+    explain_failure,
+    render_diff,
+)
+
+
+def explain_doc(p99_ns=10e6, queue_ns=6e6, emb_ns=3e6, top_ns=1e6,
+                replica_shares=None, count=100):
+    mean = {
+        "dispatch_wait_ns": 0.0,
+        "queue_ns": queue_ns,
+        "emb_ns": emb_ns,
+        "bot_ns": 0.0,
+        "top_ns": top_ns,
+    }
+    mean["latency_ns"] = sum(mean.values())
+    return {
+        "schema": "rmssd-explain/v1",
+        "meta": {},
+        "components": list(mean)[:-1],
+        "quantiles": [
+            {
+                "q": 99.0,
+                "latency_ns": p99_ns,
+                "tail": {
+                    "count": 2,
+                    "mean_ns": mean,
+                    "blame": {},
+                    "queue_share_by_replica": replica_shares
+                    or {"0": 0.25, "1": 0.75},
+                },
+                "exemplars": [],
+            }
+        ],
+        "totals": {},
+        "requests": {"count": count},
+    }
+
+
+def profile_doc(bottleneck="emb", emb_util=0.9, top_util=0.3):
+    return {
+        "schema": "rmssd-profile/v1",
+        "bottleneck": {"bottleneck_stage": bottleneck},
+        "resources": {
+            "emb": {"utilization": emb_util},
+            "top": {"utilization": top_util},
+        },
+    }
+
+
+def timeseries_doc(p99s=(1e6, 2e6), batches=10, final_replicas=None):
+    document = {
+        "schema": "rmssd-timeseries/v1",
+        "series": {
+            "serving.latency_ns": {
+                "kind": "histogram",
+                "windows": [
+                    {"index": i, "start_ns": i * 1e6, "p99_ns": p99}
+                    for i, p99 in enumerate(p99s)
+                ],
+            },
+            "serving.batches": {"kind": "counter", "total": batches},
+        },
+    }
+    if final_replicas is not None:
+        document["cluster"] = {"final_replicas": final_replicas}
+    return document
+
+
+class TestDiffExplain:
+    def test_attributes_delta_to_components(self):
+        base = explain_doc()
+        fresh = explain_doc(p99_ns=13e6, queue_ns=8.5e6, emb_ns=3.5e6)
+        diff = diff_documents(base, fresh)
+        assert diff["kind"] == "explain"
+        (entry,) = diff["quantiles"]
+        assert entry["delta_ns"] == pytest.approx(3e6)
+        # queue moved 2.5 ms of the 3 ms tail delta: largest mover.
+        assert entry["attribution"][0]["component"] == "queue_ns"
+        assert entry["attribution"][0]["share"] == pytest.approx(2.5 / 3.0)
+        assert entry["worst_replica"] == {
+            "replica": "1", "queue_share": 0.75,
+        }
+
+    def test_count_delta(self):
+        diff = diff_documents(explain_doc(count=100), explain_doc(count=90))
+        assert diff["count_delta"] == -10
+
+    def test_zero_tail_delta_gives_zero_shares(self):
+        diff = diff_documents(explain_doc(), explain_doc())
+        (entry,) = diff["quantiles"]
+        assert all(a["share"] == 0.0 for a in entry["attribution"])
+
+    def test_replica_tie_breaks_to_lowest_id(self):
+        # max() keeps the first maximal element of the sorted ids.
+        fresh = explain_doc(replica_shares={"1": 0.5, "0": 0.5})
+        diff = diff_documents(explain_doc(), fresh)
+        assert diff["quantiles"][0]["worst_replica"]["replica"] == "0"
+
+    def test_schema_mismatch_raises(self):
+        with pytest.raises(ValueError, match="cannot diff"):
+            diff_documents(explain_doc(), profile_doc())
+
+    def test_unknown_schema_raises(self):
+        with pytest.raises(ValueError, match="cannot explain"):
+            diff_documents({"schema": "nope/v0"}, {"schema": "nope/v0"})
+
+    def test_render_lines(self):
+        fresh = explain_doc(p99_ns=13.1e6, queue_ns=8.5e6, emb_ns=3.5e6)
+        lines = render_diff(diff_documents(explain_doc(), fresh))
+        assert len(lines) == 1
+        assert lines[0].startswith("p99 +3.10 ms (10.00 -> 13.10 ms)")
+        assert "83% queue" in lines[0]
+        assert "replica 1" in lines[0]
+
+
+class TestDiffProfile:
+    def test_bottleneck_and_movers(self):
+        diff = diff_documents(
+            profile_doc(), profile_doc(bottleneck="top", top_util=0.95)
+        )
+        assert diff["kind"] == "profile"
+        assert diff["bottleneck"] == {"base": "emb", "fresh": "top"}
+        assert diff["movers"][0]["resource"] == "top"
+        lines = render_diff(diff)
+        assert any("bottleneck stage moved" in line for line in lines)
+
+    def test_no_movement_renders_placeholder(self):
+        lines = render_diff(diff_documents(profile_doc(), profile_doc()))
+        assert lines == ["no utilization movement between profiles"]
+
+
+class TestDiffTimeseries:
+    def test_worst_window_and_counters(self):
+        fresh = timeseries_doc(p99s=(1e6, 5e6), batches=12)
+        diff = diff_documents(timeseries_doc(), fresh)
+        assert diff["kind"] == "timeseries"
+        assert diff["worst_window"]["index"] == 1
+        assert diff["worst_window"]["delta_ns"] == pytest.approx(3e6)
+        assert diff["counter_deltas"] == [
+            {"name": "serving.batches", "total_delta": 2}
+        ]
+        lines = render_diff(diff)
+        assert any("worst window 1" in line for line in lines)
+
+    def test_replica_delta(self):
+        diff = diff_documents(
+            timeseries_doc(final_replicas=1), timeseries_doc(final_replicas=3)
+        )
+        assert diff["replicas"] == {"base_final": 1, "fresh_final": 3}
+        assert any("final replicas: 1 -> 3" in l for l in render_diff(diff))
+
+
+class TestExplainFailure:
+    def test_renders_embedded_documents(self):
+        base = {"explain": explain_doc()}
+        fresh = {"explain": explain_doc(p99_ns=13e6, queue_ns=9e6)}
+        lines = explain_failure(base, fresh)
+        assert lines and lines[0].startswith("p99 +3.00 ms")
+
+    def test_missing_documents_return_empty(self):
+        assert explain_failure({}, {}) == []
+        assert explain_failure({"explain": explain_doc()}, {}) == []
+
+    def test_malformed_documents_degrade_gracefully(self):
+        assert explain_failure(
+            {"explain": {"schema": "rmssd-explain/v1"}},
+            {"explain": {"schema": "rmssd-profile/v1"}},
+        ) == []
+        assert explain_failure(
+            {"explain": {"schema": "rmssd-explain/v1", "quantiles": [{}]}},
+            {"explain": {"schema": "rmssd-explain/v1", "quantiles": [{}]}},
+        ) == []

@@ -1,11 +1,13 @@
 """Benchmark-regression gate over the committed ``BENCH_*.json`` files.
 
 The repo's benchmark trajectory (``BENCH_fastpath.json``,
-``BENCH_sweep.json``, ``BENCH_vcache.json``, ``BENCH_autoscale.json``)
+``BENCH_sweep.json``, ``BENCH_vcache.json``, ``BENCH_autoscale.json``,
+``BENCH_attribution.json``)
 is part of its claims — the lookup fast path is ~16x, the serving
 sweep replay ~13x, the vector cache turns flat 878 QPS into thousands
 at high locality, the autoscaler rides out a flash crowd the fixed
-fleet cannot.  A
+fleet cannot, the p99 tail's blame shifts from service to queueing as
+a flash crowd saturates the fleet.  A
 PR can silently regress those numbers while every functional test still
 passes.  This tool makes the numbers enforceable:
 
@@ -48,10 +50,22 @@ fixed, autoscaled       both fleets are simulated, so every outcome
                         (p99, scaling-event counts) is deterministic
 autoscale:              must be ``true`` (cluster DES and fast replay
 bitwise_equal           export byte-identical timeseries documents)
+attribution: config     exact — the flash-crowd trace is seeded and
+keys, p99_ms,           the fleet simulated, so every per-load blame
+queue_share_p99,        share is deterministic; any drift is a real
+service_share_p99       behavior change, not noise
+attribution:            must be ``true`` (DES and fast replay export
+bitwise_equal           byte-identical rmssd-explain/v1 documents)
 any: wall_s             when the payload commits a ``max_wall_s``
                         budget, its ``wall_s`` must stay within it
 any: missing key        regression (a metric disappeared)
 ======================  =============================================
+
+When a diff fails and both payloads embed their ``rmssd-explain/v1``
+document (the attribution benchmark does), the gate also prints the
+cross-run regression explainer's per-quantile attribution lines
+(:mod:`repro.obs.explain`) — *which stage, which replica* moved the
+tail — so the failure arrives with its diagnosis attached.
 
 Usage::
 
@@ -110,6 +124,8 @@ def detect_kind(payload: dict) -> str:
         return "sweep"
     if "speedup" in payload and "bitwise_equal" in payload:
         return "fastpath"
+    if "queue_share_p99" in payload:
+        return "attribution"
     if "hit_ratios" in payload and "qps" in payload:
         return "vcache"
     raise Regression(
@@ -248,6 +264,29 @@ def compare_autoscale(baseline: dict, fresh: dict) -> List[str]:
     return failures
 
 
+#: Attribution benchmark configuration keys, compared exactly.
+_ATTRIBUTION_CONFIG_KEYS = (
+    "model", "arrivals", "replicas", "balancer", "burst_factor",
+    "quantile", "loads", "queries",
+)
+
+#: Tail-blame shares must agree bit-for-bit across runs: the trace is
+#: seeded and the fleet simulated, so the shares are deterministic.
+_ATTRIBUTION_OUTCOME_KEYS = ("p99_ms", "queue_share_p99", "service_share_p99")
+
+
+def compare_attribution(baseline: dict, fresh: dict) -> List[str]:
+    failures: List[str] = []
+    for key in _ATTRIBUTION_CONFIG_KEYS + _ATTRIBUTION_OUTCOME_KEYS:
+        _check_exact(baseline, fresh, key, failures)
+    if not _require(fresh, "bitwise_equal", "fresh"):
+        failures.append(
+            "bitwise_equal: fast replay's explain document diverged "
+            "from the DES"
+        )
+    return failures
+
+
 def compare(baseline: dict, fresh: dict, kind: str = None) -> List[str]:
     """All regressions of ``fresh`` against ``baseline`` (empty = pass)."""
     if kind is None:
@@ -263,6 +302,8 @@ def compare(baseline: dict, fresh: dict, kind: str = None) -> List[str]:
         return compare_vcache(baseline, fresh)
     if kind == "autoscale":
         return compare_autoscale(baseline, fresh)
+    if kind == "attribution":
+        return compare_attribution(baseline, fresh)
     raise Regression(f"unknown benchmark kind {kind!r}")
 
 
@@ -375,6 +416,54 @@ def self_check_autoscale(payload: dict) -> List[str]:
     return failures
 
 
+#: Self-check: a load point's queue + service blame shares partition
+#: the tail's latency, so they must sum to 1 within float noise.
+SHARE_SUM_ABS_TOLERANCE = 1e-6
+
+
+def self_check_attribution(payload: dict) -> List[str]:
+    failures: List[str] = []
+    if not _require(payload, "bitwise_equal", "payload"):
+        failures.append(
+            "bitwise_equal: fast replay's explain document diverged "
+            "from the DES"
+        )
+    loads = _require(payload, "loads", "payload")
+    if list(loads) != sorted(loads) or len(set(loads)) != len(loads):
+        failures.append("loads: not strictly increasing")
+    for key in ("queries", "p99_ms") + _ATTRIBUTION_OUTCOME_KEYS[1:]:
+        values = _require(payload, key, "payload")
+        if len(values) != len(loads):
+            failures.append(f"{key}: expected {len(loads)} points")
+    queue = payload.get("queue_share_p99", ())
+    service = payload.get("service_share_p99", ())
+    for index, (q_share, s_share) in enumerate(zip(queue, service)):
+        if not (0.0 <= q_share <= 1.0 and 0.0 <= s_share <= 1.0):
+            failures.append(
+                f"shares[{index}]: outside [0, 1] "
+                f"(queue {q_share:.4f}, service {s_share:.4f})"
+            )
+        elif abs(q_share + s_share - 1.0) > SHARE_SUM_ABS_TOLERANCE:
+            failures.append(
+                f"shares[{index}]: queue {q_share:.4f} + service "
+                f"{s_share:.4f} does not partition the tail's latency"
+            )
+    # The claim: as the flash crowd saturates the fleet, the p99
+    # tail's blame shifts from service time to queueing.
+    if len(queue) >= 2 and queue[-1] <= queue[0]:
+        failures.append(
+            f"queue_share_p99: blame never shifted to queueing "
+            f"({queue[0]:.4f} -> {queue[-1]:.4f})"
+        )
+    explain = _require(payload, "explain", "payload")
+    if explain.get("schema") != "rmssd-explain/v1":
+        failures.append(
+            "explain: embedded document is not rmssd-explain/v1 "
+            f"(schema {explain.get('schema')!r})"
+        )
+    return failures
+
+
 def self_check(payload: dict, kind: str = None) -> List[str]:
     """Internal-invariant violations of one payload (empty = pass)."""
     if kind is None:
@@ -387,7 +476,25 @@ def self_check(payload: dict, kind: str = None) -> List[str]:
         return self_check_vcache(payload)
     if kind == "autoscale":
         return self_check_autoscale(payload)
+    if kind == "attribution":
+        return self_check_attribution(payload)
     raise Regression(f"unknown benchmark kind {kind!r}")
+
+
+def _explain_diagnostic(baseline: dict, fresh: dict) -> List[str]:
+    """Regression-explainer lines for payloads embedding explain docs.
+
+    Best-effort: returns ``[]`` when either payload lacks an embedded
+    ``rmssd-explain/v1`` document or the ``repro`` package is not
+    importable (the gate degrades to a plain diff, never crashes).
+    """
+    if "explain" not in baseline or "explain" not in fresh:
+        return []
+    try:
+        from repro.obs.explain import explain_failure
+    except ImportError:
+        return []
+    return explain_failure(baseline, fresh)
 
 
 def main(argv=None) -> int:
@@ -398,7 +505,8 @@ def main(argv=None) -> int:
     parser.add_argument("--baseline", help="committed BENCH_*.json")
     parser.add_argument("--fresh", help="freshly generated BENCH_*.json")
     parser.add_argument("--kind",
-                        choices=("fastpath", "sweep", "vcache", "autoscale"),
+                        choices=("fastpath", "sweep", "vcache", "autoscale",
+                                 "attribution"),
                         default=None,
                         help="payload kind (default: auto-detect)")
     parser.add_argument("--self-check", nargs="+", metavar="FILE",
@@ -423,7 +531,9 @@ def main(argv=None) -> int:
             return status
         if not args.baseline or not args.fresh:
             parser.error("need --baseline and --fresh (or --self-check)")
-        failures = compare(_load(args.baseline), _load(args.fresh), args.kind)
+        baseline = _load(args.baseline)
+        fresh = _load(args.fresh)
+        failures = compare(baseline, fresh, args.kind)
     except Regression as error:
         print(f"FAIL {error}")
         return 1
@@ -431,6 +541,8 @@ def main(argv=None) -> int:
         print(f"FAIL {args.fresh} regressed against {args.baseline}:")
         for failure in failures:
             print(f"  {failure}")
+        for line in _explain_diagnostic(baseline, fresh):
+            print(f"  explain: {line}")
         return 1
     print(f"ok   {args.fresh} vs {args.baseline}")
     return 0

@@ -10,10 +10,10 @@ PYTHONPATH=src:. python -m tools.lint src tests benchmarks tools \
     --baseline tools/lint/baseline.json
 
 echo "== lint canary (R9 must fire on injected fast-path drift) =="
-# Deletes one fast-path profiler record per parity contract (lookup
-# and serving) in scratch copies of src/ and asserts the parity rule
-# reports each; guards against the whole-program analysis silently
-# going blind.
+# Deletes one fast-path profiler record per parity contract (lookup,
+# serving, timeseries, explain) in scratch copies of src/ and asserts
+# the parity rule reports each; guards against the whole-program
+# analysis silently going blind.
 PYTHONPATH=src:. python -m tools.lint.canary
 
 echo "== compile =="
@@ -67,6 +67,34 @@ PYTHONPATH=src:. python -m tools.check_trace \
     --timeseries /tmp/rmssd_timeseries_smoke.json \
     --metrics /tmp/rmssd_report_metrics_smoke.json
 
+echo "== explain smoke (critical-path DES vs fast byte-identical) =="
+# Per-request critical-path attribution: the DES and closed-form
+# replay must export byte-identical rmssd-explain/v1 documents, on a
+# single device and across a load-balanced cluster; the device
+# document is validated and cross-checked against the Chrome trace of
+# the same run.
+RMSSD_SANITIZE=1 python -m repro explain rmc1 \
+    --queries 120 --rows 64 \
+    --explain-out /tmp/rmssd_explain_smoke.json \
+    --trace-out /tmp/rmssd_explain_trace_smoke.json > /dev/null
+RMSSD_SANITIZE=1 python -m repro explain rmc1 \
+    --queries 120 --rows 64 --no-fastpath \
+    --explain-out /tmp/rmssd_explain_smoke_des.json > /dev/null
+cmp /tmp/rmssd_explain_smoke.json /tmp/rmssd_explain_smoke_des.json
+PYTHONPATH=src:. python -m tools.check_trace \
+    /tmp/rmssd_explain_trace_smoke.json \
+    --explain /tmp/rmssd_explain_smoke.json
+RMSSD_SANITIZE=1 python -m repro explain rmc2 --cluster \
+    --replicas 2 --balancer jsq --rows 64 --duration-ms 100 \
+    --explain-out /tmp/rmssd_explain_cluster_smoke.json > /dev/null
+RMSSD_SANITIZE=1 python -m repro explain rmc2 --cluster \
+    --replicas 2 --balancer jsq --rows 64 --duration-ms 100 --no-fastpath \
+    --explain-out /tmp/rmssd_explain_cluster_smoke_des.json > /dev/null
+cmp /tmp/rmssd_explain_cluster_smoke.json \
+    /tmp/rmssd_explain_cluster_smoke_des.json
+PYTHONPATH=src:. python -m tools.check_trace \
+    --explain /tmp/rmssd_explain_cluster_smoke.json
+
 echo "== cluster autoscale smoke (DES vs fast byte-identical; scale-up) =="
 # Flash-crowd trace against a one-replica fleet with the burn-rate
 # autoscaler: the controller must scale out at least once, and the
@@ -92,7 +120,7 @@ echo "== bench-regression gate (tools/bench_compare.py) =="
 # identity diff; an injected synthetic regression must be flagged.
 PYTHONPATH=src:. python -m tools.bench_compare \
     --self-check BENCH_fastpath.json BENCH_sweep.json BENCH_vcache.json \
-    BENCH_autoscale.json
+    BENCH_autoscale.json BENCH_attribution.json
 PYTHONPATH=src:. python -m tools.bench_compare \
     --baseline BENCH_fastpath.json --fresh BENCH_fastpath.json
 PYTHONPATH=src:. python -m tools.bench_compare \
@@ -101,6 +129,8 @@ PYTHONPATH=src:. python -m tools.bench_compare \
     --baseline BENCH_vcache.json --fresh BENCH_vcache.json
 PYTHONPATH=src:. python -m tools.bench_compare \
     --baseline BENCH_autoscale.json --fresh BENCH_autoscale.json
+PYTHONPATH=src:. python -m tools.bench_compare \
+    --baseline BENCH_attribution.json --fresh BENCH_attribution.json
 python -c "import json; p = json.load(open('BENCH_vcache.json')); \
 p['qps']['rmc1/RM-SSD+cache'][0] *= 0.5; \
 json.dump(p, open('/tmp/rmssd_bench_regressed.json', 'w'))"
@@ -126,6 +156,29 @@ if PYTHONPATH=src:. python -m tools.bench_compare \
 else
     echo "ok   injected autoscaler SLA loss flagged"
 fi
+# A tail-blame regression must be flagged *and* diagnosed: on top of
+# the exact-metric failure, the gate prints the cross-run regression
+# explainer's attribution lines from the payloads' embedded
+# rmssd-explain/v1 documents (which stage, which replica moved p99).
+python -c "import json; p = json.load(open('BENCH_attribution.json')); \
+p['p99_ms'][-1] *= 1.5; \
+q = [e for e in p['explain']['quantiles'] if e['q'] == p['quantile']][0]; \
+q['latency_ns'] *= 1.5; \
+extra = q['tail']['mean_ns']['queue_ns'] * 0.8; \
+q['tail']['mean_ns']['queue_ns'] += extra; \
+q['tail']['mean_ns']['latency_ns'] += extra; \
+json.dump(p, open('/tmp/rmssd_bench_attr_bad.json', 'w'))"
+if PYTHONPATH=src:. python -m tools.bench_compare \
+    --baseline BENCH_attribution.json \
+    --fresh /tmp/rmssd_bench_attr_bad.json > /tmp/rmssd_bench_attr_out.txt; then
+    echo "bench_compare missed an injected tail-blame regression" >&2
+    exit 1
+fi
+if ! grep -q "explain: p99 .*queue" /tmp/rmssd_bench_attr_out.txt; then
+    echo "bench_compare failed without the explain diagnostic" >&2
+    exit 1
+fi
+echo "ok   injected tail-blame regression flagged and attributed"
 # The wall-clock budget must also have teeth: a run that doubles the
 # committed bench-harness budget fails the gate.
 python -c "import json; p = json.load(open('BENCH_sweep.json')); \

@@ -30,7 +30,16 @@ inference and pipe the resulting JSON through this checker:
   well-formed ``slo`` section whose alerts reference declared
   objectives inside the evaluated window range.  When ``--metrics`` is
   also given, series totals are cross-checked against the registry
-  export's counters and histogram counts.
+  export's counters and histogram counts;
+* with ``--explain``, the critical-path attribution export has the
+  ``rmssd-explain/v1`` schema and is internally consistent: every
+  request's components sum **exactly** (fixed summation order) to its
+  ``latency_ns``, records are in canonical (arrival, replica, batch)
+  order, each quantile's tail/blame/exemplars re-derive from the
+  records, exemplar latencies are at or above the reported quantile
+  value, and blame shares lie in [0, 1] and sum to 1.  With *both* a
+  trace and ``--explain``, every explain record must match a ``batch``
+  span of the trace (same [arrival, completion) interval).
 
 Exit status 0 on success; 1 with a diagnostic on the first failure.
 
@@ -39,7 +48,7 @@ Usage::
     python -m tools.check_trace trace.json \
         --require translate flash_read ev_sum \
         --metrics metrics.json --profile profile.json \
-        --timeseries timeseries.json
+        --timeseries timeseries.json --explain explain.json
 """
 
 from __future__ import annotations
@@ -56,6 +65,14 @@ HISTOGRAM_FIELDS = (
 PROFILE_SCHEMA = "rmssd-profile/v1"
 
 TIMESERIES_SCHEMA = "rmssd-timeseries/v1"
+
+EXPLAIN_SCHEMA = "rmssd-explain/v1"
+
+#: Fixed summation order defining each explain record's latency
+#: (must mirror repro.obs.critpath.COMPONENTS exactly).
+EXPLAIN_COMPONENTS = (
+    "dispatch_wait_ns", "queue_ns", "emb_ns", "bot_ns", "top_ns",
+)
 
 #: Relative slack for float conservation sums (window busy times are
 #: exact interval differences re-added in a different order).
@@ -574,6 +591,249 @@ def cross_check(trace_path: str, profile_path: str) -> List[str]:
     return problems
 
 
+def _explain_component_sum(record: dict) -> float:
+    """Fixed-order component sum — the *definition* of ``latency_ns``
+    in the explain schema, so the comparison below is exact equality."""
+    total = 0.0
+    for key in EXPLAIN_COMPONENTS:
+        total = total + record[key]
+    return total
+
+
+def _explain_percentile(ordered: List[float], q: float) -> float:
+    """Mirror of repro.analysis.metrics.percentile (presorted input)."""
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (len(ordered) - 1) * q / 100.0
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = position - lower
+    return ordered[lower] * (1 - fraction) + ordered[upper] * fraction
+
+
+def check_explain(path: str) -> List[str]:
+    """Internal consistency of a ``rmssd-explain/v1`` export."""
+    problems: List[str] = []
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as error:
+        return [f"{path}: cannot load: {error}"]
+    if document.get("schema") != EXPLAIN_SCHEMA:
+        return [f"{path}: schema {document.get('schema')!r} is not "
+                f"{EXPLAIN_SCHEMA!r}"]
+    if tuple(document.get("components", ())) != EXPLAIN_COMPONENTS:
+        return [f"{path}: components {document.get('components')!r} != "
+                f"{list(EXPLAIN_COMPONENTS)}"]
+    requests = document.get("requests")
+    if not isinstance(requests, dict) or not isinstance(
+        requests.get("count"), int
+    ):
+        return [f"{path}: missing requests section"]
+    count = requests["count"]
+    totals = document.get("totals", {})
+    if totals.get("count") != count:
+        problems.append(
+            f"{path}: totals.count {totals.get('count')} != requests.count "
+            f"{count}"
+        )
+    records = requests.get("records")
+    quantiles = document.get("quantiles", [])
+    if count == 0 and quantiles:
+        problems.append(f"{path}: quantile entries despite zero requests")
+    if records is None:
+        return problems
+    if len(records) != count:
+        problems.append(
+            f"{path}: {len(records)} records but requests.count says {count}"
+        )
+    previous_key = None
+    for index, record in enumerate(records):
+        for key in EXPLAIN_COMPONENTS:
+            value = record.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                problems.append(
+                    f"{path}: record {index}: component {key} is {value!r}"
+                )
+                return problems
+        # Exact by definition: latency IS the fixed-order sum, and a
+        # JSON round-trip preserves floats bit for bit.
+        if record.get("latency_ns") != _explain_component_sum(record):
+            problems.append(
+                f"{path}: record {index}: components sum to "
+                f"{_explain_component_sum(record)} but latency_ns says "
+                f"{record.get('latency_ns')} (conservation violated)"
+            )
+        order_key = (
+            record.get("arrival_ns"), record.get("replica"),
+            record.get("batch"),
+        )
+        if previous_key is not None and order_key < previous_key:
+            problems.append(
+                f"{path}: record {index}: out of canonical "
+                f"(arrival, replica, batch) order"
+            )
+        previous_key = order_key
+    if problems:
+        return problems
+    ordered = sorted(r["latency_ns"] for r in records)
+    for entry in quantiles:
+        q = entry.get("q")
+        if not isinstance(q, (int, float)) or not 0.0 <= q <= 100.0:
+            problems.append(f"{path}: invalid quantile {q!r}")
+            continue
+        prefix = f"{path}: p{q:g}"
+        value = entry.get("latency_ns")
+        expected = _explain_percentile(ordered, q)
+        if not _sums_match(expected, value):
+            problems.append(
+                f"{prefix}: latency {value} != recomputed percentile "
+                f"{expected}"
+            )
+            continue
+        tail = [r for r in records if r["latency_ns"] >= value]
+        summary = entry.get("tail", {})
+        if summary.get("count") != len(tail):
+            problems.append(
+                f"{prefix}: tail count {summary.get('count')} != "
+                f"{len(tail)} records at/above the quantile"
+            )
+            continue
+        latency_sum = sum(r["latency_ns"] for r in tail)
+        blame = summary.get("blame", {})
+        share_sum = 0.0
+        for key in EXPLAIN_COMPONENTS:
+            share = blame.get(key, -1.0)
+            if not 0.0 <= share <= 1.0 + CONSERVATION_RTOL:
+                problems.append(
+                    f"{prefix}: blame share for {key} is {share}, "
+                    f"outside [0, 1]"
+                )
+            share_sum += share
+        if latency_sum > 0 and not _sums_match(1.0, share_sum):
+            problems.append(
+                f"{prefix}: blame shares sum to {share_sum}, not 1"
+            )
+        means = summary.get("mean_ns", {})
+        for key in EXPLAIN_COMPONENTS:
+            expected_mean = sum(r[key] for r in tail) / len(tail)
+            if not _sums_match(expected_mean, means.get(key, -1.0)):
+                problems.append(
+                    f"{prefix}: mean {key} {means.get(key)} != recomputed "
+                    f"{expected_mean}"
+                )
+        replica_shares = summary.get("queue_share_by_replica", {})
+        queue_sum = sum(r["queue_ns"] for r in tail)
+        replica_total = 0.0
+        for rid, share in replica_shares.items():
+            if not 0.0 <= share <= 1.0 + CONSERVATION_RTOL:
+                problems.append(
+                    f"{prefix}: queue share of replica {rid} is {share}, "
+                    f"outside [0, 1]"
+                )
+            replica_total += share
+        if queue_sum > 0 and not _sums_match(1.0, replica_total):
+            problems.append(
+                f"{prefix}: per-replica queue shares sum to "
+                f"{replica_total}, not 1"
+            )
+        exemplars = entry.get("exemplars", [])
+        if len(exemplars) > len(tail):
+            problems.append(
+                f"{prefix}: {len(exemplars)} exemplars exceed the tail "
+                f"of {len(tail)}"
+            )
+        previous_latency = None
+        for exemplar in exemplars:
+            latency = exemplar.get("latency_ns", -1.0)
+            if latency < value:
+                problems.append(
+                    f"{prefix}: exemplar latency {latency} below the "
+                    f"reported quantile {value}"
+                )
+                break
+            if previous_latency is not None and latency > previous_latency:
+                problems.append(
+                    f"{prefix}: exemplars not sorted by descending latency"
+                )
+                break
+            previous_latency = latency
+    if count:
+        expected_mean = sum(r["latency_ns"] for r in records) / count
+        if not _sums_match(expected_mean, totals.get("mean_latency_ns", -1.0)):
+            problems.append(
+                f"{path}: totals.mean_latency_ns "
+                f"{totals.get('mean_latency_ns')} != recomputed "
+                f"{expected_mean}"
+            )
+    return problems
+
+
+def cross_check_explain(trace_path: str, explain_path: str) -> List[str]:
+    """Every explain record must match a ``batch`` span of the trace.
+
+    Both exports describe the same run: a record's
+    ``[arrival, arrival + latency)`` interval must appear as a
+    ``batch`` span (within the trace's µs-conversion tolerance), and
+    the span and record counts must agree.
+    """
+    import bisect
+
+    problems: List[str] = []
+    try:
+        with open(explain_path) as handle:
+            document = json.load(handle)
+        spans = _trace_span_unions(trace_path)
+    except (OSError, ValueError) as error:
+        return [f"cross-check: cannot load: {error}"]
+    records = document.get("requests", {}).get("records")
+    if records is None:
+        return [
+            "cross-check: explain document carries no records "
+            "(exported without them?)"
+        ]
+    batch_spans: List[Tuple[float, float]] = []
+    try:
+        with open(trace_path) as handle:
+            trace = json.load(handle)
+    except (OSError, ValueError) as error:
+        return [f"cross-check: cannot load: {error}"]
+    open_spans: Dict[tuple, List[float]] = {}
+    for event in trace.get("traceEvents", []):
+        if event.get("name") != "batch":
+            continue
+        phase = event.get("ph")
+        key = (event.get("pid"), event.get("tid"))
+        ts_ns = float(event.get("ts", 0.0)) * 1000.0
+        if phase == "B":
+            open_spans.setdefault(key, []).append(ts_ns)
+        elif phase == "E" and open_spans.get(key):
+            batch_spans.append((open_spans[key].pop(), ts_ns))
+    if len(batch_spans) != len(records):
+        return [
+            f"cross-check: trace has {len(batch_spans)} batch spans but "
+            f"the explain document has {len(records)} records"
+        ]
+    batch_spans.sort()
+    starts = [span[0] for span in batch_spans]
+    for record in records:
+        begin = record["arrival_ns"]
+        end = begin + record["latency_ns"]
+        lo = bisect.bisect_left(starts, begin - CROSS_CHECK_TOLERANCE_NS)
+        hi = bisect.bisect_right(starts, begin + CROSS_CHECK_TOLERANCE_NS)
+        if not any(
+            abs(batch_spans[i][1] - end) <= CROSS_CHECK_TOLERANCE_NS
+            for i in range(lo, hi)
+        ):
+            problems.append(
+                f"cross-check: record (replica {record.get('replica')}, "
+                f"batch {record.get('batch')}) interval [{begin}, {end}] "
+                f"ns has no matching batch span in the trace"
+            )
+            break
+    return problems
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="check_trace", description=__doc__.splitlines()[0]
@@ -598,9 +858,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="also validate a windowed timeseries JSON export "
              "(cross-checked against --metrics when both are given)",
     )
+    parser.add_argument(
+        "--explain", default=None,
+        help="also validate a critical-path attribution JSON export "
+             "(cross-checked against the trace when both are given)",
+    )
     args = parser.parse_args(argv)
-    if args.trace is None and args.profile is None and args.timeseries is None:
-        parser.error("need a trace file, --profile, and/or --timeseries")
+    if (
+        args.trace is None
+        and args.profile is None
+        and args.timeseries is None
+        and args.explain is None
+    ):
+        parser.error(
+            "need a trace file, --profile, --timeseries, and/or --explain"
+        )
     problems: List[str] = []
     if args.trace is not None:
         problems += check_trace(args.trace, args.require)
@@ -612,11 +884,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             problems += cross_check(args.trace, args.profile)
     if args.timeseries:
         problems += check_timeseries(args.timeseries, args.metrics)
+    if args.explain:
+        problems += check_explain(args.explain)
+        if args.trace is not None and not problems:
+            problems += cross_check_explain(args.trace, args.explain)
     if problems:
         for problem in problems:
             print(f"check_trace: {problem}", file=sys.stderr)
         return 1
-    print(f"check_trace: {args.trace or args.profile or args.timeseries} OK")
+    print(
+        f"check_trace: "
+        f"{args.trace or args.profile or args.timeseries or args.explain} OK"
+    )
     return 0
 
 

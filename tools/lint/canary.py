@@ -9,14 +9,17 @@ profiler record, and asserts that
 * the **mutated** copy trips R9 with a violation naming the now
   DES-only record.
 
-Three contracts are exercised: the lookup path (the ``record_busy``
+Four contracts are exercised: the lookup path (the ``record_busy``
 call that closes a die's busy interval in
 :func:`repro.ssd.fastpath._replay_channel`), the serving path (the
 ``record_service`` call that records every stage triple in
-:func:`repro.core.pipeline_fast._record_stage_services`), and the
-serving *timeseries* feed (the fast path's ``_observe_completions``
-call in :meth:`repro.core.pipeline_sim.PipelineSimulator._run_fast`,
-whose deletion leaves the windowed serving metrics DES-only).
+:func:`repro.core.pipeline_fast._record_stage_services`), the serving
+*timeseries* feed (the fast path's ``_observe_completions`` call in
+:meth:`repro.core.pipeline_sim.PipelineSimulator._run_fast`, whose
+deletion leaves the windowed serving metrics DES-only), and the
+*critical-path* feed (the ``record_requests`` call in
+``_explain_fast``, whose deletion leaves the rmssd-explain/v1
+attribution documents DES-only).
 
 If a refactor ever blinds R9 — a renamed root, a broken call-graph
 edge, an over-wide provenance union — the clean/mutated runs stop
@@ -77,6 +80,16 @@ MUTATIONS: Tuple[Mutation, ...] = (
         function="_run_fast",
         call="_observe_completions",
         token="serving.latency_ns",
+    ),
+    # Explain drift: drop the fast path's per-request feed to the
+    # CritPathCollector, leaving the critical-path attribution stream
+    # DES-only (the EXPLAIN_PARITY spec must name it).
+    Mutation(
+        label="explain",
+        file=Path("repro") / "core" / "pipeline_sim.py",
+        function="_explain_fast",
+        call="record_requests",
+        token="critpath.requests",
     ),
 )
 

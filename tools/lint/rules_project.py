@@ -95,6 +95,18 @@ CLUSTER_PARITY = ParitySpec(
     fast_roots=("_serve_fast",),
 )
 
+#: And for the critical-path attribution feed: both pipeline paths
+#: must hand their per-request records to the CritPathCollector under
+#: the same stream name, or the rmssd-explain/v1 documents the two
+#: paths export silently diverge.  Each path has its own feed wrapper
+#: (_explain_des / _explain_fast in repro/core/pipeline_sim.py) so a
+#: dropped feed on one side is visible to this diff.
+EXPLAIN_PARITY = ParitySpec(
+    label="explain",
+    des_roots=("_explain_des",),
+    fast_roots=("_explain_fast",),
+)
+
 #: (group, facet) -> human description used in violation messages.
 _FACET_DESC = {
     ("span", "name"): "span",
@@ -102,6 +114,7 @@ _FACET_DESC = {
     ("stats", "field"): "IOStatistics counter",
     ("slo", "name"): "SLO objective",
     ("slo", "kind"): "SLO metric",
+    ("record_requests", "name"): "critical-path request stream",
 }
 
 
@@ -117,6 +130,7 @@ class InstrumentationParityRule(ProjectRule):
         LOOKUP_PARITY,
         SERVING_PARITY,
         CLUSTER_PARITY,
+        EXPLAIN_PARITY,
     )
 
     def check_project(self, project: ProjectContext) -> Iterator[Violation]:
